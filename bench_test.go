@@ -1,0 +1,220 @@
+// Benchmarks regenerating every figure and claim of the demonstration
+// paper (DESIGN.md §3 maps each to its experiment). Experiment benches
+// run the corresponding internal/experiments harness at Quick scale; the
+// full tables in EXPERIMENTS.md come from cmd/expdriver.
+//
+//	go test -bench=. -benchmem
+package chiaroscuro_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/crypto/damgardjurik"
+	"chiaroscuro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := run(experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Panel4CentroidEvolution regenerates E1 (Fig. 3 panel 4):
+// the per-iteration evolution of sampled participants' closest centroid.
+func BenchmarkFig3Panel4CentroidEvolution(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkFig3Panel5NoiseImpact regenerates E2 (Fig. 3 panel 5): noise
+// impact on centroids per iteration across privacy levels.
+func BenchmarkFig3Panel5NoiseImpact(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig3Panel6ProfileSearch regenerates E3 (Fig. 3 panel 6):
+// Bob's subsequence-to-profile search.
+func BenchmarkFig3Panel6ProfileSearch(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkQualityVsPrivacy regenerates E4: quality relative to
+// centralized k-means across ε, heuristics on/off (claim 2 of Sec. I).
+func BenchmarkQualityVsPrivacy(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkCostProjection regenerates E5b: projected per-participant
+// costs of a full deployment (claim 3 of Sec. I).
+func BenchmarkCostProjection(b *testing.B) { benchExperiment(b, "E5b") }
+
+// BenchmarkGossipConvergence regenerates E6: exponential decay of the
+// push-sum error (Sec. II.A premise).
+func BenchmarkGossipConvergence(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkHeuristicsAblation regenerates E7: budget strategies ×
+// smoothing (Sec. II.B quality-enhancing heuristics).
+func BenchmarkHeuristicsAblation(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkChurnResilience regenerates E8: behaviour under faulty nodes
+// (Sec. I challenge statement).
+func BenchmarkChurnResilience(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkNoisePopulationScaling regenerates E9: ε scaling with
+// population at constant noise ratio (Sec. III.B point 4).
+func BenchmarkNoisePopulationScaling(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkGossipMessageBudget regenerates E10: messages-per-participant
+// vs aggregation fidelity (Sec. III.B point 3).
+func BenchmarkGossipMessageBudget(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkDamgardJurikOps regenerates E5a: the real per-operation
+// crypto timings the demo displays ("measured beforehand", Sec. III.B).
+// Each sub-benchmark is one operation at one key size.
+func BenchmarkDamgardJurikOps(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048} {
+		tk, shares, err := damgardjurik.FixtureThresholdKey(bits, 1, 8, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk, err := damgardjurik.FixturePrivateKey(bits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := big.NewInt(123456789)
+		ct, err := tk.Encrypt(rand.Reader, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctSK, err := sk.Encrypt(rand.Reader, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		half := new(big.Int).ModInverse(big.NewInt(2), tk.PlaintextModulus())
+		parts := make([]damgardjurik.PartialDecryption, 5)
+		for i := 0; i < 5; i++ {
+			parts[i], err = tk.PartialDecrypt(shares[i], ct)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.Run(fmt.Sprintf("Encrypt/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Add/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Add(ct, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ScalarMulHalve/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.ScalarMul(ct, half); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Decrypt/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Decrypt(ctSK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PartialDecrypt/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.PartialDecrypt(shares[0], ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Combine/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Combine(parts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterEndToEnd times one full protocol run through the
+// public API (accounted backend, demo-scale parameters).
+func BenchmarkClusterEndToEnd(b *testing.B) {
+	series, _, _ := chiaroscuro.SyntheticCER(200, 24, 1)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		b.Fatal(err)
+	}
+	eps, _ := chiaroscuro.ScaleEpsilonForPopulation(1, 1000000, len(series))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
+			K: 5, Epsilon: eps, Iterations: 4, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRealCrypto times a fully encrypted end-to-end run
+// (small population, 128-bit fixture key) — the configuration the demo
+// disables for scale, exercised here for completeness.
+func BenchmarkClusterRealCrypto(b *testing.B) {
+	series, _, _ := chiaroscuro.SyntheticTumorGrowth(16, 10, 1)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
+			K: 2, Epsilon: 100, Iterations: 2, Seed: int64(i),
+			Backend: chiaroscuro.BackendDamgardJurik, ModulusBits: 128,
+			DecryptThreshold: 4, GossipRounds: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCentralizedKMeans times the non-private baseline for scale
+// comparison with BenchmarkClusterEndToEnd.
+func BenchmarkCentralizedKMeans(b *testing.B) {
+	series, _, _ := chiaroscuro.SyntheticCER(200, 24, 1)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.CentralizedKMeans(series, 5, 20, int64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileSearch times the interactive search primitive alone
+// (Fig. 3 panel 6 latency).
+func BenchmarkProfileSearch(b *testing.B) {
+	profiles := make([][]float64, 8)
+	for j := range profiles {
+		p := make([]float64, 48)
+		for t := range p {
+			p[t] = float64(j) / 8 * float64(t%7)
+		}
+		profiles[j] = p
+	}
+	query := []float64{0.1, 0.4, 0.3, 0.2, 0.5, 0.6, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.FindClosestProfiles(profiles, query, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

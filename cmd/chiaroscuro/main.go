@@ -1,0 +1,148 @@
+// Command chiaroscuro runs the full privacy-preserving clustering
+// protocol on a chosen workload and prints the per-iteration log the
+// demonstration GUI renders (centroid evolution, noise impact, quality
+// and cost measures), plus a final comparison against centralized
+// k-means.
+//
+// Examples:
+//
+//	go run ./cmd/chiaroscuro
+//	go run ./cmd/chiaroscuro -dataset tumor -n 1000 -k 4 -epsilon 1
+//	go run ./cmd/chiaroscuro -backend damgard-jurik -n 20 -modulus 256
+//	go run ./cmd/chiaroscuro -churn 0.02 -strategy geo-increasing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"chiaroscuro"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "cer", "workload: cer | tumor")
+		n         = flag.Int("n", 600, "number of participants (simulated devices)")
+		k         = flag.Int("k", 5, "number of clusters")
+		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget ε at the target population")
+		targetPop = flag.Int("target-pop", 1000000, "target deployment size ε refers to (demo scaling rule); 0 = use ε as-is")
+		iters     = flag.Int("iterations", 6, "k-means iterations")
+		rounds    = flag.Int("gossip-rounds", 0, "gossip exchanges per participant per aggregation (0 = auto)")
+		threshold = flag.Int("threshold", 0, "partial decryptions needed (0 = auto)")
+		strategy  = flag.String("strategy", "uniform", "budget strategy: uniform | geo-increasing | geo-decreasing | final-boost")
+		smoothing = flag.String("smoothing", "moving-average", "perturbed-mean smoothing: none | moving-average | exponential")
+		backend   = flag.String("backend", "accounted", "cipher backend: accounted | damgard-jurik")
+		modulus   = flag.Int("modulus", 0, "key size in bits (0 = default)")
+		seed      = flag.Int64("seed", 2016, "random seed (whole run is deterministic)")
+		churn     = flag.Float64("churn", 0, "per-cycle crash probability")
+		quiet     = flag.Bool("quiet", false, "suppress the per-iteration log")
+	)
+	flag.Parse()
+
+	series, _, archetypes, err := load(*dataset, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		log.Fatal(err)
+	}
+	dim := len(series[0])
+
+	eps := *epsilon
+	if *targetPop > 0 {
+		eps, err = chiaroscuro.ScaleEpsilonForPopulation(*epsilon, *targetPop, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	init := chiaroscuro.LevelInit(*k, dim)
+	cfg := chiaroscuro.Config{
+		K:                *k,
+		Epsilon:          eps,
+		Iterations:       *iters,
+		GossipRounds:     *rounds,
+		DecryptThreshold: *threshold,
+		Backend:          chiaroscuro.Backend(*backend),
+		ModulusBits:      *modulus,
+		Strategy:         *strategy,
+		Smoothing:        chiaroscuro.Smoothing{Method: *smoothing},
+		InitialCentroids: init,
+		Seed:             *seed,
+		ChurnCrashProb:   *churn,
+	}
+	if *churn > 0 {
+		cfg.ChurnRejoinProb = 0.3
+	}
+
+	fmt.Printf("chiaroscuro: %s workload, %d participants, k=%d, ε=%.4g", *dataset, *n, *k, eps)
+	if *targetPop > 0 {
+		fmt.Printf(" (ε=%.2g at %d devices)", *epsilon, *targetPop)
+	}
+	fmt.Printf(", backend=%s\n", *backend)
+	fmt.Printf("archetypes in the generator: %v\n\n", archetypes)
+
+	res, err := chiaroscuro.Cluster(series, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		fmt.Println("iter   ε_i      noise RMSE   cluster sizes (perturbed, relative)")
+		for _, it := range res.Trace {
+			fmt.Printf("%4d   %-8.4g %-12.4f %v\n", it.Index+1, it.Epsilon, it.NoiseRMSE, compact(it.Counts))
+		}
+		fmt.Println()
+	}
+
+	base, err := chiaroscuro.CentralizedKMeans(series, *k, 40, *seed, init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio, rmse, ari, err := chiaroscuro.CompareToBaseline(res, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("quality:  inertia %.3f (centralized %.3f, ratio %.3f)   centroid RMSE %.4f   ARI %.3f\n",
+		res.Inertia, base.Inertia, ratio, rmse, ari)
+	fmt.Printf("privacy:  ε spent %.4g over %d disclosures   gossip distortion %.2e\n",
+		res.Privacy.EpsilonSpent, res.Privacy.Disclosures, res.Privacy.GossipRelErr)
+	fmt.Printf("network:  %d messages (%.1f MB), %d dropped, %d cycles\n",
+		res.Network.MessagesSent, float64(res.Network.BytesSent)/1e6,
+		res.Network.MessagesDropped, res.Network.Cycles)
+	fmt.Printf("crypto:   %d enc, %d add, %d halve, %d partial-dec, %d combine (%s)\n",
+		res.Crypto.Encrypts, res.Crypto.Adds, res.Crypto.Halvings,
+		res.Crypto.PartialDecrypts, res.Crypto.Combines, *backend)
+	if res.DecryptFailures > 0 {
+		fmt.Printf("warning:  %d decryption quorum failures (degraded iterations)\n", res.DecryptFailures)
+	}
+	if res.ConvergedAtIteration >= 0 {
+		fmt.Printf("converged after iteration %d\n", res.ConvergedAtIteration+1)
+	}
+	fmt.Printf("elapsed:  %s\n", res.Elapsed.Round(1e6))
+	os.Exit(0)
+}
+
+func load(name string, n int, seed int64) ([][]float64, []int, []string, error) {
+	switch name {
+	case "cer":
+		s, l, a := chiaroscuro.SyntheticCER(n, 24, seed)
+		return s, l, a, nil
+	case "tumor":
+		s, l, a := chiaroscuro.SyntheticTumorGrowth(n, 20, seed)
+		return s, l, a, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown dataset %q (want cer or tumor)", name)
+	}
+}
+
+func compact(counts []float64) []string {
+	out := make([]string, len(counts))
+	for i, c := range counts {
+		out[i] = fmt.Sprintf("%.3f", c)
+	}
+	return out
+}

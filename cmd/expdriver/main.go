@@ -1,0 +1,57 @@
+// Command expdriver regenerates every experiment table of EXPERIMENTS.md
+// (the reproduction of the paper's figures and claims; see DESIGN.md §3
+// for the experiment index).
+//
+// Usage:
+//
+//	go run ./cmd/expdriver            # all experiments, full scale
+//	go run ./cmd/expdriver -exp E4    # one experiment
+//	go run ./cmd/expdriver -quick     # reduced sizes (smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"chiaroscuro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (E1, E2, E3, E4, E5a, E5b, E6, E7, E8, E9, E10)")
+	quick := flag.Bool("quick", false, "reduced population/iterations for a fast smoke run")
+	pop := flag.Int("population", 0, "override the simulated population")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	if *pop > 0 {
+		scale.Population = *pop
+	}
+
+	run := func(id string, r experiments.Runner) {
+		start := time.Now()
+		table, err := r(scale)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(table.Markdown())
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		r, err := experiments.ByID(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(*exp, r)
+		return
+	}
+	for _, e := range experiments.Registry() {
+		run(e.ID, e.Run)
+	}
+}

@@ -1,0 +1,43 @@
+// Gossipdemo: the distribution substrate in isolation — watch push-sum
+// estimates converge to the true average exponentially fast (the premise
+// of Sec. II.A), with and without message loss.
+//
+//	go run ./examples/gossipdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"chiaroscuro/internal/gossip"
+)
+
+func main() {
+	const n = 1000
+	rng := rand.New(rand.NewSource(1))
+	values := make([][]float64, n)
+	var truth float64
+	for i := range values {
+		values[i] = []float64{rng.Float64() * 100}
+		truth += values[i][0]
+	}
+	truth /= n
+
+	fmt.Printf("%d peers, true average %.4f\n\n", n, truth)
+	fmt.Println("rounds   max rel error (no loss)   max rel error (5% loss)")
+	clean, err := gossip.SimulatePushSum(values, 30, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossy, err := gossip.SimulatePushSum(values, 30, 0.05, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 4; r < 30; r += 5 {
+		fmt.Printf("%6d   %23.2e   %23.2e\n", r+1, clean.MaxRelErr[r], lossy.MaxRelErr[r])
+	}
+	fmt.Printf("\nmessages exchanged: %d (clean), %d (lossy)\n", clean.Messages, lossy.Messages)
+	fmt.Println("\nerror decays exponentially in the number of exchanges —")
+	fmt.Println("this is what lets Chiaroscuro keep gossip rounds ~log(population).")
+}

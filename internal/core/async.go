@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chiaroscuro/internal/p2p"
+)
+
+// RunAsync executes the protocol with one goroutine per participant and
+// channel-based message passing — genuine concurrency with no global
+// synchronization, which is the deployment model the paper targets
+// ("identical for all participants, and proceeds without any global
+// synchronization", Sec. II.B). Each participant advances through its
+// own activations at its own pace; stragglers resynchronize through the
+// iteration tags on gossip messages exactly as in the cycle-driven
+// engine, because both engines run the same participant code (Env
+// abstracts the runtime).
+//
+// Unlike Run, RunAsync is NOT deterministic: goroutine scheduling decides
+// message interleavings. Protocol correctness (and the probabilistic-DP
+// accounting) hold regardless; tests assert quality bounds, not exact
+// values. Churn options are not supported here (use Run for fault
+// experiments; this engine models the healthy concurrent deployment).
+func RunAsync(data [][]float64, params Params) (*Trace, error) {
+	if params.ChurnCrashProb != 0 || params.ChurnRejoinProb != 0 {
+		return nil, errors.New("core: RunAsync does not support churn; use Run")
+	}
+	params.asyncEngine = true
+	rs, err := prepareRun(data, params)
+	if err != nil {
+		return nil, err
+	}
+	p := rs.p
+	n := len(data)
+	// Gossip protocols are built on *periodical* exchanges (Sec. II.A);
+	// each participant activates on its own timer with ±20% jitter. The
+	// jittered timers are what keeps the engine asynchronous while still
+	// letting messages propagate between activations.
+	interval := p.AsyncInterval
+	if interval <= 0 {
+		interval = 200 * time.Microsecond
+	}
+
+	net := &asyncNet{
+		inboxes: make([]chan p2p.Message, n),
+	}
+	for i := range net.inboxes {
+		// Generous buffering: a full iteration's worth of traffic per
+		// node. Overflow is dropped and counted, like a saturated link.
+		net.inboxes[i] = make(chan p2p.Message, 4*(p.GossipRounds+2*p.DecryptThreshold)+64)
+	}
+
+	participants := make([]*participant, n)
+	for i := 0; i < n; i++ {
+		participants[i] = rs.newParticipant(p2p.NodeID(i), data[i])
+	}
+
+	maxSteps := 4*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 400
+	var done atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(pt *participant) {
+			defer wg.Done()
+			env := &asyncEnv{
+				net: net,
+				id:  pt.id,
+				rng: rand.New(rand.NewSource(p.Seed ^ (int64(pt.id)+7)*0x2545F4914F6CDD1D)),
+			}
+			notified := false
+			for step := 0; ; step++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				env.step = step
+				pt.step(env)
+				if pt.phase == phaseDone && !notified {
+					notified = true
+					done.Add(1)
+				}
+				if step >= maxSteps && !notified {
+					// Hostile stall: give up initiating, keep serving.
+					notified = true
+					done.Add(1)
+				}
+				// Periodic activation with jitter; finished participants
+				// keep serving at the same cadence. Gosched first so the
+				// sleep does not round up tiny intervals on coarse
+				// timers.
+				runtime.Gosched()
+				time.Sleep(time.Duration(float64(interval) * (0.8 + 0.4*env.rng.Float64())))
+			}
+		}(participants[i])
+	}
+
+	// Wait for all participants to finish their iterations, with a
+	// generous wall-clock safety net.
+	deadline := time.After(5 * time.Minute)
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+waitLoop:
+	for {
+		select {
+		case <-tick.C:
+			if done.Load() == int64(n) {
+				break waitLoop
+			}
+		case <-deadline:
+			break waitLoop
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	stats := p2p.Stats{
+		MessagesSent:    int(net.sent.Load()),
+		MessagesDropped: int(net.dropped.Load()),
+		BytesSent:       net.bytes.Load(),
+	}
+	// "Cycles" in the async engine: the maximum number of activations any
+	// participant performed is not tracked per-node; report the protocol
+	// schedule length instead.
+	cycles := p.Iterations * (1 + p.GossipRounds + 2)
+	return buildTrace(data, p, participants, cycles, stats, rs.suite, rs.accountant)
+}
+
+// asyncNet is the channel-based message fabric.
+type asyncNet struct {
+	inboxes []chan p2p.Message
+	sent    atomic.Int64
+	dropped atomic.Int64
+	bytes   atomic.Int64
+}
+
+// asyncEnv implements Env for one participant goroutine.
+type asyncEnv struct {
+	net  *asyncNet
+	id   p2p.NodeID
+	rng  *rand.Rand
+	step int
+}
+
+// ID implements Env.
+func (e *asyncEnv) ID() p2p.NodeID { return e.id }
+
+// Cycle implements Env: the participant's own activation counter (there
+// is no global clock).
+func (e *asyncEnv) Cycle() int { return e.step }
+
+// PopulationSize implements Env.
+func (e *asyncEnv) PopulationSize() int { return len(e.net.inboxes) }
+
+// AliveCount implements Env: everyone is alive in this engine.
+func (e *asyncEnv) AliveCount() int { return len(e.net.inboxes) }
+
+// Inbox implements Env: drains whatever has arrived so far.
+func (e *asyncEnv) Inbox() []p2p.Message {
+	var out []p2p.Message
+	for {
+		select {
+		case m := <-e.net.inboxes[e.id]:
+			out = append(out, m)
+		default:
+			return out
+		}
+	}
+}
+
+// Send implements Env: non-blocking delivery; a full inbox drops the
+// message (a saturated peer), which push-sum absorbs as mass loss.
+func (e *asyncEnv) Send(to p2p.NodeID, payload any, bytes int) error {
+	if to < 0 || int(to) >= len(e.net.inboxes) {
+		return errors.New("core: async send out of range")
+	}
+	e.net.sent.Add(1)
+	e.net.bytes.Add(int64(bytes))
+	select {
+	case e.net.inboxes[to] <- p2p.Message{From: e.id, Payload: payload, Bytes: bytes}:
+	default:
+		e.net.dropped.Add(1)
+	}
+	return nil
+}
+
+// RandomPeer implements Env.
+func (e *asyncEnv) RandomPeer() (p2p.NodeID, bool) {
+	n := len(e.net.inboxes)
+	if n < 2 {
+		return -1, false
+	}
+	j := e.rng.Intn(n - 1)
+	if j >= int(e.id) {
+		j++
+	}
+	return p2p.NodeID(j), true
+}
+
+// RandomPeers implements Env.
+func (e *asyncEnv) RandomPeers(k int) []p2p.NodeID {
+	out := make([]p2p.NodeID, 0, k)
+	seen := map[p2p.NodeID]bool{e.id: true}
+	for attempts := 0; len(out) < k && attempts < 16*(k+1); attempts++ {
+		p, ok := e.RandomPeer()
+		if !ok {
+			break
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var _ Env = (*asyncEnv)(nil)

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunAsyncRecoversClusters(t *testing.T) {
+	data := blobs(120, 4, 3)
+	init := [][]float64{
+		{0.12, 0.12, 0.12, 0.12},
+		{0.4, 0.4, 0.4, 0.4},
+		{0.65, 0.65, 0.65, 0.65},
+	}
+	tr, err := RunAsync(data, Params{
+		K: 3, Epsilon: 2000, Iterations: 4, Seed: 7,
+		InitialCentroids: init, GossipRounds: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) == 0 {
+		t.Fatal("no iterations completed")
+	}
+	// Asynchronous gossip mixes less evenly than the synchronous engine,
+	// so allow a looser but still meaningful accuracy bound.
+	last := tr.Iterations[len(tr.Iterations)-1]
+	if last.NoiseRMSE > 0.1 {
+		t.Fatalf("noise RMSE = %v", last.NoiseRMSE)
+	}
+	// The three blobs (levels 0.1, 0.3667, 0.6333) must be separated:
+	// inertia far below the single-cluster baseline.
+	if tr.Inertia > 5 {
+		t.Fatalf("inertia = %v", tr.Inertia)
+	}
+}
+
+func TestRunAsyncMatchesSyncQualitatively(t *testing.T) {
+	data := blobs(80, 3, 2)
+	p := Params{K: 2, Epsilon: 1000, Iterations: 3, Seed: 11, GossipRounds: 12}
+	sync, err := Run(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := RunAsync(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same data, same protocol: final inertia within a factor of 4
+	// (async mixing is noisier but must find the same structure).
+	lo, hi := sync.Inertia, async.Inertia
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi/lo > 4 && hi > 0.5 {
+		t.Fatalf("engines disagree: sync inertia %v, async %v", sync.Inertia, async.Inertia)
+	}
+}
+
+func TestRunAsyncStatsPopulated(t *testing.T) {
+	data := blobs(40, 3, 2)
+	tr, err := RunAsync(data, Params{K: 2, Epsilon: 100, Iterations: 2, Seed: 3, GossipRounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NetStats.MessagesSent == 0 || tr.NetStats.BytesSent == 0 {
+		t.Fatalf("no traffic recorded: %+v", tr.NetStats)
+	}
+	if tr.Ops.Encrypts == 0 {
+		t.Fatalf("no crypto ops recorded: %+v", tr.Ops)
+	}
+	if tr.Privacy.SpentEpsilon <= 0 {
+		t.Fatalf("no budget spent: %+v", tr.Privacy)
+	}
+}
+
+func TestRunAsyncRejectsChurn(t *testing.T) {
+	data := blobs(20, 3, 2)
+	if _, err := RunAsync(data, Params{K: 2, Epsilon: 1, ChurnCrashProb: 0.1}); err == nil {
+		t.Fatal("churn must be rejected by the async engine")
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(nil, Params{K: 1, Epsilon: 1}); err == nil {
+		t.Fatal("empty data should error")
+	}
+	data := blobs(10, 3, 2)
+	if _, err := RunAsync(data, Params{K: 0, Epsilon: 1}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestRunAsyncTrackedInertia(t *testing.T) {
+	data := blobs(60, 3, 2)
+	tr, err := RunAsync(data, Params{
+		K: 2, Epsilon: 2000, Iterations: 3, Seed: 5,
+		TrackInertia: true, GossipRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Iterations[len(tr.Iterations)-1]
+	if math.IsNaN(last.PerturbedInertia) {
+		t.Fatal("tracked inertia missing under async engine")
+	}
+	if last.PerturbedInertia < 0 || last.PerturbedInertia > 1 {
+		t.Fatalf("implausible inertia estimate %v", last.PerturbedInertia)
+	}
+}

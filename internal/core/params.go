@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/gossip"
+)
+
+// SmoothingMethod selects the perturbed-mean smoothing heuristic.
+type SmoothingMethod int
+
+const (
+	// SmoothingNone disables smoothing.
+	SmoothingNone SmoothingMethod = iota
+	// SmoothingMovingAverage applies a centered moving average of width
+	// Window along the time axis.
+	SmoothingMovingAverage
+	// SmoothingExponential applies exponential smoothing with factor
+	// Alpha.
+	SmoothingExponential
+)
+
+// SmoothingSpec configures the second quality-enhancing heuristic family
+// ("smoothing the perturbed means", Sec. II.B). Laplace noise is
+// independent across time steps while genuine centroids are smooth, so a
+// low-pass filter removes noise faster than signal.
+type SmoothingSpec struct {
+	Method SmoothingMethod
+	Window int     // moving-average width (default 3)
+	Alpha  float64 // exponential factor in (0,1] (default 0.35)
+}
+
+// Backend selects the cipher suite implementation.
+type Backend int
+
+const (
+	// BackendPlainAccounted runs plaintext ring arithmetic with cost
+	// accounting — the demonstration's configuration.
+	BackendPlainAccounted Backend = iota
+	// BackendDamgardJurik runs real threshold homomorphic encryption.
+	BackendDamgardJurik
+)
+
+// Params configures a Chiaroscuro run. Zero values take the documented
+// defaults in Validate.
+type Params struct {
+	// K is the number of clusters.
+	K int
+	// Epsilon is the global differential-privacy budget.
+	Epsilon float64
+	// Iterations is the number of k-means iterations (the paper's
+	// "given number of iterations" termination criterion; the budget is
+	// split across exactly this many disclosures).
+	Iterations int
+	// ConvergeThreshold stops early when the max centroid displacement
+	// falls below it (0 disables early stopping).
+	ConvergeThreshold float64
+
+	// GossipRounds is the number of gossip exchanges per participant per
+	// aggregation phase.
+	GossipRounds int
+	// DecryptThreshold is the number of distinct partial decryptions
+	// needed to open a ciphertext. Default: max(3, population/10).
+	DecryptThreshold int
+	// DecryptWindow is how many cycles a participant waits (re-asking
+	// fresh peers every cycle) before an iteration fails. Default 8.
+	DecryptWindow int
+
+	// Backend selects real or accounted encryption.
+	Backend Backend
+	// ModulusBits is the key size (fixture sizes: 64..2048). Default 256
+	// for the real backend, 1024 (accounting only) for the plain one.
+	ModulusBits int
+	// Degree is the Damgård–Jurik s. Default 1 (Paillier).
+	Degree int
+
+	// FracBits is the fixed-point fractional precision. Default 30.
+	FracBits uint
+
+	// Strategy distributes Epsilon across iterations. Default
+	// dp.Uniform{}.
+	Strategy dp.Strategy
+	// Smoothing configures perturbed-mean smoothing.
+	Smoothing SmoothingSpec
+
+	// TrackInertia adds one aggregate to the per-iteration disclosure:
+	// the (perturbed) mean squared distance of the participants' series
+	// to their closest centroid — the clustering objective itself. This
+	// implements the paper's footnote 2: "Chiaroscuro supports the
+	// addition of other termination criteria ... (e.g., monitoring
+	// centroids quality)". The extra aggregate raises the per-iteration
+	// L1 sensitivity by dim·MaxValue², which the noise scale accounts
+	// for automatically.
+	TrackInertia bool
+	// InertiaStopThreshold (requires TrackInertia) terminates the run
+	// when the tracked inertia's relative improvement over the previous
+	// iteration falls below the threshold (quality plateaued). 0
+	// disables.
+	InertiaStopThreshold float64
+
+	// InitialCentroids, when non-nil, are used as the public iteration-1
+	// centroids. When nil, K data-independent uniform random vectors in
+	// [0,1]^dim are drawn from Seed.
+	InitialCentroids [][]float64
+
+	// Seed drives every random choice (simulation, noise, init).
+	Seed int64
+
+	// MaxValue bounds the (normalized) data domain; inputs must lie in
+	// [0, MaxValue]. Default 1. The DP sensitivity derives from it.
+	MaxValue float64
+
+	// AsyncInterval is the period between a participant's activations in
+	// RunAsync (the paper's "periodical point-to-point exchanges").
+	// Default 200µs of simulated device cadence; ignored by Run.
+	AsyncInterval time.Duration
+
+	// Churn configures per-cycle crash/rejoin probabilities (see
+	// internal/p2p).
+	ChurnCrashProb  float64
+	ChurnRejoinProb float64
+	// ChurnResetOnRejoin makes failures permanent-loss: a rejoining node
+	// restarts from scratch and late-syncs on the next gossip message
+	// (the paper's "late participants" path). Default false = transient
+	// outage, state kept.
+	ChurnResetOnRejoin bool
+
+	// asyncEngine is set internally by RunAsync: the asynchronous engine
+	// cannot bound a contribution's halving count by the round budget
+	// (peers drift), so it gets a much larger pre-scaling allowance plus
+	// decode-time overflow detection.
+	asyncEngine bool
+}
+
+// withDefaults returns a copy with defaults applied for a population of n
+// participants with series of the given dimension.
+func (p Params) withDefaults(n int) Params {
+	if p.Iterations == 0 {
+		p.Iterations = 8
+	}
+	if p.GossipRounds == 0 {
+		// Push-sum error decays exponentially; ~log2(n)+10 rounds give
+		// sub-percent error at the demo's population scale.
+		p.GossipRounds = int(math.Ceil(math.Log2(float64(n)))) + 10
+	}
+	if p.DecryptThreshold == 0 {
+		// Enough parties that collusion below the threshold is unlikely,
+		// capped so decryption traffic stays proportionate (the demo
+		// exposes this as a mutable parameter for exactly this
+		// trade-off).
+		p.DecryptThreshold = n / 20
+		if p.DecryptThreshold < 3 {
+			p.DecryptThreshold = 3
+		}
+		if p.DecryptThreshold > 16 {
+			p.DecryptThreshold = 16
+		}
+		if p.DecryptThreshold > n-1 {
+			p.DecryptThreshold = n - 1
+		}
+		if p.DecryptThreshold < 1 {
+			p.DecryptThreshold = 1
+		}
+	}
+	if p.DecryptWindow == 0 {
+		p.DecryptWindow = 8
+	}
+	if p.ModulusBits == 0 {
+		if p.Backend == BackendDamgardJurik {
+			p.ModulusBits = 256
+		} else {
+			p.ModulusBits = 1024
+		}
+	}
+	if p.Degree == 0 {
+		p.Degree = 1
+	}
+	if p.FracBits == 0 {
+		p.FracBits = 30
+	}
+	if p.Strategy == nil {
+		p.Strategy = dp.Uniform{}
+	}
+	if p.Smoothing.Method == SmoothingMovingAverage && p.Smoothing.Window == 0 {
+		p.Smoothing.Window = 3
+	}
+	if p.Smoothing.Method == SmoothingExponential && p.Smoothing.Alpha == 0 {
+		p.Smoothing.Alpha = 0.35
+	}
+	if p.MaxValue == 0 {
+		p.MaxValue = 1
+	}
+	return p
+}
+
+// validate checks a defaulted Params against the population size n and
+// dimension dim.
+func (p Params) validate(n, dim int) error {
+	if n < 2 {
+		return errors.New("core: need at least 2 participants")
+	}
+	if dim < 1 {
+		return errors.New("core: need at least 1 time step")
+	}
+	if p.K < 1 || p.K > n {
+		return fmt.Errorf("core: k=%d outside [1, %d]", p.K, n)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("core: epsilon %v must be positive", p.Epsilon)
+	}
+	if p.Iterations < 1 {
+		return fmt.Errorf("core: iterations %d < 1", p.Iterations)
+	}
+	if p.GossipRounds < 1 {
+		return fmt.Errorf("core: gossip rounds %d < 1", p.GossipRounds)
+	}
+	if p.DecryptThreshold < 1 || p.DecryptThreshold >= n {
+		return fmt.Errorf("core: decrypt threshold %d outside [1, %d)", p.DecryptThreshold, n)
+	}
+	if p.MaxValue <= 0 {
+		return fmt.Errorf("core: max value %v must be positive", p.MaxValue)
+	}
+	if p.InitialCentroids != nil {
+		if len(p.InitialCentroids) != p.K {
+			return fmt.Errorf("core: %d initial centroids, want %d", len(p.InitialCentroids), p.K)
+		}
+		for i, c := range p.InitialCentroids {
+			if len(c) != dim {
+				return fmt.Errorf("core: initial centroid %d has dim %d, want %d", i, len(c), dim)
+			}
+		}
+	}
+	if p.ChurnCrashProb < 0 || p.ChurnCrashProb > 1 || p.ChurnRejoinProb < 0 || p.ChurnRejoinProb > 1 {
+		return errors.New("core: churn probabilities outside [0,1]")
+	}
+	if p.InertiaStopThreshold < 0 {
+		return fmt.Errorf("core: inertia stop threshold %v negative", p.InertiaStopThreshold)
+	}
+	if p.InertiaStopThreshold > 0 && !p.TrackInertia {
+		return errors.New("core: InertiaStopThreshold requires TrackInertia")
+	}
+	return nil
+}
+
+// checkHeadroom verifies the plaintext space can absorb the worst-case
+// aggregate: population · (bound + clamped noise share) · 2^frac · 2^T
+// must stay below M/2. noiseBound is the clamp applied to noise shares.
+func checkHeadroom(M *big.Int, n, dim int, maxValue, noiseBound float64, fracBits, preScaleBits uint) error {
+	worst := float64(n) * (maxValue + noiseBound)
+	worstBits := int(math.Ceil(math.Log2(worst))) + 1
+	need := worstBits + int(fracBits) + int(preScaleBits) + 2
+	if M.BitLen()-1 < need {
+		return fmt.Errorf("core: plaintext space too small: need %d bits, modulus has %d — increase ModulusBits or Degree, or reduce GossipRounds/FracBits", need, M.BitLen()-1)
+	}
+	return nil
+}
+
+// cipherRing adapts a CipherSuite to the gossip.Ring interface so the
+// push-sum state machine can run over ciphertexts.
+type cipherRing struct {
+	suite CipherSuite
+	zero  Cipher
+}
+
+func newCipherRing(s CipherSuite) (*cipherRing, error) {
+	z, err := s.Encrypt(big.NewInt(0))
+	if err != nil {
+		return nil, err
+	}
+	return &cipherRing{suite: s, zero: z}, nil
+}
+
+// Zero implements gossip.Ring. Note: reusing one encryption of zero is
+// sound here because Zero is only used as an additive identity inside a
+// node's own state, never transmitted alone.
+func (r *cipherRing) Zero() Cipher { return r.zero }
+
+// Add implements gossip.Ring.
+func (r *cipherRing) Add(a, b Cipher) Cipher {
+	out, err := r.suite.Add(a, b)
+	if err != nil {
+		panic(fmt.Sprintf("core: cipher add: %v", err)) // programmer error: mixed suites
+	}
+	return out
+}
+
+// Halve implements gossip.Ring.
+func (r *cipherRing) Halve(a Cipher) Cipher {
+	out, err := r.suite.Halve(a)
+	if err != nil {
+		panic(fmt.Sprintf("core: cipher halve: %v", err))
+	}
+	return out
+}
+
+// Clone implements gossip.Ring. Ciphers are immutable values in both
+// backends, so sharing is safe.
+func (r *cipherRing) Clone(a Cipher) Cipher { return a }
+
+var _ gossip.Ring[Cipher] = (*cipherRing)(nil)

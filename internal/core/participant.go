@@ -1,0 +1,602 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/fixedpoint"
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/timeseries"
+)
+
+// phase is the participant's position inside one iteration of the
+// execution sequence.
+type phase int
+
+const (
+	phaseAssign  phase = iota // Step 1 (local)
+	phaseGossip               // Step 2a+2b (distributed)
+	phaseDecrypt              // Step 2c+2d (noise addition + collaborative decryption)
+	phaseDone                 // terminated (converged or out of iterations)
+)
+
+// gossipPayload is one push-sum exchange. It carries the iteration tag and
+// the perturbed centroids of that iteration so that late participants can
+// synchronize (Sec. II.B: "the late participants simply synchronize on
+// the latest iteration during their gossip exchanges"). The fused vector
+// transports the encrypted means and the encrypted noise shares together
+// under a single push-sum weight.
+type gossipPayload struct {
+	Iter      int
+	Centroids [][]float64
+	Msg       *gossip.Message[Cipher]
+}
+
+// decryptRequest asks a peer for partial decryptions of the requester's
+// perturbed-mean ciphertexts.
+type decryptRequest struct {
+	Iter    int
+	Ciphers []Cipher
+}
+
+// decryptResponse carries one partial decryption per requested cipher,
+// all under the responder's key-share index.
+type decryptResponse struct {
+	Iter     int
+	Partials []Partial
+}
+
+// Diptych is the twofold data structure of Sec. II.B: the cleartext but
+// differentially-private centroids on one side, and the encrypted means
+// under gossip aggregation on the other.
+type Diptych struct {
+	// Iteration tags the diptych; all messages carry it.
+	Iteration int
+	// Centroids is the perturbed, publicly disclosed side.
+	Centroids [][]float64
+	// Means is the encrypted side: the fused push-sum state over
+	// [cluster sums+counts | noise shares], never disclosed.
+	Means *gossip.State[Cipher]
+}
+
+// IterationResult is what a participant retains about one finished
+// iteration (read by the experiment harness).
+type IterationResult struct {
+	Iteration          int
+	Epsilon            float64
+	PerturbedCentroids [][]float64
+	PerturbedCounts    []float64
+	// PerturbedInertia is the disclosed mean squared distance of the
+	// series to their closest centroid (only when Params.TrackInertia;
+	// the footnote-2 quality-monitoring extension). NaN when disabled.
+	PerturbedInertia float64
+	Assignment       int // cluster this participant chose at Step 1
+	Displacement     float64
+	DecryptFailed    bool
+	CompletedAtCycle int
+}
+
+// Env is the execution environment a participant interacts with during
+// one activation. Two implementations exist: the cycle-driven simulator's
+// p2p.Context (Peersim semantics, deterministic) and the asynchronous
+// goroutine runtime's env (async.go — real concurrency, no global
+// synchronization, as the paper's deployment model).
+type Env interface {
+	ID() p2p.NodeID
+	Cycle() int
+	PopulationSize() int
+	AliveCount() int
+	Inbox() []p2p.Message
+	Send(to p2p.NodeID, payload any, bytes int) error
+	RandomPeer() (p2p.NodeID, bool)
+	RandomPeers(k int) []p2p.NodeID
+}
+
+var _ Env = (*p2p.Context)(nil)
+
+// participant is the per-node protocol: Chiaroscuro's "nextCycle"
+// implementation.
+type participant struct {
+	id     p2p.NodeID
+	series []float64
+	run    *runShared // immutable run-wide configuration and services
+	rng    *rand.Rand
+
+	// Mutable protocol state.
+	phase       phase
+	iter        int // current iteration, 0-based
+	roundsDone  int // gossip rounds completed this iteration
+	diptych     Diptych
+	assignment  int
+	waitCycles  int
+	partials    map[int][]Partial // responder share index -> per-cipher partials
+	pendingCT   []Cipher          // perturbed ciphertexts awaiting decryption
+	asked       map[p2p.NodeID]bool
+	history     []IterationResult
+	staleDrops  int
+	decryptFail int
+}
+
+// runShared is configuration and services shared by all participants of
+// one run (read-only after construction, except the thread-safe suite).
+type runShared struct {
+	params        Params
+	dim           int
+	population    int
+	suite         CipherSuite
+	ring          *cipherRing
+	codec         *fixedpoint.Codec
+	plainMod      *big.Int
+	preScale      uint
+	epsSched      []float64
+	noiseBound    float64
+	vecLen        int     // k*(dim+1): cluster sums and counts
+	sideLen       int     // vecLen (+1 when the inertia aggregate is tracked)
+	decodeBound   float64 // max plausible |decoded| per coordinate
+	centroidBytes int
+}
+
+// NextCycle implements p2p.Protocol — the entry point Peersim (here
+// internal/p2p) calls once per cycle, identical for all participants.
+func (pt *participant) NextCycle(ctx *p2p.Context) {
+	pt.step(ctx)
+}
+
+// step runs one activation against any execution environment.
+func (pt *participant) step(ctx Env) {
+	// Serve and sort the inbox first: decryption service is stateless
+	// and always on; gossip drives the state machine.
+	var gossips []*gossipPayload
+	var responses []*decryptResponse
+	for _, m := range ctx.Inbox() {
+		switch pl := m.Payload.(type) {
+		case *gossipPayload:
+			gossips = append(gossips, pl)
+		case *decryptRequest:
+			pt.serveDecrypt(ctx, m.From, pl)
+		case *decryptResponse:
+			responses = append(responses, pl)
+		}
+	}
+	for _, g := range gossips {
+		pt.handleGossip(ctx, g)
+	}
+	if pt.phase == phaseDone {
+		return
+	}
+	switch pt.phase {
+	case phaseAssign:
+		pt.stepAssign(ctx)
+	case phaseGossip:
+		pt.stepGossip(ctx)
+	case phaseDecrypt:
+		pt.stepDecrypt(ctx, responses)
+	}
+}
+
+// Reset implements p2p.Resetter: a node rejoining after a permanent
+// failure starts from scratch and will late-sync on the next gossip
+// message it receives. A participant that had already terminated stays
+// terminated — its result is final and must not be recomputed (and
+// re-spending the privacy budget on a re-disclosure would be unsound).
+func (pt *participant) Reset() {
+	if pt.phase == phaseDone {
+		return
+	}
+	pt.phase = phaseAssign
+	pt.roundsDone = 0
+	pt.diptych.Means = nil
+	pt.partials = nil
+	pt.pendingCT = nil
+	pt.asked = nil
+	pt.waitCycles = 0
+}
+
+// --- Step 1: assignment (local) -------------------------------------------
+
+func (pt *participant) stepAssign(ctx Env) {
+	centroids := pt.diptych.Centroids
+	best, bestSq := 0, math.Inf(1)
+	for j, c := range centroids {
+		var acc float64
+		for t := range pt.series {
+			d := pt.series[t] - c[t]
+			acc += d * d
+		}
+		if acc < bestSq {
+			best, bestSq = j, acc
+		}
+	}
+	pt.assignment = best
+
+	// Build the fused contribution vector:
+	//   [0 .. vecLen)            encrypted means side (sums then count per cluster)
+	//   [vecLen .. sideLen)      optional inertia aggregate (footnote 2)
+	//   [sideLen .. 2*sideLen)   encrypted noise shares for the same layout
+	r := pt.run
+	k := r.params.K
+	per := r.dim + 1
+	values := make([]Cipher, 2*r.sideLen)
+	scale := pt.noiseScale()
+	nShares := ctx.AliveCount()
+	if nShares < 2 {
+		nShares = 2
+	}
+	encryptPair := func(idx int, x float64) {
+		ct, err := pt.encryptValue(x)
+		if err != nil {
+			// Headroom was validated up front; an error here is a
+			// programming error worth failing loudly in simulation.
+			panic(err)
+		}
+		values[idx] = ct
+		noise := dp.NoiseShare(pt.rng, nShares, scale)
+		if noise > r.noiseBound {
+			noise = r.noiseBound
+		} else if noise < -r.noiseBound {
+			noise = -r.noiseBound
+		}
+		nct, err := pt.encryptValue(noise)
+		if err != nil {
+			panic(err)
+		}
+		values[r.sideLen+idx] = nct
+	}
+	for j := 0; j < k; j++ {
+		for t := 0; t < per; t++ {
+			var x float64
+			if j == best {
+				if t < r.dim {
+					x = pt.series[t]
+				} else {
+					x = 1 // count coordinate
+				}
+			}
+			encryptPair(j*per+t, x)
+		}
+	}
+	if r.params.TrackInertia {
+		encryptPair(r.sideLen-1, bestSq)
+	}
+	st, err := gossip.NewState[Cipher](r.ring, values, 1)
+	if err != nil {
+		panic(err)
+	}
+	pt.diptych.Means = st
+	pt.diptych.Iteration = pt.iter
+	pt.roundsDone = 0
+	pt.phase = phaseGossip
+}
+
+// noiseScale returns the Laplace scale b_i = sensitivity / ε_i for the
+// current iteration. When the inertia aggregate is tracked, one
+// individual additionally moves that aggregate by at most dim·MaxValue²,
+// which enters the L1 sensitivity.
+func (pt *participant) noiseScale() float64 {
+	r := pt.run
+	eps := r.epsSched[pt.iter]
+	sens := dp.SumSensitivity(r.dim, r.params.MaxValue)
+	if r.params.TrackInertia {
+		sens += float64(r.dim) * r.params.MaxValue * r.params.MaxValue
+	}
+	return sens / eps
+}
+
+// encryptValue fixed-point-encodes x (with pre-scaling) into the
+// plaintext ring and encrypts it.
+func (pt *participant) encryptValue(x float64) (Cipher, error) {
+	r := pt.run
+	v, err := r.codec.Encode(x)
+	if err != nil {
+		return nil, err
+	}
+	v.Lsh(v, r.preScale)
+	w, err := fixedpoint.WrapSigned(v, r.plainMod)
+	if err != nil {
+		return nil, err
+	}
+	return r.suite.Encrypt(w)
+}
+
+// --- Step 2a/2b: gossip (distributed) --------------------------------------
+
+func (pt *participant) stepGossip(ctx Env) {
+	r := pt.run
+	peer, ok := ctx.RandomPeer()
+	if ok {
+		msg := pt.diptych.Means.Emit()
+		payload := &gossipPayload{
+			Iter:      pt.iter,
+			Centroids: pt.diptych.Centroids,
+			Msg:       msg,
+		}
+		bytes := 2*r.sideLen*r.suite.CipherBytes() + r.centroidBytes + 16
+		_ = ctx.Send(peer, payload, bytes)
+	}
+	pt.roundsDone++
+	if pt.roundsDone >= r.params.GossipRounds {
+		pt.phase = phaseDecrypt
+		pt.waitCycles = 0
+		pt.partials = make(map[int][]Partial)
+		pt.asked = make(map[p2p.NodeID]bool)
+		pt.pendingCT = nil
+	}
+}
+
+func (pt *participant) handleGossip(ctx Env, g *gossipPayload) {
+	switch {
+	case pt.phase == phaseDone:
+		return
+	case g.Iter == pt.iter && (pt.phase == phaseGossip || pt.phase == phaseDecrypt):
+		if pt.phase == phaseDecrypt && pt.pendingCT != nil {
+			// Our estimate is already frozen and under decryption;
+			// absorbing now would desynchronize value and weight.
+			pt.staleDrops++
+			return
+		}
+		if err := pt.diptych.Means.Absorb(g.Msg); err != nil {
+			pt.staleDrops++
+		}
+	case g.Iter > pt.iter:
+		// Late synchronization: adopt the newer iteration's centroids,
+		// redo the local assignment step, then absorb the message.
+		pt.iter = g.Iter
+		pt.diptych.Centroids = deepCopyMatrix(g.Centroids)
+		pt.phase = phaseAssign
+		pt.stepAssign(ctx)
+		if err := pt.diptych.Means.Absorb(g.Msg); err != nil {
+			pt.staleDrops++
+		}
+	default:
+		pt.staleDrops++ // stale iteration: drop
+	}
+}
+
+// --- Step 2c/2d: noise addition + collaborative decryption ----------------
+
+func (pt *participant) stepDecrypt(ctx Env, responses []*decryptResponse) {
+	r := pt.run
+	if pt.pendingCT == nil {
+		// Step 2c: homomorphically add the gossiped encrypted noise to
+		// the gossiped encrypted means — the aggregate that will be
+		// disclosed is perturbed *before* anyone can decrypt it.
+		vals := pt.diptych.Means.Values()
+		cts := make([]Cipher, r.sideLen)
+		for i := 0; i < r.sideLen; i++ {
+			c, err := r.suite.Add(vals[i], vals[r.sideLen+i])
+			if err != nil {
+				panic(err)
+			}
+			cts[i] = c
+		}
+		pt.pendingCT = cts
+	}
+	for _, resp := range responses {
+		if resp.Iter != pt.iter || len(resp.Partials) != len(pt.pendingCT) {
+			continue
+		}
+		if len(resp.Partials) == 0 {
+			continue
+		}
+		idx := resp.Partials[0].Index
+		if _, dup := pt.partials[idx]; !dup {
+			pt.partials[idx] = resp.Partials
+		}
+	}
+	if len(pt.partials) >= r.suite.Threshold() {
+		pt.finishIteration(ctx, false)
+		return
+	}
+	// Step 2d: ask fresh peers for partial decryptions.
+	missing := r.suite.Threshold() - len(pt.partials)
+	req := &decryptRequest{Iter: pt.iter, Ciphers: pt.pendingCT}
+	bytes := len(pt.pendingCT)*r.suite.CipherBytes() + 8
+	for _, peer := range ctx.RandomPeers(missing + 1) {
+		if pt.asked[peer] {
+			continue
+		}
+		pt.asked[peer] = true
+		_ = ctx.Send(peer, req, bytes)
+	}
+	pt.waitCycles++
+	if pt.waitCycles > r.params.DecryptWindow {
+		// Could not assemble a quorum (heavy churn): degrade by keeping
+		// the current centroids and moving on.
+		pt.decryptFail++
+		pt.finishIteration(ctx, true)
+	}
+}
+
+// serveDecrypt is the always-on decryption service: any alive participant
+// contributes its partial decryptions on request.
+func (pt *participant) serveDecrypt(ctx Env, from p2p.NodeID, req *decryptRequest) {
+	r := pt.run
+	share := int(pt.id) + 1
+	if share > r.suite.Parties() {
+		return
+	}
+	parts := make([]Partial, len(req.Ciphers))
+	for i, c := range req.Ciphers {
+		p, err := r.suite.PartialDecrypt(share, c)
+		if err != nil {
+			return
+		}
+		parts[i] = p
+	}
+	resp := &decryptResponse{Iter: req.Iter, Partials: parts}
+	_ = ctx.Send(from, resp, len(parts)*r.suite.CipherBytes()+8)
+}
+
+// finishIteration completes Step 3 (convergence, local): decode the
+// perturbed means, apply smoothing, decide and either iterate or stop.
+func (pt *participant) finishIteration(ctx Env, failed bool) {
+	r := pt.run
+	k := r.params.K
+	per := r.dim + 1
+	newCentroids := deepCopyMatrix(pt.diptych.Centroids)
+	counts := make([]float64, k)
+	inertia := math.NaN()
+
+	if !failed {
+		decoded, err := pt.decodeAll()
+		if err != nil {
+			failed = true
+			pt.decryptFail++
+		} else {
+			if r.params.TrackInertia {
+				inertia = decoded[r.sideLen-1]
+				if inertia < 0 {
+					inertia = 0 // noise can push the estimate below zero
+				}
+			}
+			// A cluster whose perturbed relative count is too small gets
+			// its previous centroid kept (EmptyKeep policy): dividing by
+			// a tiny count turns the Laplace noise on the sums into an
+			// arbitrarily large distortion of the "mean". The guard is
+			// noise-aware: the std of the noise on a relative sum
+			// coordinate is √2·b/N, so requiring
+			// count ≥ √2·b/(N·tol) caps the expected per-coordinate
+			// noise of a disclosed mean at ~tol.
+			minCount := 0.5 / float64(r.population)
+			const meanNoiseTol = 0.1
+			if g := math.Sqrt2 * pt.noiseScale() / (float64(r.population) * meanNoiseTol); g > minCount {
+				minCount = g
+			}
+			// Never freeze genuinely large clusters: under extreme noise
+			// a degraded update still beats never moving at all.
+			if minCount > 0.25 {
+				minCount = 0.25
+			}
+			for j := 0; j < k; j++ {
+				cnt := decoded[j*per+r.dim]
+				counts[j] = cnt
+				if cnt < minCount {
+					continue
+				}
+				c := make([]float64, r.dim)
+				for t := 0; t < r.dim; t++ {
+					c[t] = decoded[j*per+t] / cnt
+				}
+				newCentroids[j] = smooth(c, r.params.Smoothing)
+				if r.params.MaxValue > 0 {
+					newCentroids[j] = timeseries.Clamp(newCentroids[j], 0, r.params.MaxValue)
+				}
+			}
+		}
+	}
+
+	disp := maxDisplacement(pt.diptych.Centroids, newCentroids)
+	prevInertia := math.NaN()
+	if n := len(pt.history); n > 0 {
+		prevInertia = pt.history[n-1].PerturbedInertia
+	}
+	pt.history = append(pt.history, IterationResult{
+		Iteration:          pt.iter,
+		Epsilon:            r.epsSched[pt.iter],
+		PerturbedCentroids: deepCopyMatrix(newCentroids),
+		PerturbedCounts:    counts,
+		PerturbedInertia:   inertia,
+		Assignment:         pt.assignment,
+		Displacement:       disp,
+		DecryptFailed:      failed,
+		CompletedAtCycle:   ctx.Cycle(),
+	})
+
+	pt.diptych.Centroids = newCentroids
+	pt.pendingCT = nil
+	pt.partials = nil
+	pt.asked = nil
+
+	converged := r.params.ConvergeThreshold > 0 && disp <= r.params.ConvergeThreshold && !failed
+	// Footnote-2 criterion: stop when the tracked quality plateaus.
+	if th := r.params.InertiaStopThreshold; th > 0 && !failed &&
+		!math.IsNaN(prevInertia) && !math.IsNaN(inertia) && prevInertia > 0 &&
+		(prevInertia-inertia)/prevInertia < th {
+		converged = true
+	}
+	if pt.iter+1 >= r.params.Iterations || converged {
+		pt.phase = phaseDone
+		return
+	}
+	pt.iter++
+	pt.phase = phaseAssign
+}
+
+// decodeAll combines the collected partials for every pending ciphertext
+// and decodes the fixed-point plaintexts to floats, already divided by
+// the push-sum weight and the pre-scaling factor.
+func (pt *participant) decodeAll() ([]float64, error) {
+	r := pt.run
+	w := pt.diptych.Means.Weight()
+	denom := w * math.Ldexp(1, int(r.preScale))
+	out := make([]float64, len(pt.pendingCT))
+	// Assemble the per-cipher partial sets.
+	responders := make([][]Partial, 0, len(pt.partials))
+	for _, parts := range pt.partials {
+		responders = append(responders, parts)
+	}
+	for i := range pt.pendingCT {
+		parts := make([]Partial, len(responders))
+		for j, rp := range responders {
+			parts[j] = rp[i]
+		}
+		m, err := r.suite.Combine(parts)
+		if err != nil {
+			return nil, err
+		}
+		signed, err := fixedpoint.UnwrapSigned(m, r.plainMod)
+		if err != nil {
+			return nil, err
+		}
+		v := r.codec.Decode(signed) / denom
+		if math.Abs(v) > r.decodeBound || math.IsNaN(v) {
+			return nil, fmt.Errorf("core: decoded coordinate %d implausible (%g) — gossip invariant violated", i, v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func smooth(c []float64, spec SmoothingSpec) []float64 {
+	switch spec.Method {
+	case SmoothingMovingAverage:
+		return timeseries.MovingAverage(c, spec.Window)
+	case SmoothingExponential:
+		out, err := timeseries.ExponentialSmoothing(c, spec.Alpha)
+		if err != nil {
+			return c
+		}
+		return out
+	default:
+		return c
+	}
+}
+
+func maxDisplacement(a, b [][]float64) float64 {
+	var max float64
+	for j := range a {
+		var acc float64
+		for t := range a[j] {
+			d := a[j][t] - b[j][t]
+			acc += d * d
+		}
+		if d := math.Sqrt(acc); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func deepCopyMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}

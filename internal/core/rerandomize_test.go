@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestDJHalveRerandomizes pins the traffic-analysis defence: halving the
+// same ciphertext twice must yield different ciphertexts (fresh
+// randomness per hop) that still decrypt to the same plaintext.
+func TestDJHalveRerandomizes(t *testing.T) {
+	s, err := NewDamgardJurikSuite(128, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Encrypt(big.NewInt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Halve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Halve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.(*big.Int).Cmp(h2.(*big.Int)) == 0 {
+		t.Fatal("two halvings of the same ciphertext are identical — hops are traceable")
+	}
+	for _, h := range []Cipher{h1, h2} {
+		if got := decryptVia(t, s, h, []int{1, 3}); got.Int64() != 5 {
+			t.Fatalf("rerandomized halve decrypts to %v, want 5", got)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/fixedpoint"
+	"chiaroscuro/internal/p2p"
+)
+
+// TraceIteration is the per-iteration record of a run, pairing what was
+// actually disclosed (perturbed centroids/counts) with oracle quantities
+// the harness computes outside the protocol (exact means given the same
+// assignments) — the data behind the demo's Fig. 3 panels 4 and 5.
+type TraceIteration struct {
+	Iteration          int
+	Epsilon            float64
+	PerturbedCentroids [][]float64
+	PerturbedCounts    []float64
+	// ExactCentroids are the noise-free means the same assignments would
+	// have produced (oracle; never computed inside the protocol).
+	ExactCentroids [][]float64
+	ExactCounts    []int
+	// NoiseRMSE is the RMS difference perturbed-vs-exact across all
+	// centroid coordinates (index-matched: same clusters).
+	NoiseRMSE float64
+	// PerturbedInertia is the disclosed quality estimate (mean squared
+	// distance to closest centroid) when Params.TrackInertia is set;
+	// NaN otherwise.
+	PerturbedInertia float64
+	CompletedAtCycle int
+}
+
+// Trace is the complete observable outcome of a run.
+type Trace struct {
+	Params     Params
+	Iterations []TraceIteration
+
+	FinalCentroids [][]float64
+	// Assignments[i] is participant i's cluster under the final
+	// centroids (computed by the harness over the cleartext data; inside
+	// the protocol each participant only knows its own).
+	Assignments []int
+	// Inertia is the within-cluster sum of squared distances of the data
+	// to FinalCentroids.
+	Inertia float64
+
+	// ConvergedAtIteration is the 0-based iteration after which the
+	// observer converged, or -1 if it ran all iterations.
+	ConvergedAtIteration int
+
+	Privacy  dp.Report
+	NetStats p2p.Stats
+	Ops      OpCounts
+
+	CyclesRun       int
+	DecryptFailures int
+	StaleDrops      int
+}
+
+// runSetup bundles everything prepareRun validates and constructs; both
+// execution engines (the cycle-driven Run and the goroutine-based
+// RunAsync) start from it.
+type runSetup struct {
+	p          Params
+	epsSched   []float64
+	accountant *dp.Accountant
+	suite      CipherSuite
+	shared     *runShared
+	initial    [][]float64
+}
+
+// newParticipant builds one participant over the shared run state.
+func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant {
+	return &participant{
+		id:     id,
+		series: series,
+		run:    rs.shared,
+		rng:    rand.New(rand.NewSource(rs.p.Seed ^ (int64(id)+1)*0x5851F42D4C957F2D)),
+		diptych: Diptych{
+			Centroids: deepCopyMatrix(rs.initial),
+		},
+	}
+}
+
+// Run executes the full Chiaroscuro protocol over the given cleartext
+// series (one per participant, all in [0, MaxValue]^dim) on the simulated
+// network, and returns the trace. Everything is deterministic given
+// Params.Seed.
+func Run(data [][]float64, params Params) (*Trace, error) {
+	rs, err := prepareRun(data, params)
+	if err != nil {
+		return nil, err
+	}
+	p := rs.p
+	n := len(data)
+	participants := make([]*participant, n)
+	factory := func(id p2p.NodeID) p2p.Protocol {
+		pt := rs.newParticipant(id, data[id])
+		participants[id] = pt
+		return pt
+	}
+	nw, err := p2p.New(n, factory, p2p.Options{
+		Seed: p.Seed + 1,
+		Churn: p2p.ChurnModel{
+			CrashProb:     p.ChurnCrashProb,
+			RejoinProb:    p.ChurnRejoinProb,
+			ResetOnRejoin: p.ChurnResetOnRejoin,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	maxCycles := 2*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 100
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		nw.RunCycle()
+		if allAliveDone(nw, participants) {
+			break
+		}
+	}
+
+	return buildTrace(data, p, participants, nw.Cycle(), nw.Stats(), rs.suite, rs.accountant)
+}
+
+// prepareRun validates the inputs and constructs the run-wide state.
+func prepareRun(data [][]float64, params Params) (*runSetup, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, errors.New("core: need at least 2 participants")
+	}
+	dim := len(data[0])
+	p := params.withDefaults(n)
+	if err := p.validate(n, dim); err != nil {
+		return nil, err
+	}
+	for i, s := range data {
+		if len(s) != dim {
+			return nil, fmt.Errorf("core: participant %d has dim %d, want %d", i, len(s), dim)
+		}
+		for t, v := range s {
+			if v < -1e-9 || v > p.MaxValue+1e-9 {
+				return nil, fmt.Errorf("core: participant %d value %v at %d outside [0, %v] — normalize first", i, v, t, p.MaxValue)
+			}
+		}
+	}
+
+	// Privacy schedule and accounting. The full schedule is validated
+	// against the budget up front (a misbehaving strategy must fail fast)
+	// but actual spending is recorded per completed iteration, so early
+	// convergence leaves budget unspent.
+	accountant, err := dp.NewAccountant(p.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	epsSched, err := p.Strategy.Allocate(p.Epsilon, p.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	{
+		dryRun, err := dp.NewAccountant(p.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range epsSched {
+			if err := dryRun.Spend(fmt.Sprintf("iteration-%d", i), e); err != nil {
+				return nil, fmt.Errorf("core: budget strategy overruns: %w", err)
+			}
+		}
+	}
+
+	// Cipher suite.
+	var suite CipherSuite
+	switch p.Backend {
+	case BackendDamgardJurik:
+		suite, err = NewDamgardJurikSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
+	default:
+		suite, err = NewPlainSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ring, err := newCipherRing(suite)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed-point layout and headroom.
+	codec, err := fixedpoint.New(p.FracBits)
+	if err != nil {
+		return nil, err
+	}
+	preScale := uint(p.GossipRounds + 2)
+	if p.asyncEngine {
+		// Peers drift in the asynchronous engine, so a contribution can
+		// be halved at several holders: budget generously (decode-time
+		// bound checks catch the pathological residue anyway).
+		preScale = uint(4*p.GossipRounds + 16)
+	}
+	minEps := epsSched[0]
+	for _, e := range epsSched {
+		if e < minEps {
+			minEps = e
+		}
+	}
+	// Clamp noise shares at 64 Laplace scales: P(|share| > 64b) < 2e-28
+	// per the Laplace tail bound, so clamping is statistically invisible
+	// while making the headroom finite.
+	sens := dp.SumSensitivity(dim, p.MaxValue)
+	coordBound := p.MaxValue
+	if p.TrackInertia {
+		inertiaBound := float64(dim) * p.MaxValue * p.MaxValue
+		sens += inertiaBound
+		if inertiaBound > coordBound {
+			coordBound = inertiaBound
+		}
+	}
+	noiseBound := 64 * sens / minEps
+	plainMod := suite.PlainModulus()
+	if err := checkHeadroom(plainMod, n, dim, coordBound, noiseBound, p.FracBits, preScale); err != nil {
+		return nil, err
+	}
+
+	// Public, data-independent initial centroids.
+	rng := rand.New(rand.NewSource(p.Seed))
+	initial := p.InitialCentroids
+	if initial == nil {
+		initial = make([][]float64, p.K)
+		for j := range initial {
+			c := make([]float64, dim)
+			for t := range c {
+				c[t] = rng.Float64() * p.MaxValue
+			}
+			initial[j] = c
+		}
+	}
+
+	sideLen := p.K * (dim + 1)
+	if p.TrackInertia {
+		sideLen++
+	}
+	// Decoded per-coordinate magnitudes are relative aggregates: bounded
+	// by the largest coordinate bound plus noise, with slack. Anything
+	// beyond signals a broken gossip invariant and fails the decode.
+	decodeBound := 4 * (coordBound + noiseBound)
+	shared := &runShared{
+		params:        p,
+		dim:           dim,
+		population:    n,
+		suite:         suite,
+		ring:          ring,
+		codec:         codec,
+		plainMod:      plainMod,
+		preScale:      preScale,
+		epsSched:      epsSched,
+		noiseBound:    noiseBound,
+		vecLen:        p.K * (dim + 1),
+		sideLen:       sideLen,
+		decodeBound:   decodeBound,
+		centroidBytes: p.K * dim * 8,
+	}
+
+	return &runSetup{
+		p:          p,
+		epsSched:   epsSched,
+		accountant: accountant,
+		suite:      suite,
+		shared:     shared,
+		initial:    initial,
+	}, nil
+}
+
+func allAliveDone(nw *p2p.Network, participants []*participant) bool {
+	done := true
+	nw.ForEachAlive(func(id p2p.NodeID, _ p2p.Protocol) {
+		if participants[id].phase != phaseDone {
+			done = false
+		}
+	})
+	return done
+}
+
+func buildTrace(data [][]float64, p Params, participants []*participant, cycles int, stats p2p.Stats, suite CipherSuite, accountant *dp.Accountant) (*Trace, error) {
+	n := len(data)
+	dim := len(data[0])
+
+	// Observer: the participant with the longest completed history.
+	observer := participants[0]
+	for _, pt := range participants {
+		if len(pt.history) > len(observer.history) {
+			observer = pt
+		}
+	}
+	if len(observer.history) == 0 {
+		return nil, errors.New("core: no participant completed any iteration (network too hostile?)")
+	}
+
+	tr := &Trace{
+		Params:               p,
+		ConvergedAtIteration: -1,
+		CyclesRun:            cycles,
+		NetStats:             stats,
+	}
+
+	for i, rec := range observer.history {
+		if err := accountant.Spend(fmt.Sprintf("iteration-%d", rec.Iteration), rec.Epsilon); err != nil {
+			return nil, fmt.Errorf("core: accounting: %w", err)
+		}
+		ti := TraceIteration{
+			Iteration:          rec.Iteration,
+			Epsilon:            rec.Epsilon,
+			PerturbedCentroids: rec.PerturbedCentroids,
+			PerturbedCounts:    rec.PerturbedCounts,
+			PerturbedInertia:   rec.PerturbedInertia,
+			CompletedAtCycle:   rec.CompletedAtCycle,
+		}
+		// Oracle: exact means under the participants' actual iteration-i
+		// assignments.
+		sums := make([][]float64, p.K)
+		for j := range sums {
+			sums[j] = make([]float64, dim)
+		}
+		counts := make([]int, p.K)
+		for _, pt := range participants {
+			if i >= len(pt.history) || pt.history[i].Iteration != rec.Iteration {
+				continue
+			}
+			a := pt.history[i].Assignment
+			counts[a]++
+			for t, v := range pt.series {
+				sums[a][t] += v
+			}
+		}
+		exact := make([][]float64, p.K)
+		var sq float64
+		var coords int
+		for j := range sums {
+			exact[j] = make([]float64, dim)
+			if counts[j] > 0 {
+				for t := range sums[j] {
+					exact[j][t] = sums[j][t] / float64(counts[j])
+				}
+			} else {
+				// Empty exact cluster: compare against the kept centroid.
+				copy(exact[j], rec.PerturbedCentroids[j])
+			}
+			for t := range exact[j] {
+				d := rec.PerturbedCentroids[j][t] - exact[j][t]
+				sq += d * d
+				coords++
+			}
+		}
+		ti.ExactCentroids = exact
+		ti.ExactCounts = counts
+		if coords > 0 {
+			ti.NoiseRMSE = math.Sqrt(sq / float64(coords))
+		}
+		tr.Iterations = append(tr.Iterations, ti)
+		if i == len(observer.history)-1 && observer.phase == phaseDone && rec.Iteration+1 < p.Iterations {
+			tr.ConvergedAtIteration = rec.Iteration
+		}
+	}
+
+	// Disclosure-distortion indicator: the perturbed relative counts of
+	// the last iteration should sum to ~1 (each is N_j/N plus scaled
+	// noise). Note the deviation mixes gossip error with realized count
+	// noise — it is an observable sanity bound, not a pure gossip error
+	// (E10 isolates the latter with a noise-free run).
+	last := tr.Iterations[len(tr.Iterations)-1]
+	var countSum float64
+	for _, c := range last.PerturbedCounts {
+		countSum += c
+	}
+	accountant.RecordGossipError(math.Abs(countSum - 1))
+
+	// Final clustering quality over the cleartext data (harness-side).
+	tr.FinalCentroids = deepCopyMatrix(last.PerturbedCentroids)
+	tr.Assignments = make([]int, n)
+	var inertia float64
+	for i, s := range data {
+		best, bestSq := 0, math.Inf(1)
+		for j, c := range tr.FinalCentroids {
+			var acc float64
+			for t := range s {
+				d := s[t] - c[t]
+				acc += d * d
+			}
+			if acc < bestSq {
+				best, bestSq = j, acc
+			}
+		}
+		tr.Assignments[i] = best
+		inertia += bestSq
+	}
+	tr.Inertia = inertia
+	tr.Privacy = accountant.Report()
+	tr.Ops = suite.Counts()
+	for _, pt := range participants {
+		tr.DecryptFailures += pt.decryptFail
+		tr.StaleDrops += pt.staleDrops
+	}
+	return tr, nil
+}

@@ -1,0 +1,80 @@
+// Package core implements the Chiaroscuro protocol itself: the Diptych
+// data structure and the iterative execution sequence of Sec. II.B —
+// local assignment over perturbed cleartext centroids, distributed
+// computation of the encrypted means and encrypted Laplace noise by
+// gossip, collaborative (threshold) decryption of the perturbed means,
+// and the local convergence step — plus the quality-enhancing heuristics
+// (privacy-budget distribution and smoothing of perturbed means).
+//
+// The protocol code is written against the CipherSuite interface, with
+// two interchangeable backends:
+//
+//   - the real Damgård–Jurik backend (suite_dj.go), running genuine
+//     homomorphic arithmetic and threshold decryptions;
+//   - the accounted plaintext backend (suite_plain.go), which executes
+//     bit-identical ring arithmetic on plaintext residues while counting
+//     every operation, mirroring the demonstration platform: "we disable
+//     the homomorphic operations ... the performance overhead ... is
+//     clearly displayed ... based on actual average measures performed
+//     beforehand" (Sec. III.B).
+package core
+
+import (
+	"math/big"
+)
+
+// Cipher is an opaque encrypted (or accounted-plaintext) ring element.
+type Cipher interface{}
+
+// Partial is one party's contribution to a collaborative decryption.
+type Partial struct {
+	// Index is the 1-based key-share index of the contributing party.
+	Index int
+	// Value is backend-specific.
+	Value *big.Int
+}
+
+// OpCounts tallies homomorphic operations, the basis of the cost
+// projection in the accounted backend.
+type OpCounts struct {
+	Encrypts        int64
+	Adds            int64
+	Halvings        int64
+	PartialDecrypts int64
+	Combines        int64
+}
+
+// CipherSuite is the encryption abstraction Chiaroscuro needs
+// (Sec. II.A): semantic security is the backend's concern; additive
+// homomorphism and collaborative decryption by any sufficiently large
+// subset are expressed in the interface.
+type CipherSuite interface {
+	// Name identifies the backend in logs and experiment tables.
+	Name() string
+	// PlainModulus returns the plaintext ring modulus M (a fresh copy).
+	PlainModulus() *big.Int
+	// CipherBytes is the serialized size of one Cipher, for accounting.
+	CipherBytes() int
+
+	// Encrypt maps a plaintext residue (0 <= m < M) to a fresh Cipher.
+	Encrypt(m *big.Int) (Cipher, error)
+	// Add returns a Cipher of the sum of the two plaintexts.
+	Add(a, b Cipher) (Cipher, error)
+	// Halve returns a Cipher of the plaintext multiplied by 2^{-1} mod M
+	// (the gossip halving primitive).
+	Halve(c Cipher) (Cipher, error)
+
+	// Parties and Threshold describe the key sharing: Threshold distinct
+	// partial decryptions open a ciphertext.
+	Parties() int
+	Threshold() int
+	// PartialDecrypt produces party's contribution for c. party is the
+	// 1-based key-share index.
+	PartialDecrypt(party int, c Cipher) (Partial, error)
+	// Combine opens a ciphertext from at least Threshold distinct
+	// partials (all for the same ciphertext).
+	Combine(parts []Partial) (*big.Int, error)
+
+	// Counts returns a snapshot of the operation counters.
+	Counts() OpCounts
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+// djSuite is the real homomorphic backend over a threshold Damgård–Jurik
+// key. The simulation's trusted dealer holds all key shares and hands
+// each participant its own (share index = participant id + 1).
+type djSuite struct {
+	tk     *damgardjurik.ThresholdKey
+	shares []damgardjurik.KeyShare
+	inv2   *big.Int
+
+	encrypts        atomic.Int64
+	adds            atomic.Int64
+	halvings        atomic.Int64
+	partialDecrypts atomic.Int64
+	combines        atomic.Int64
+}
+
+// NewDamgardJurikSuite deals a fresh threshold key over fixture safe
+// primes of the given modulus size and wraps it as a CipherSuite for a
+// population of `parties` share holders with the given decryption
+// threshold.
+func NewDamgardJurikSuite(modulusBits, degree, parties, threshold int) (CipherSuite, error) {
+	tk, shares, err := damgardjurik.FixtureThresholdKey(modulusBits, degree, parties, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return newDJSuite(tk, shares)
+}
+
+// NewDamgardJurikSuiteFreshKey is NewDamgardJurikSuite with a freshly
+// generated (non-fixture) safe-prime modulus; slow at large bit sizes.
+func NewDamgardJurikSuiteFreshKey(modulusBits, degree, parties, threshold int) (CipherSuite, error) {
+	tk, shares, err := damgardjurik.GenerateThresholdKey(nil, modulusBits, degree, parties, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return newDJSuite(tk, shares)
+}
+
+func newDJSuite(tk *damgardjurik.ThresholdKey, shares []damgardjurik.KeyShare) (CipherSuite, error) {
+	inv2 := new(big.Int).ModInverse(big.NewInt(2), tk.PlaintextModulus())
+	if inv2 == nil {
+		return nil, errors.New("core: 2 not invertible in plaintext ring")
+	}
+	return &djSuite{tk: tk, shares: shares, inv2: inv2}, nil
+}
+
+// Name implements CipherSuite.
+func (s *djSuite) Name() string { return "damgard-jurik" }
+
+// PlainModulus implements CipherSuite.
+func (s *djSuite) PlainModulus() *big.Int { return s.tk.PlaintextModulus() }
+
+// CipherBytes implements CipherSuite.
+func (s *djSuite) CipherBytes() int { return s.tk.CiphertextBytes() }
+
+// Encrypt implements CipherSuite.
+func (s *djSuite) Encrypt(m *big.Int) (Cipher, error) {
+	s.encrypts.Add(1)
+	return s.tk.Encrypt(nil, m)
+}
+
+// Add implements CipherSuite.
+func (s *djSuite) Add(a, b Cipher) (Cipher, error) {
+	ca, ok1 := a.(*big.Int)
+	cb, ok2 := b.(*big.Int)
+	if !ok1 || !ok2 {
+		return nil, errors.New("core: foreign cipher type in damgard-jurik suite")
+	}
+	s.adds.Add(1)
+	return s.tk.Add(ca, cb)
+}
+
+// Halve implements CipherSuite: homomorphic multiplication by 2^{-1}
+// mod n^s, followed by re-randomization. The refresh matters because
+// halved shares travel to random peers: without it, an observer could
+// trace a contribution across gossip hops by recognizing the
+// deterministic c^(2^-1) relation between ciphertexts.
+func (s *djSuite) Halve(c Cipher) (Cipher, error) {
+	cc, ok := c.(*big.Int)
+	if !ok {
+		return nil, errors.New("core: foreign cipher type in damgard-jurik suite")
+	}
+	s.halvings.Add(1)
+	h, err := s.tk.ScalarMul(cc, s.inv2)
+	if err != nil {
+		return nil, err
+	}
+	return s.tk.Rerandomize(nil, h)
+}
+
+// Parties implements CipherSuite.
+func (s *djSuite) Parties() int { return s.tk.Parties }
+
+// Threshold implements CipherSuite.
+func (s *djSuite) Threshold() int { return s.tk.Threshold }
+
+// PartialDecrypt implements CipherSuite.
+func (s *djSuite) PartialDecrypt(party int, c Cipher) (Partial, error) {
+	cc, ok := c.(*big.Int)
+	if !ok {
+		return Partial{}, errors.New("core: foreign cipher type in damgard-jurik suite")
+	}
+	if party < 1 || party > len(s.shares) {
+		return Partial{}, fmt.Errorf("core: party %d has no key share", party)
+	}
+	s.partialDecrypts.Add(1)
+	pd, err := s.tk.PartialDecrypt(s.shares[party-1], cc)
+	if err != nil {
+		return Partial{}, err
+	}
+	return Partial{Index: pd.Index, Value: pd.Value}, nil
+}
+
+// Combine implements CipherSuite.
+func (s *djSuite) Combine(parts []Partial) (*big.Int, error) {
+	s.combines.Add(1)
+	djParts := make([]damgardjurik.PartialDecryption, len(parts))
+	for i, p := range parts {
+		djParts[i] = damgardjurik.PartialDecryption{Index: p.Index, Value: p.Value}
+	}
+	return s.tk.Combine(djParts)
+}
+
+// Counts implements CipherSuite.
+func (s *djSuite) Counts() OpCounts {
+	return OpCounts{
+		Encrypts:        s.encrypts.Load(),
+		Adds:            s.adds.Load(),
+		Halvings:        s.halvings.Load(),
+		PartialDecrypts: s.partialDecrypts.Load(),
+		Combines:        s.combines.Load(),
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+)
+
+// plainSuite is the accounted backend: values are plaintext residues of
+// the same ring Z_M the real backend would use, every operation performs
+// the identical ring arithmetic (so gossip trajectories are bit-identical
+// to the encrypted run), and counters record what the encrypted run would
+// have cost. This is precisely the demonstration's configuration: the
+// distributed algorithms are unchanged whether homomorphic operations are
+// enabled or not (Sec. III.B, point 1).
+type plainSuite struct {
+	m         *big.Int
+	inv2      *big.Int
+	parties   int
+	threshold int
+	// cipherBytes mimics the real backend's ciphertext size for the
+	// declared key size, so network accounting matches an encrypted run.
+	cipherBytes int
+
+	encrypts        atomic.Int64
+	adds            atomic.Int64
+	halvings        atomic.Int64
+	partialDecrypts atomic.Int64
+	combines        atomic.Int64
+}
+
+// plainCipher wraps a residue so foreign types are still detected.
+type plainCipher struct {
+	v *big.Int
+}
+
+// NewPlainSuite builds the accounted backend. modulusBits drives the
+// cost accounting only (the simulated ciphertext size is
+// modulusBits·(degree+1) bits, matching a real Damgård–Jurik key of that
+// size); the actual plaintext ring is a fixed 320-bit odd modulus —
+// plenty of headroom for any supported protocol configuration (validated
+// by checkHeadroom) while keeping the plaintext big.Int arithmetic cheap,
+// since no cryptographic hardness is needed when the values are not
+// actually encrypted. modulusBits of at least the ring size select a
+// ring as wide as a real key's plaintext space (used by the
+// backend-equivalence tests, which need identical wraparound behaviour).
+func NewPlainSuite(modulusBits, degree, parties, threshold int) (CipherSuite, error) {
+	if modulusBits < 8 {
+		return nil, fmt.Errorf("core: modulus of %d bits is too small", modulusBits)
+	}
+	if parties < 1 || threshold < 1 || threshold > parties {
+		return nil, fmt.Errorf("core: invalid (parties=%d, threshold=%d)", parties, threshold)
+	}
+	ringBits := 320
+	if modulusBits*degree < ringBits {
+		ringBits = modulusBits * degree
+	}
+	// An odd modulus: 2^ringBits - 1.
+	m := new(big.Int).Lsh(big.NewInt(1), uint(ringBits))
+	m.Sub(m, big.NewInt(1))
+	inv2 := new(big.Int).ModInverse(big.NewInt(2), m)
+	if inv2 == nil {
+		return nil, errors.New("core: 2 not invertible in plaintext ring")
+	}
+	return &plainSuite{
+		m:           m,
+		inv2:        inv2,
+		parties:     parties,
+		threshold:   threshold,
+		cipherBytes: modulusBits * (degree + 1) / 8,
+	}, nil
+}
+
+// Name implements CipherSuite.
+func (s *plainSuite) Name() string { return "plain-accounted" }
+
+// PlainModulus implements CipherSuite.
+func (s *plainSuite) PlainModulus() *big.Int { return new(big.Int).Set(s.m) }
+
+// CipherBytes implements CipherSuite.
+func (s *plainSuite) CipherBytes() int { return s.cipherBytes }
+
+// Encrypt implements CipherSuite.
+func (s *plainSuite) Encrypt(m *big.Int) (Cipher, error) {
+	if m == nil {
+		return nil, errors.New("core: nil plaintext")
+	}
+	s.encrypts.Add(1)
+	if m.Sign() >= 0 && m.Cmp(s.m) < 0 {
+		return plainCipher{v: new(big.Int).Set(m)}, nil
+	}
+	return plainCipher{v: new(big.Int).Mod(m, s.m)}, nil
+}
+
+// Add implements CipherSuite. Operands are reduced residues, so the mod
+// is a single conditional subtraction — no division.
+func (s *plainSuite) Add(a, b Cipher) (Cipher, error) {
+	ca, ok1 := a.(plainCipher)
+	cb, ok2 := b.(plainCipher)
+	if !ok1 || !ok2 {
+		return nil, errors.New("core: foreign cipher type in plain suite")
+	}
+	s.adds.Add(1)
+	out := new(big.Int).Add(ca.v, cb.v)
+	if out.Cmp(s.m) >= 0 {
+		out.Sub(out, s.m)
+	}
+	return plainCipher{v: out}, nil
+}
+
+// Halve implements CipherSuite: multiplication by 2^{-1} mod M. For odd
+// M this has a division-free form — even residues shift right, odd
+// residues become (v+M)/2 (exact, since v+M is even) — which is
+// arithmetically identical to out = v·inv2 mod M but an order of
+// magnitude cheaper on the gossip hot path.
+func (s *plainSuite) Halve(c Cipher) (Cipher, error) {
+	cc, ok := c.(plainCipher)
+	if !ok {
+		return nil, errors.New("core: foreign cipher type in plain suite")
+	}
+	s.halvings.Add(1)
+	out := new(big.Int)
+	if cc.v.Bit(0) == 0 {
+		out.Rsh(cc.v, 1)
+	} else {
+		out.Add(cc.v, s.m)
+		out.Rsh(out, 1)
+	}
+	return plainCipher{v: out}, nil
+}
+
+// Parties implements CipherSuite.
+func (s *plainSuite) Parties() int { return s.parties }
+
+// Threshold implements CipherSuite.
+func (s *plainSuite) Threshold() int { return s.threshold }
+
+// PartialDecrypt implements CipherSuite.
+func (s *plainSuite) PartialDecrypt(party int, c Cipher) (Partial, error) {
+	cc, ok := c.(plainCipher)
+	if !ok {
+		return Partial{}, errors.New("core: foreign cipher type in plain suite")
+	}
+	if party < 1 || party > s.parties {
+		return Partial{}, fmt.Errorf("core: party %d has no key share", party)
+	}
+	s.partialDecrypts.Add(1)
+	// Cipher values are immutable by convention across the suite, so the
+	// partial can share the residue instead of copying it.
+	return Partial{Index: party, Value: cc.v}, nil
+}
+
+// Combine implements CipherSuite. It enforces the same threshold
+// semantics as the real backend (count and distinctness of partials).
+func (s *plainSuite) Combine(parts []Partial) (*big.Int, error) {
+	if len(parts) < s.threshold {
+		return nil, fmt.Errorf("core: have %d partial decryptions, need %d", len(parts), s.threshold)
+	}
+	seen := make(map[int]bool, len(parts))
+	distinct := 0
+	for _, p := range parts {
+		if p.Index < 1 || p.Index > s.parties {
+			return nil, fmt.Errorf("core: partial with invalid index %d", p.Index)
+		}
+		if p.Value == nil {
+			return nil, errors.New("core: partial with nil value")
+		}
+		if !seen[p.Index] {
+			seen[p.Index] = true
+			distinct++
+		}
+	}
+	if distinct < s.threshold {
+		return nil, fmt.Errorf("core: only %d distinct partials, need %d", distinct, s.threshold)
+	}
+	for _, p := range parts {
+		if p.Value.Cmp(parts[0].Value) != 0 {
+			return nil, errors.New("core: partial decryptions disagree")
+		}
+	}
+	s.combines.Add(1)
+	return new(big.Int).Set(parts[0].Value), nil
+}
+
+// Counts implements CipherSuite.
+func (s *plainSuite) Counts() OpCounts {
+	return OpCounts{
+		Encrypts:        s.encrypts.Load(),
+		Adds:            s.adds.Load(),
+		Halvings:        s.halvings.Load(),
+		PartialDecrypts: s.partialDecrypts.Load(),
+		Combines:        s.combines.Load(),
+	}
+}

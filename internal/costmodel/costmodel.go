@@ -1,0 +1,236 @@
+// Package costmodel reproduces the demonstration's cost methodology
+// (Sec. III.B): the demo runs with homomorphic operations disabled and
+// displays "the performance overhead that would be due to homomorphic
+// operations and to a larger population size ... based on actual average
+// measures performed beforehand (e.g., of encryption/decryption/addition
+// times)".
+//
+// Accordingly, this package (1) measures real per-operation timings of the
+// Damgård–Jurik implementation on the current machine, and (2) projects
+// them — together with message and byte counts derived from the protocol
+// structure — onto arbitrary population sizes, key sizes and parameter
+// choices.
+package costmodel
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"time"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+// CryptoProfile holds measured per-operation averages for one key
+// configuration.
+type CryptoProfile struct {
+	KeyBits int
+	Degree  int // Damgård–Jurik s
+
+	Encrypt        time.Duration
+	Decrypt        time.Duration
+	Add            time.Duration
+	ScalarMul      time.Duration // full-width exponent (gossip halving)
+	PartialDecrypt time.Duration
+	Combine        time.Duration
+
+	CiphertextBytes int
+}
+
+// MeasureProfile times the real implementation over reps repetitions per
+// operation, using fixture moduli (so the measurement is instant to set
+// up). parties/threshold configure the threshold operations.
+func MeasureProfile(keyBits, degree, parties, threshold, reps int) (*CryptoProfile, error) {
+	if reps < 1 {
+		reps = 8
+	}
+	tk, shares, err := damgardjurik.FixtureThresholdKey(keyBits, degree, parties, threshold)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := damgardjurik.FixturePrivateKey(keyBits, degree)
+	if err != nil {
+		return nil, err
+	}
+	prof := &CryptoProfile{
+		KeyBits:         keyBits,
+		Degree:          degree,
+		CiphertextBytes: tk.CiphertextBytes(),
+	}
+
+	msg := big.NewInt(123456789)
+	half := new(big.Int).ModInverse(big.NewInt(2), tk.PlaintextModulus())
+
+	// Encrypt.
+	var cts []*big.Int
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		c, err := tk.Encrypt(rand.Reader, msg)
+		if err != nil {
+			return nil, err
+		}
+		cts = append(cts, c)
+	}
+	prof.Encrypt = time.Since(start) / time.Duration(reps)
+
+	// Add.
+	start = time.Now()
+	acc := cts[0]
+	for i := 0; i < reps; i++ {
+		acc, err = tk.Add(acc, cts[i%len(cts)])
+		if err != nil {
+			return nil, err
+		}
+	}
+	prof.Add = time.Since(start) / time.Duration(reps)
+
+	// ScalarMul (halving-style full-width exponent).
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = tk.ScalarMul(cts[i%len(cts)], half); err != nil {
+			return nil, err
+		}
+	}
+	prof.ScalarMul = time.Since(start) / time.Duration(reps)
+
+	// Single-holder decrypt (for reference / the non-threshold path).
+	ct, err := sk.Encrypt(rand.Reader, msg)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = sk.Decrypt(ct); err != nil {
+			return nil, err
+		}
+	}
+	prof.Decrypt = time.Since(start) / time.Duration(reps)
+
+	// Partial decryption.
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = tk.PartialDecrypt(shares[i%threshold], cts[0]); err != nil {
+			return nil, err
+		}
+	}
+	prof.PartialDecrypt = time.Since(start) / time.Duration(reps)
+
+	// Combine.
+	parts := make([]damgardjurik.PartialDecryption, threshold)
+	for i := 0; i < threshold; i++ {
+		parts[i], err = tk.PartialDecrypt(shares[i], cts[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = tk.Combine(parts); err != nil {
+			return nil, err
+		}
+	}
+	prof.Combine = time.Since(start) / time.Duration(reps)
+
+	return prof, nil
+}
+
+// Workload describes one Chiaroscuro deployment for cost projection.
+type Workload struct {
+	Participants     int
+	K                int // clusters
+	Dim              int // series length
+	Iterations       int
+	GossipRounds     int // exchanges per participant per gossip phase
+	DecryptThreshold int // partial decryptions needed
+}
+
+func (w Workload) validate() error {
+	if w.Participants < 2 || w.K < 1 || w.Dim < 1 || w.Iterations < 1 || w.GossipRounds < 1 || w.DecryptThreshold < 1 {
+		return fmt.Errorf("costmodel: invalid workload %+v", w)
+	}
+	return nil
+}
+
+// VectorLen is the number of ciphertexts gossiped per message: per
+// cluster, the d-dimensional sum plus the count, twice (means and noise).
+func (w Workload) VectorLen() int {
+	return 2 * w.K * (w.Dim + 1)
+}
+
+// Report is the projected per-participant cost of a full run — the
+// numbers the demo GUI surfaces as "network and encryption costs".
+type Report struct {
+	Workload Workload
+
+	// Per-participant operation counts over the whole run.
+	EncryptOps        int
+	AddOps            int
+	ScalarOps         int
+	PartialDecryptOps int
+	CombineOps        int
+
+	// Per-participant totals.
+	CPUTime       time.Duration
+	MessagesSent  int
+	BytesSent     int64
+	BytesReceived int64
+
+	// DecryptLatency is the wall-clock of one collaborative decryption
+	// (t partial decryptions, serialized on the requester, plus combine).
+	DecryptLatency time.Duration
+}
+
+// Project derives the per-participant cost report of the workload under
+// the measured profile. Counting (per participant, per iteration):
+//
+//   - assignment: encrypt K·(Dim+1) mean entries + K·(Dim+1) noise
+//     shares;
+//   - gossip: GossipRounds rounds; each round halves the full vector
+//     (VectorLen scalar multiplications), sends it (1 message of
+//     VectorLen ciphertexts), and absorbs an expected 1 incoming message
+//     (VectorLen additions);
+//   - collaborative decryption: the participant asks DecryptThreshold
+//     peers (request carries the K·(Dim+1) perturbed-mean ciphertexts,
+//     response the same volume), serves on average DecryptThreshold
+//     requests from others (each costing K·(Dim+1) partial
+//     decryptions), and combines its own (K·(Dim+1) combine ops).
+func Project(p *CryptoProfile, w Workload) (*Report, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("costmodel: nil profile")
+	}
+	perCluster := w.Dim + 1
+	meanLen := w.K * perCluster // ciphertexts holding means (or noise)
+	vecLen := w.VectorLen()
+
+	r := &Report{Workload: w}
+	it := w.Iterations
+	r.EncryptOps = it * 2 * meanLen
+	r.ScalarOps = it * w.GossipRounds * vecLen
+	r.AddOps = it * (w.GossipRounds*vecLen + meanLen) // gossip merges + noise-to-mean addition
+	r.PartialDecryptOps = it * w.DecryptThreshold * meanLen
+	r.CombineOps = it * meanLen
+
+	r.CPUTime = time.Duration(r.EncryptOps)*p.Encrypt +
+		time.Duration(r.ScalarOps)*p.ScalarMul +
+		time.Duration(r.AddOps)*p.Add +
+		time.Duration(r.PartialDecryptOps)*p.PartialDecrypt +
+		time.Duration(r.CombineOps)*p.Combine
+
+	cb := int64(p.CiphertextBytes)
+	gossipMsgs := it * w.GossipRounds
+	gossipBytes := int64(gossipMsgs) * (int64(vecLen)*cb + 8) // +8: push-sum weight
+	decReqMsgs := it * w.DecryptThreshold
+	decReqBytes := int64(decReqMsgs) * int64(meanLen) * cb
+	decRespMsgs := it * w.DecryptThreshold // served for others
+	decRespBytes := int64(decRespMsgs) * int64(meanLen) * cb
+
+	r.MessagesSent = gossipMsgs + decReqMsgs + decRespMsgs
+	r.BytesSent = gossipBytes + decReqBytes + decRespBytes
+	r.BytesReceived = gossipBytes + decReqBytes + decRespBytes // symmetric in expectation
+
+	r.DecryptLatency = time.Duration(meanLen)*p.PartialDecrypt + time.Duration(meanLen)*p.Combine
+	return r, nil
+}

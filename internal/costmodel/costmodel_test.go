@@ -1,0 +1,170 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func measureSmall(t *testing.T) *CryptoProfile {
+	t.Helper()
+	p, err := MeasureProfile(128, 1, 5, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasureProfilePopulatesEverything(t *testing.T) {
+	p := measureSmall(t)
+	if p.KeyBits != 128 || p.Degree != 1 {
+		t.Fatalf("profile identity: %+v", p)
+	}
+	for name, d := range map[string]time.Duration{
+		"Encrypt": p.Encrypt, "Decrypt": p.Decrypt, "Add": p.Add,
+		"ScalarMul": p.ScalarMul, "PartialDecrypt": p.PartialDecrypt, "Combine": p.Combine,
+	} {
+		if d <= 0 {
+			t.Errorf("%s duration = %v, want > 0", name, d)
+		}
+	}
+	if p.CiphertextBytes != 32 {
+		t.Errorf("ciphertext bytes = %d, want 32 for 128-bit s=1", p.CiphertextBytes)
+	}
+}
+
+func TestMeasureProfileUnknownFixture(t *testing.T) {
+	if _, err := MeasureProfile(333, 1, 3, 2, 1); err == nil {
+		t.Fatal("unknown fixture size should error")
+	}
+}
+
+func baseWorkload() Workload {
+	return Workload{
+		Participants:     1000,
+		K:                5,
+		Dim:              24,
+		Iterations:       8,
+		GossipRounds:     20,
+		DecryptThreshold: 10,
+	}
+}
+
+func TestProjectOperationCounts(t *testing.T) {
+	p := measureSmall(t)
+	w := baseWorkload()
+	r, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLen := w.K * (w.Dim + 1) // 125
+	vecLen := 2 * meanLen        // 250
+	if w.VectorLen() != vecLen {
+		t.Fatalf("VectorLen = %d, want %d", w.VectorLen(), vecLen)
+	}
+	if r.EncryptOps != w.Iterations*2*meanLen {
+		t.Fatalf("encrypts = %d", r.EncryptOps)
+	}
+	if r.ScalarOps != w.Iterations*w.GossipRounds*vecLen {
+		t.Fatalf("scalar ops = %d", r.ScalarOps)
+	}
+	if r.AddOps != w.Iterations*(w.GossipRounds*vecLen+meanLen) {
+		t.Fatalf("add ops = %d", r.AddOps)
+	}
+	if r.PartialDecryptOps != w.Iterations*w.DecryptThreshold*meanLen {
+		t.Fatalf("partial decrypts = %d", r.PartialDecryptOps)
+	}
+	if r.CombineOps != w.Iterations*meanLen {
+		t.Fatalf("combines = %d", r.CombineOps)
+	}
+	if r.CPUTime <= 0 {
+		t.Fatal("CPU time should be positive")
+	}
+	if r.MessagesSent != w.Iterations*(w.GossipRounds+2*w.DecryptThreshold) {
+		t.Fatalf("messages = %d", r.MessagesSent)
+	}
+	if r.BytesSent <= 0 || r.BytesReceived != r.BytesSent {
+		t.Fatalf("bytes: sent %d received %d", r.BytesSent, r.BytesReceived)
+	}
+}
+
+func TestProjectScalesLinearlyInIterations(t *testing.T) {
+	p := measureSmall(t)
+	w := baseWorkload()
+	r1, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iterations *= 2
+	r2, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EncryptOps != 2*r1.EncryptOps || r2.BytesSent != 2*r1.BytesSent {
+		t.Fatalf("doubling iterations: %d->%d encrypts, %d->%d bytes",
+			r1.EncryptOps, r2.EncryptOps, r1.BytesSent, r2.BytesSent)
+	}
+}
+
+func TestProjectIndependentOfPopulation(t *testing.T) {
+	// Per-participant costs must NOT grow with the population — the
+	// scalability claim of the paper (costs depend on k, d, rounds, t).
+	p := measureSmall(t)
+	w := baseWorkload()
+	r1, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Participants = 1000000
+	r2, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BytesSent != r2.BytesSent || r1.CPUTime != r2.CPUTime {
+		t.Fatal("per-participant cost changed with population size")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	p := measureSmall(t)
+	bad := baseWorkload()
+	bad.K = 0
+	if _, err := Project(p, bad); err == nil {
+		t.Fatal("invalid workload should error")
+	}
+	if _, err := Project(nil, baseWorkload()); err == nil {
+		t.Fatal("nil profile should error")
+	}
+}
+
+func TestDecryptLatency(t *testing.T) {
+	p := measureSmall(t)
+	r, err := Project(p, baseWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLen := 5 * 25
+	want := time.Duration(meanLen)*p.PartialDecrypt + time.Duration(meanLen)*p.Combine
+	if r.DecryptLatency != want {
+		t.Fatalf("latency = %v, want %v", r.DecryptLatency, want)
+	}
+}
+
+func TestLargerKeysCostMore(t *testing.T) {
+	small, err := MeasureProfile(128, 1, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureProfile(512, 1, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CiphertextBytes <= small.CiphertextBytes {
+		t.Fatalf("512-bit ciphertexts (%dB) not larger than 128-bit (%dB)",
+			big.CiphertextBytes, small.CiphertextBytes)
+	}
+	// Timings are noisy on shared machines, but a 4x modulus must not be
+	// faster at encryption by more than measurement jitter.
+	if big.Encrypt < small.Encrypt/2 {
+		t.Fatalf("512-bit encrypt (%v) implausibly faster than 128-bit (%v)", big.Encrypt, small.Encrypt)
+	}
+}

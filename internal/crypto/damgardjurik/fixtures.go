@@ -1,0 +1,80 @@
+package damgardjurik
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Pregenerated safe primes for benchmark and demonstration keys. The demo
+// paper itself relies on crypto cost figures "performed beforehand"
+// (Sec. III.B); these fixtures play the same role: they let the cost
+// experiments instantiate 512/1024/2048-bit threshold keys instantly
+// instead of spending minutes in safe-prime search. They were produced by
+// this package's own SafePrime and re-verified by isSafePrime on load.
+//
+// SECURITY: fixtures are PUBLIC values. Never use them outside tests,
+// benchmarks and demos.
+var fixturePrimes = map[int][2]string{
+	// modulus bits -> decimal safe primes of bits/2 each
+	64:  {"3624965327", "3775143767"},
+	96:  {"273041997193319", "220086009798947"},
+	128: {"17598298396088497859", "14570696182576194239"},
+	256: {
+		"309470572217147385533377749378692813267",
+		"281702636440544938540878552928668758447",
+	},
+	512: {
+		"103765872005689763686402689321443800380167778653154969902026669130881340868467",
+		"95393116781933583393108932488254483720564613189396670645194608740875441531403",
+	},
+	1024: {
+		"12235845168852598720828893958093910417894860986405077309771730889461236254127657438241431821083225555720552174532392601462206768618164348816294036572740107",
+		"11890217182897054784482884839686829096791486125557386488340252611416037809462380050480490465220043130553836275194700592571923241391858936679118765993744339",
+	},
+	2048: {
+		"173954906076756479252623422942554838336641890330856710597257983585974916272786167205186496522824422704708586741767341987845415985848658787595382147435531146844153208466185907437265643001545487817634764991802039463574454140860455133402163174772540707646517033480326197642874354956794472599382267080410656282159",
+		"177275656679165577084181834489730181876705722551916717191959007593922351354295678272375230396194382019949602928398592977582567730601848145731842093663889897517672540275422302973433151437365018531946661374758218009541569855648797249028487897537090726818627197102748309364937083224673464259758266911449888920627",
+	},
+}
+
+// FixtureModulusBits lists the modulus sizes with available fixtures, in
+// ascending order.
+func FixtureModulusBits() []int {
+	return []int{64, 96, 128, 256, 512, 1024, 2048}
+}
+
+// FixturePrimes returns the pregenerated safe-prime pair for the given
+// modulus bit length. For demos/benchmarks only.
+func FixturePrimes(modulusBits int) (p, q *big.Int, err error) {
+	pair, ok := fixturePrimes[modulusBits]
+	if !ok {
+		return nil, nil, fmt.Errorf("damgardjurik: no fixture for %d-bit modulus (have %v)", modulusBits, FixtureModulusBits())
+	}
+	p, ok1 := new(big.Int).SetString(pair[0], 10)
+	q, ok2 := new(big.Int).SetString(pair[1], 10)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("damgardjurik: corrupt fixture for %d bits", modulusBits)
+	}
+	return p, q, nil
+}
+
+// FixtureThresholdKey deals a threshold key over the fixture primes. The
+// polynomial coefficients still come from rnd (crypto/rand if nil), so
+// only the modulus is fixed. For demos/benchmarks only.
+func FixtureThresholdKey(modulusBits, s, parties, threshold int) (*ThresholdKey, []KeyShare, error) {
+	p, q, err := FixturePrimes(modulusBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewThresholdKeyFromPrimes(nil, p, q, s, parties, threshold)
+}
+
+// FixturePrivateKey assembles a non-threshold key over the fixture
+// primes. For demos/benchmarks only.
+func FixturePrivateKey(modulusBits, s int) (*PrivateKey, error) {
+	p, q, err := FixturePrimes(modulusBits)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrivateKeyFromPrimes(p, q, s)
+}

@@ -1,0 +1,65 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// SafePrime returns a prime p of the given bit length such that (p-1)/2 is
+// also prime. The search uses an incremental sieve over random starting
+// points; expect seconds at 512 bits and minutes beyond — production
+// deployments should pregenerate (see Fixture).
+func SafePrime(rnd io.Reader, bits int) (*big.Int, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if bits < 5 {
+		return nil, fmt.Errorf("%w: safe prime of %d bits", ErrKeyGeneration, bits)
+	}
+	for {
+		// Draw a candidate q' for the Sophie Germain prime (bits-1 bits),
+		// then test p = 2q'+1.
+		qPrime, err := rand.Prime(rnd, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrKeyGeneration, err)
+		}
+		p := new(big.Int).Lsh(qPrime, 1)
+		p.Add(p, one)
+		if p.BitLen() != bits {
+			continue
+		}
+		// Cheap pre-filter: p mod small primes.
+		if !passesSmallPrimeFilter(p) {
+			continue
+		}
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// isSafePrime reports whether p and (p-1)/2 are both (probable) primes.
+func isSafePrime(p *big.Int) bool {
+	if p == nil || p.BitLen() < 3 || p.Bit(0) == 0 {
+		return false
+	}
+	if !p.ProbablyPrime(20) {
+		return false
+	}
+	half := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1)
+	return half.ProbablyPrime(20)
+}
+
+var smallPrimes = []int64{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+func passesSmallPrimeFilter(p *big.Int) bool {
+	m := new(big.Int)
+	for _, sp := range smallPrimes {
+		if m.Mod(p, big.NewInt(sp)).Sign() == 0 && p.Cmp(big.NewInt(sp)) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestSafePrimeSmall(t *testing.T) {
+	p, err := SafePrime(rand.Reader, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitLen() != 32 {
+		t.Fatalf("bit length = %d, want 32", p.BitLen())
+	}
+	if !isSafePrime(p) {
+		t.Fatalf("%v is not a safe prime", p)
+	}
+}
+
+func TestSafePrimeRejectsTinyBits(t *testing.T) {
+	if _, err := SafePrime(rand.Reader, 3); err == nil {
+		t.Fatal("3-bit request should error")
+	}
+}
+
+func TestIsSafePrime(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want bool
+	}{
+		{5, true},   // (5-1)/2 = 2 prime
+		{7, true},   // 3 prime
+		{11, true},  // 5 prime
+		{13, false}, // 6 composite
+		{23, true},  // 11 prime
+		{29, false}, // 14 composite
+		{4, false},  // composite
+		{0, false},
+	}
+	for _, tc := range cases {
+		if got := isSafePrime(big.NewInt(tc.v)); got != tc.want {
+			t.Errorf("isSafePrime(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if isSafePrime(nil) {
+		t.Error("isSafePrime(nil) = true")
+	}
+}
+
+func TestFixturesAreSafePrimes(t *testing.T) {
+	for _, bits := range FixtureModulusBits() {
+		p, q, err := FixturePrimes(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cmp(q) == 0 {
+			t.Errorf("%d-bit fixture primes are equal", bits)
+		}
+		wantBits := bits / 2
+		if p.BitLen() != wantBits || q.BitLen() != wantBits {
+			t.Errorf("%d-bit fixture: prime sizes %d/%d, want %d", bits, p.BitLen(), q.BitLen(), wantBits)
+		}
+		// Full safe-primality for small fixtures; probabilistic checks
+		// are expensive at 1024 bits, still fast enough at <=512.
+		if bits <= 512 {
+			if !isSafePrime(p) || !isSafePrime(q) {
+				t.Errorf("%d-bit fixture primes are not safe primes", bits)
+			}
+		}
+	}
+}
+
+func TestFixtureUnknownSize(t *testing.T) {
+	if _, _, err := FixturePrimes(333); err == nil {
+		t.Fatal("unknown fixture size should error")
+	}
+}
+
+func TestFixturePrivateKeyWorks(t *testing.T) {
+	sk, err := FixturePrivateKey(96, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(808)
+	c, err := sk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("fixture key roundtrip = %v", got)
+	}
+}
+
+func TestPassesSmallPrimeFilter(t *testing.T) {
+	if passesSmallPrimeFilter(big.NewInt(3 * 1000003)) {
+		t.Error("multiple of 3 passed the filter")
+	}
+	if !passesSmallPrimeFilter(big.NewInt(1000003)) {
+		t.Error("prime rejected by the filter")
+	}
+	// The small primes themselves must pass (p == sp case).
+	if !passesSmallPrimeFilter(big.NewInt(47)) {
+		t.Error("47 rejected by the filter")
+	}
+}

@@ -1,0 +1,269 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+)
+
+// The threshold variant follows Damgård–Jurik (PKC 2001, Sec. 4.1), which
+// adapts Shoup's threshold RSA technique:
+//
+//   - n = p·q with p = 2p'+1, q = 2q'+1 safe primes, m' = p'·q';
+//   - the decryption exponent d satisfies d ≡ 0 mod m' and d ≡ 1 mod n^s;
+//   - d is Shamir-shared with a degree-(w-1) polynomial over Z_{n^s·m'};
+//     party i (1-based) holds s_i = f(i);
+//   - a partial decryption of c by party i is c_i = c^{2Δ·s_i} mod n^{s+1},
+//     with Δ = l! (l = number of parties);
+//   - any w partials combine to c' = Π c_i^{2·λ_{0,i}} = c^{4Δ²·d} =
+//     (1+n)^{4Δ²·m}, from which m is extracted and rescaled by
+//     (4Δ²)^{-1} mod n^s.
+//
+// In Chiaroscuro this is the "collaborative decryption performed by any
+// sufficiently large subset of participants" (demo paper, Sec. II.A).
+
+// Threshold-specific errors.
+var (
+	ErrNotEnoughShares = errors.New("damgardjurik: not enough partial decryptions")
+	ErrDuplicateShare  = errors.New("damgardjurik: duplicate partial decryption index")
+	ErrShareOutOfRange = errors.New("damgardjurik: share index out of range")
+	ErrCombineMismatch = errors.New("damgardjurik: partial decryptions do not combine to a plaintext")
+)
+
+// ThresholdKey is the public material of a threshold deployment. Every
+// participant holds a copy; it contains no secrets.
+type ThresholdKey struct {
+	PublicKey
+	Parties   int // l: total number of key-share holders
+	Threshold int // w: partials needed to decrypt
+
+	delta      *big.Int // Δ = l!
+	invCombine *big.Int // (4Δ²)^{-1} mod n^s
+}
+
+// KeyShare is the secret share of one party. Index is 1-based.
+type KeyShare struct {
+	Index int
+	Value *big.Int
+}
+
+// PartialDecryption is one party's contribution to a decryption.
+type PartialDecryption struct {
+	Index int
+	Value *big.Int
+}
+
+// GenerateThresholdKey creates a threshold deployment from scratch:
+// safe-prime modulus of the given bit length, degree s, l parties,
+// threshold w. Safe-prime search is expensive at large bit sizes; see
+// Fixture for pregenerated demo moduli.
+func GenerateThresholdKey(rnd io.Reader, bits, s, parties, threshold int) (*ThresholdKey, []KeyShare, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if bits < 16 {
+		return nil, nil, fmt.Errorf("%w: modulus of %d bits is too small", ErrKeyGeneration, bits)
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		p, err := SafePrime(rnd, bits/2)
+		if err != nil {
+			return nil, nil, err
+		}
+		q, err := SafePrime(rnd, bits-bits/2)
+		if err != nil {
+			return nil, nil, err
+		}
+		tk, shares, err := NewThresholdKeyFromPrimes(rnd, p, q, s, parties, threshold)
+		if err != nil {
+			continue
+		}
+		return tk, shares, nil
+	}
+	return nil, nil, fmt.Errorf("%w: no suitable safe primes after 64 attempts", ErrKeyGeneration)
+}
+
+// NewThresholdKeyFromPrimes performs the dealer's work for the given safe
+// primes: derives d, shares it, and returns the public threshold key plus
+// the l secret shares. rnd supplies the polynomial coefficients.
+func NewThresholdKeyFromPrimes(rnd io.Reader, p, q *big.Int, s, parties, threshold int) (*ThresholdKey, []KeyShare, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if parties < 1 || threshold < 1 || threshold > parties {
+		return nil, nil, fmt.Errorf("%w: invalid (parties=%d, threshold=%d)", ErrKeyGeneration, parties, threshold)
+	}
+	if !isSafePrime(p) || !isSafePrime(q) || p.Cmp(q) == 0 {
+		return nil, nil, fmt.Errorf("%w: arguments must be distinct safe primes", ErrKeyGeneration)
+	}
+	n := new(big.Int).Mul(p, q)
+	pk, err := newPublicKey(n, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	pPrime := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1)
+	qPrime := new(big.Int).Rsh(new(big.Int).Sub(q, one), 1)
+	mPrime := new(big.Int).Mul(pPrime, qPrime)
+	if new(big.Int).GCD(nil, nil, pk.ns, mPrime).Cmp(one) != 0 {
+		return nil, nil, fmt.Errorf("%w: gcd(n^s, m') != 1", ErrKeyGeneration)
+	}
+	// d ≡ 0 mod m', d ≡ 1 mod n^s: d = m'·(m'^{-1} mod n^s).
+	invM := new(big.Int).ModInverse(mPrime, pk.ns)
+	if invM == nil {
+		return nil, nil, fmt.Errorf("%w: m' not invertible mod n^s", ErrKeyGeneration)
+	}
+	d := new(big.Int).Mul(mPrime, invM)
+
+	// Shamir-share d over Z_{n^s·m'} with a degree-(w-1) polynomial.
+	shareMod := new(big.Int).Mul(pk.ns, mPrime)
+	coeffs := make([]*big.Int, threshold)
+	coeffs[0] = d
+	for i := 1; i < threshold; i++ {
+		c, err := rand.Int(rnd, shareMod)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrKeyGeneration, err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]KeyShare, parties)
+	x := new(big.Int)
+	for i := 1; i <= parties; i++ {
+		x.SetInt64(int64(i))
+		shares[i-1] = KeyShare{Index: i, Value: evalPoly(coeffs, x, shareMod)}
+	}
+
+	tk := &ThresholdKey{
+		PublicKey: *pk,
+		Parties:   parties,
+		Threshold: threshold,
+	}
+	tk.delta = factorial(parties)
+	four := big.NewInt(4)
+	comb := new(big.Int).Mul(tk.delta, tk.delta)
+	comb.Mul(comb, four)
+	tk.invCombine = new(big.Int).ModInverse(comb, tk.ns)
+	if tk.invCombine == nil {
+		return nil, nil, fmt.Errorf("%w: 4Δ² not invertible mod n^s", ErrKeyGeneration)
+	}
+	return tk, shares, nil
+}
+
+// PartialDecrypt computes party share.Index's contribution for ciphertext
+// c: c^{2Δ·s_i} mod n^{s+1}.
+func (tk *ThresholdKey) PartialDecrypt(share KeyShare, c *big.Int) (PartialDecryption, error) {
+	if share.Index < 1 || share.Index > tk.Parties {
+		return PartialDecryption{}, ErrShareOutOfRange
+	}
+	if err := tk.checkCiphertext(c); err != nil {
+		return PartialDecryption{}, err
+	}
+	e := new(big.Int).Mul(two, tk.delta)
+	e.Mul(e, share.Value)
+	v := new(big.Int).Exp(c, e, tk.ns1)
+	return PartialDecryption{Index: share.Index, Value: v}, nil
+}
+
+// Combine merges at least Threshold distinct partial decryptions of the
+// same ciphertext into the plaintext. Extra partials beyond the threshold
+// are ignored (the lowest indices are used, for determinism).
+func (tk *ThresholdKey) Combine(parts []PartialDecryption) (*big.Int, error) {
+	if len(parts) < tk.Threshold {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(parts), tk.Threshold)
+	}
+	sorted := make([]PartialDecryption, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	seen := make(map[int]bool, len(sorted))
+	use := make([]PartialDecryption, 0, tk.Threshold)
+	for _, p := range sorted {
+		if p.Index < 1 || p.Index > tk.Parties {
+			return nil, fmt.Errorf("%w: index %d", ErrShareOutOfRange, p.Index)
+		}
+		if seen[p.Index] {
+			return nil, fmt.Errorf("%w: index %d", ErrDuplicateShare, p.Index)
+		}
+		seen[p.Index] = true
+		use = append(use, p)
+		if len(use) == tk.Threshold {
+			break
+		}
+	}
+	if len(use) < tk.Threshold {
+		return nil, fmt.Errorf("%w: only %d distinct", ErrNotEnoughShares, len(use))
+	}
+
+	// c' = Π_i use[i].Value ^ (2·λ_{0,i}) mod n^{s+1}, with integer
+	// Lagrange coefficients λ_{0,i} = Δ·Π_{j≠i} j/(j-i).
+	indices := make([]int, len(use))
+	for i, p := range use {
+		indices[i] = p.Index
+	}
+	acc := big.NewInt(1)
+	for i, p := range use {
+		lam, err := lagrangeAtZero(tk.delta, indices, i)
+		if err != nil {
+			return nil, err
+		}
+		e := new(big.Int).Mul(two, lam)
+		base := p.Value
+		if e.Sign() < 0 {
+			base = new(big.Int).ModInverse(p.Value, tk.ns1)
+			if base == nil {
+				return nil, fmt.Errorf("%w: partial %d not a unit", ErrCombineMismatch, p.Index)
+			}
+			e.Neg(e)
+		}
+		t := new(big.Int).Exp(base, e, tk.ns1)
+		acc.Mul(acc, t)
+		acc.Mod(acc, tk.ns1)
+	}
+
+	// acc = (1+n)^{4Δ²·m}; extract and rescale.
+	val, err := tk.dLog(acc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCombineMismatch, err)
+	}
+	val.Mul(val, tk.invCombine)
+	return val.Mod(val, tk.ns), nil
+}
+
+// Delta returns Δ = parties! (a fresh copy); exposed for diagnostics.
+func (tk *ThresholdKey) Delta() *big.Int { return new(big.Int).Set(tk.delta) }
+
+// lagrangeAtZero computes λ_{0,indices[i]} = Δ·Π_{j≠i} x_j/(x_j - x_i),
+// guaranteed integral because Δ = l! absorbs every denominator.
+func lagrangeAtZero(delta *big.Int, indices []int, i int) (*big.Int, error) {
+	num := new(big.Int).Set(delta)
+	den := big.NewInt(1)
+	xi := int64(indices[i])
+	for j, xj := range indices {
+		if j == i {
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(xj)))
+		den.Mul(den, big.NewInt(int64(xj)-xi))
+	}
+	q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+	if r.Sign() != 0 {
+		return nil, fmt.Errorf("damgardjurik: non-integral Lagrange coefficient for indices %v", indices)
+	}
+	return q, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients (constant
+// term first) at x, mod m, via Horner's rule.
+func evalPoly(coeffs []*big.Int, x, m *big.Int) *big.Int {
+	out := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		out.Mul(out, x)
+		out.Add(out, coeffs[i])
+		out.Mod(out, m)
+	}
+	return out
+}
+
+func factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}

@@ -1,0 +1,285 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// testThresholdKey deals a fixture-backed threshold key.
+func testThresholdKey(t *testing.T, bits, s, parties, threshold int) (*ThresholdKey, []KeyShare) {
+	t.Helper()
+	tk, shares, err := FixtureThresholdKey(bits, s, parties, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk, shares
+}
+
+func decryptWith(t *testing.T, tk *ThresholdKey, shares []KeyShare, c *big.Int, idx []int) *big.Int {
+	t.Helper()
+	parts := make([]PartialDecryption, len(idx))
+	for i, id := range idx {
+		pd, err := tk.PartialDecrypt(shares[id-1], c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = pd
+	}
+	m, err := tk.Combine(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestThresholdRoundTrip(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	m := big.NewInt(99887766)
+	c, err := tk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decryptWith(t, tk, shares, c, []int{1, 2, 3})
+	if got.Cmp(m) != 0 {
+		t.Fatalf("threshold decrypt = %v, want %v", got, m)
+	}
+}
+
+func TestThresholdAnySubsetWorks(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 6, 3)
+	m := big.NewInt(123123)
+	c, _ := tk.Encrypt(rand.Reader, m)
+	subsets := [][]int{{1, 2, 3}, {4, 5, 6}, {1, 3, 5}, {2, 4, 6}, {1, 5, 6}}
+	for _, sub := range subsets {
+		if got := decryptWith(t, tk, shares, c, sub); got.Cmp(m) != 0 {
+			t.Fatalf("subset %v: got %v, want %v", sub, got, m)
+		}
+	}
+}
+
+func TestThresholdDegree2(t *testing.T) {
+	tk, shares := testThresholdKey(t, 96, 2, 4, 2)
+	ns := tk.PlaintextModulus()
+	rng := mrand.New(mrand.NewSource(23))
+	for i := 0; i < 10; i++ {
+		m := new(big.Int).Rand(rng, ns)
+		c, _ := tk.Encrypt(rand.Reader, m)
+		if got := decryptWith(t, tk, shares, c, []int{2, 4}); got.Cmp(m) != 0 {
+			t.Fatalf("s=2 threshold decrypt = %v, want %v", got, m)
+		}
+	}
+}
+
+func TestThresholdMatchesHomomorphicSum(t *testing.T) {
+	// Aggregate-then-threshold-decrypt: the Chiaroscuro code path.
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	vals := []int64{100, 250, 7, 43}
+	acc, err := tk.Encrypt(rand.Reader, big.NewInt(vals[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals[1:] {
+		c, _ := tk.Encrypt(rand.Reader, big.NewInt(v))
+		acc, err = tk.Add(acc, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := decryptWith(t, tk, shares, acc, []int{5, 1, 3})
+	if got.Int64() != 400 {
+		t.Fatalf("sum decrypts to %v, want 400", got)
+	}
+}
+
+func TestThresholdExtraPartialsIgnored(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 2)
+	m := big.NewInt(5555)
+	c, _ := tk.Encrypt(rand.Reader, m)
+	got := decryptWith(t, tk, shares, c, []int{1, 2, 3, 4, 5})
+	if got.Cmp(m) != 0 {
+		t.Fatalf("with extras: %v, want %v", got, m)
+	}
+}
+
+func TestThresholdNotEnoughShares(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	c, _ := tk.Encrypt(rand.Reader, big.NewInt(1))
+	p1, _ := tk.PartialDecrypt(shares[0], c)
+	p2, _ := tk.PartialDecrypt(shares[1], c)
+	if _, err := tk.Combine([]PartialDecryption{p1, p2}); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("err = %v, want ErrNotEnoughShares", err)
+	}
+}
+
+func TestThresholdDuplicateShares(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	c, _ := tk.Encrypt(rand.Reader, big.NewInt(1))
+	p1, _ := tk.PartialDecrypt(shares[0], c)
+	p2, _ := tk.PartialDecrypt(shares[1], c)
+	if _, err := tk.Combine([]PartialDecryption{p1, p1, p2}); !errors.Is(err, ErrDuplicateShare) {
+		t.Fatalf("err = %v, want ErrDuplicateShare", err)
+	}
+}
+
+func TestThresholdShareIndexValidation(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	c, _ := tk.Encrypt(rand.Reader, big.NewInt(1))
+	if _, err := tk.PartialDecrypt(KeyShare{Index: 0, Value: big.NewInt(1)}, c); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("index 0: err = %v", err)
+	}
+	if _, err := tk.PartialDecrypt(KeyShare{Index: 6, Value: big.NewInt(1)}, c); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("index 6: err = %v", err)
+	}
+	p1, _ := tk.PartialDecrypt(shares[0], c)
+	p2, _ := tk.PartialDecrypt(shares[1], c)
+	bad := PartialDecryption{Index: 99, Value: big.NewInt(1)}
+	if _, err := tk.Combine([]PartialDecryption{p1, p2, bad}); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("combine with bad index: err = %v", err)
+	}
+}
+
+func TestThresholdWrongSharesGiveWrongPlaintext(t *testing.T) {
+	// Partials computed with a tampered share must not silently yield the
+	// right plaintext (they will either fail dLog or give garbage).
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	m := big.NewInt(777)
+	c, _ := tk.Encrypt(rand.Reader, m)
+	tampered := KeyShare{Index: 3, Value: new(big.Int).Add(shares[2].Value, big.NewInt(1))}
+	p1, _ := tk.PartialDecrypt(shares[0], c)
+	p2, _ := tk.PartialDecrypt(shares[1], c)
+	p3, _ := tk.PartialDecrypt(tampered, c)
+	got, err := tk.Combine([]PartialDecryption{p1, p2, p3})
+	if err == nil && got.Cmp(m) == 0 {
+		t.Fatal("tampered share still produced the correct plaintext")
+	}
+}
+
+func TestThresholdOneOfOne(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 1, 1)
+	m := big.NewInt(31415)
+	c, _ := tk.Encrypt(rand.Reader, m)
+	if got := decryptWith(t, tk, shares, c, []int{1}); got.Cmp(m) != 0 {
+		t.Fatalf("1-of-1 decrypt = %v", got)
+	}
+}
+
+func TestThresholdFullQuorum(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 4, 4)
+	m := big.NewInt(2718281)
+	c, _ := tk.Encrypt(rand.Reader, m)
+	if got := decryptWith(t, tk, shares, c, []int{1, 2, 3, 4}); got.Cmp(m) != 0 {
+		t.Fatalf("4-of-4 decrypt = %v", got)
+	}
+}
+
+func TestGenerateThresholdKeyFresh(t *testing.T) {
+	// Full safe-prime generation at a small size.
+	tk, shares, err := GenerateThresholdKey(rand.Reader, 64, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(12345)
+	c, err := tk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := tk.PartialDecrypt(shares[0], c)
+	p3, _ := tk.PartialDecrypt(shares[2], c)
+	got, err := tk.Combine([]PartialDecryption{p1, p3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("fresh key decrypt = %v", got)
+	}
+}
+
+func TestNewThresholdKeyValidation(t *testing.T) {
+	p, q, _ := FixturePrimes(128)
+	cases := []struct {
+		parties, threshold int
+	}{{0, 1}, {3, 0}, {3, 4}}
+	for _, tc := range cases {
+		if _, _, err := NewThresholdKeyFromPrimes(nil, p, q, 1, tc.parties, tc.threshold); !errors.Is(err, ErrKeyGeneration) {
+			t.Errorf("(%d,%d): err = %v", tc.parties, tc.threshold, err)
+		}
+	}
+	// Non-safe primes rejected (fixture 128 primes ARE safe; use a plain
+	// prime).
+	plain, err := rand.Prime(rand.Reader, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isSafePrime(plain) {
+		if _, _, err := NewThresholdKeyFromPrimes(nil, plain, q, 1, 3, 2); !errors.Is(err, ErrKeyGeneration) {
+			t.Errorf("non-safe prime: err = %v", err)
+		}
+	}
+	if _, _, err := NewThresholdKeyFromPrimes(nil, p, p, 1, 3, 2); !errors.Is(err, ErrKeyGeneration) {
+		t.Errorf("p == q: err = %v", err)
+	}
+}
+
+func TestThresholdHomomorphicOpsSharedWithPublicKey(t *testing.T) {
+	// The ThresholdKey embeds PublicKey: scalar ops must behave the same.
+	tk, shares := testThresholdKey(t, 128, 1, 3, 2)
+	c, _ := tk.Encrypt(rand.Reader, big.NewInt(21))
+	c2, err := tk.ScalarMul(c, big.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decryptWith(t, tk, shares, c2, []int{1, 3}); got.Int64() != 42 {
+		t.Fatalf("threshold scalar mul = %v", got)
+	}
+}
+
+func TestLagrangeIntegrality(t *testing.T) {
+	delta := factorial(6)
+	indices := []int{1, 3, 6}
+	for i := range indices {
+		if _, err := lagrangeAtZero(delta, indices, i); err != nil {
+			t.Fatalf("lagrange(%v, %d): %v", indices, i, err)
+		}
+	}
+}
+
+func TestLagrangeInterpolatesConstant(t *testing.T) {
+	// Σ λ_{0,i}/Δ must equal 1 (interpolation of the constant poly 1).
+	delta := factorial(5)
+	indices := []int{2, 3, 5}
+	sum := new(big.Int)
+	for i := range indices {
+		l, err := lagrangeAtZero(delta, indices, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Add(sum, l)
+	}
+	if sum.Cmp(delta) != 0 {
+		t.Fatalf("Σλ = %v, want Δ = %v", sum, delta)
+	}
+}
+
+func TestEvalPolyHorner(t *testing.T) {
+	// f(x) = 3 + 2x + x², f(5) = 38.
+	coeffs := []*big.Int{big.NewInt(3), big.NewInt(2), big.NewInt(1)}
+	got := evalPoly(coeffs, big.NewInt(5), big.NewInt(1000))
+	if got.Int64() != 38 {
+		t.Fatalf("evalPoly = %v, want 38", got)
+	}
+	// Modular reduction applies.
+	got = evalPoly(coeffs, big.NewInt(5), big.NewInt(7))
+	if got.Int64() != 38%7 {
+		t.Fatalf("evalPoly mod 7 = %v, want %d", got, 38%7)
+	}
+}
+
+func TestDeltaFactorial(t *testing.T) {
+	tk, _ := testThresholdKey(t, 128, 1, 5, 2)
+	if tk.Delta().Int64() != 120 {
+		t.Fatalf("Δ = %v, want 5! = 120", tk.Delta())
+	}
+}

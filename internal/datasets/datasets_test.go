@@ -1,0 +1,242 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"chiaroscuro/internal/kmeans"
+	"chiaroscuro/internal/quality"
+)
+
+func TestCERShapeAndDeterminism(t *testing.T) {
+	d, err := CER(CEROptions{N: 200, Dim: 48, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 200 || len(d.Labels) != 200 || d.Dim != 48 {
+		t.Fatalf("shape: %d series, %d labels, dim %d", len(d.Series), len(d.Labels), d.Dim)
+	}
+	if len(d.ArchetypeNames) != 6 {
+		t.Fatalf("archetypes = %v", d.ArchetypeNames)
+	}
+	d2, _ := CER(CEROptions{N: 200, Dim: 48, Seed: 1})
+	for i := range d.Series {
+		for j := range d.Series[i] {
+			if d.Series[i][j] != d2.Series[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	d3, _ := CER(CEROptions{N: 200, Dim: 48, Seed: 2})
+	same := true
+	for i := range d.Series {
+		for j := range d.Series[i] {
+			if d.Series[i][j] != d3.Series[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestCERNonNegativeLoad(t *testing.T) {
+	d, err := CER(CEROptions{N: 100, Dim: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Series {
+		for j, v := range s {
+			if v < 0 {
+				t.Fatalf("negative consumption at [%d][%d]: %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestCERDefaultsAndValidation(t *testing.T) {
+	d, err := CER(CEROptions{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim != 48 {
+		t.Fatalf("default dim = %d, want 48 (half-hourly)", d.Dim)
+	}
+	if _, err := CER(CEROptions{N: 0}); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestCERArchetypesAreSeparable(t *testing.T) {
+	// The generator must produce clusterable structure: centralized
+	// k-means on normalized data should agree with the ground truth
+	// labels well above chance (ARI > 0.4).
+	d, err := CER(CEROptions{N: 400, Dim: 48, Seed: 5, NoiseStd: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.NormalizeTo01()
+	res, err := kmeans.Run(d.Series, kmeans.Options{K: 6, MaxIter: 60, Init: kmeans.InitKMeansPP, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := quality.ARI(res.Assignments, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.4 {
+		t.Fatalf("CER archetypes not separable: ARI = %v", ari)
+	}
+}
+
+func TestTumorShapeAndArchetypes(t *testing.T) {
+	d, err := TumorGrowth(TumorOptions{N: 150, Weeks: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 150 || d.Dim != 20 {
+		t.Fatalf("shape: %d series, dim %d", len(d.Series), d.Dim)
+	}
+	if len(d.ArchetypeNames) != 4 {
+		t.Fatalf("archetypes = %v", d.ArchetypeNames)
+	}
+	for _, s := range d.Series {
+		for _, v := range s {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("invalid tumor size %v", v)
+			}
+		}
+	}
+}
+
+func TestTumorDefaults(t *testing.T) {
+	d, err := TumorGrowth(TumorOptions{N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim != 20 {
+		t.Fatalf("default weeks = %d, want 20 (the demo's horizon)", d.Dim)
+	}
+	if _, err := TumorGrowth(TumorOptions{N: -1}); err == nil {
+		t.Fatal("negative n should error")
+	}
+}
+
+func TestClaretModelShapes(t *testing.T) {
+	// Responder: strong kill, slow regrowth -> size at week 19 well below
+	// baseline. Progressor: negligible kill -> grows above baseline.
+	responder := claretParams{kl: 0.015, kd: 0.12, lam: 0.01}
+	progressor := claretParams{kl: 0.06, kd: 0.01, lam: 0.05}
+	r0 := math.Exp(claretExponent(responder.kl, responder.kd, responder.lam, 0))
+	r19 := math.Exp(claretExponent(responder.kl, responder.kd, responder.lam, 19))
+	p19 := math.Exp(claretExponent(progressor.kl, progressor.kd, progressor.lam, 19))
+	if r0 != 1 {
+		t.Fatalf("t=0 factor = %v, want 1", r0)
+	}
+	if r19 >= 0.7 {
+		t.Fatalf("responder factor at week 19 = %v, want < 0.7", r19)
+	}
+	if p19 <= 1.5 {
+		t.Fatalf("progressor factor at week 19 = %v, want > 1.5", p19)
+	}
+	// λ=0 branch (pure exponential difference).
+	if got := claretExponent(0.1, 0.02, 0, 10); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("λ=0 exponent = %v, want 0.8", got)
+	}
+}
+
+func TestTumorArchetypesDistinguishable(t *testing.T) {
+	d, err := TumorGrowth(TumorOptions{N: 300, Weeks: 20, Seed: 9, NoiseStd: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.NormalizeTo01()
+	res, err := kmeans.Run(d.Series, kmeans.Options{K: 4, MaxIter: 60, Init: kmeans.InitKMeansPP, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := quality.ARI(res.Assignments, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patient-level parameter jitter blurs archetypes; demand clearly
+	// above-chance agreement.
+	if ari < 0.25 {
+		t.Fatalf("tumor archetypes not recoverable: ARI = %v", ari)
+	}
+}
+
+func TestNormalizeTo01(t *testing.T) {
+	d, err := CER(CEROptions{N: 50, Dim: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, scale := d.NormalizeTo01()
+	lo, hi := d.Bounds()
+	if math.Abs(lo) > 1e-12 || math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("bounds after normalize: [%v, %v]", lo, hi)
+	}
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	_ = offset
+}
+
+func TestBounds(t *testing.T) {
+	d := &Dataset{Series: [][]float64{{1, 5}, {-2, 3}}, Labels: []int{0, 0}, ArchetypeNames: []string{"x"}, Dim: 2}
+	lo, hi := d.Bounds()
+	if lo != -2 || hi != 5 {
+		t.Fatalf("bounds = [%v, %v]", lo, hi)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cer", "tumor"} {
+		d, err := ByName(name, 20, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.Series) != 20 {
+			t.Fatalf("%s: %d series", name, len(d.Series))
+		}
+	}
+	if _, err := ByName("mnist", 10, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestGaussBumpPeriodicity(t *testing.T) {
+	// A bump centered at 23.5h must reach across midnight: the value at
+	// hour 0.5 equals the value at 22.5 (both 1h away in circular time).
+	a := gaussBump(0.5, 23.5, 2)
+	b := gaussBump(22.5, 23.5, 2)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("circular bump asymmetric: %v vs %v", a, b)
+	}
+	if gaussBump(23.5, 23.5, 2) != 1 {
+		t.Fatal("bump peak should be 1 at its center")
+	}
+}
+
+func TestLabelsWithinRange(t *testing.T) {
+	for _, gen := range []func() (*Dataset, error){
+		func() (*Dataset, error) { return CER(CEROptions{N: 100, Seed: 13}) },
+		func() (*Dataset, error) { return TumorGrowth(TumorOptions{N: 100, Seed: 13}) },
+	} {
+		d, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, l := range d.Labels {
+			if l < 0 || l >= len(d.ArchetypeNames) {
+				t.Fatalf("label %d out of range", l)
+			}
+			seen[l] = true
+		}
+		if len(seen) < 2 {
+			t.Fatal("expected at least 2 archetypes present in 100 draws")
+		}
+	}
+}

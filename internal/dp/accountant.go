@@ -1,0 +1,125 @@
+package dp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks consumption of a global ε privacy budget across the
+// iterations' disclosures (self-composition: the total privacy loss is the
+// sum of the per-disclosure ε). It also records the probabilistic-DP slack
+// introduced by gossip approximation (see RecordGossipError).
+//
+// Accountant is safe for concurrent use; in the simulation a single
+// logical accountant audits the whole run (every participant applies the
+// same schedule, so their individual ledgers are identical).
+type Accountant struct {
+	mu        sync.Mutex
+	total     float64
+	spent     float64
+	ledger    []Disclosure
+	maxRelErr float64 // worst observed gossip relative error
+}
+
+// Disclosure is one ledger entry.
+type Disclosure struct {
+	Label   string
+	Epsilon float64
+}
+
+// NewAccountant creates an accountant with the given total budget.
+func NewAccountant(totalEpsilon float64) (*Accountant, error) {
+	if totalEpsilon <= 0 {
+		return nil, fmt.Errorf("dp: total budget %v must be positive", totalEpsilon)
+	}
+	return &Accountant{total: totalEpsilon}, nil
+}
+
+// Spend records a disclosure of eps under label. It fails with
+// ErrBudgetExhausted (and records nothing) if the budget would overrun.
+// A tiny relative tolerance absorbs floating-point drift in strategies
+// that split the budget into many slices.
+func (a *Accountant) Spend(label string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("dp: disclosure epsilon %v must be positive", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const tol = 1e-9
+	if a.spent+eps > a.total*(1+tol) {
+		return fmt.Errorf("%w: spent %.6g + %.6g > %.6g", ErrBudgetExhausted, a.spent, eps, a.total)
+	}
+	a.spent += eps
+	a.ledger = append(a.ledger, Disclosure{Label: label, Epsilon: eps})
+	return nil
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.total - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Spent returns the consumed budget.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Total returns the global budget.
+func (a *Accountant) Total() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Ledger returns a copy of the disclosure history.
+func (a *Accountant) Ledger() []Disclosure {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Disclosure, len(a.ledger))
+	copy(out, a.ledger)
+	return out
+}
+
+// RecordGossipError notes the relative approximation error of a gossip
+// aggregation round. Because the disclosed aggregate deviates from the
+// exact sum, the ε guarantee only holds up to this distortion — the
+// "probabilistic variant of ε-differential privacy" of the paper. The
+// accountant keeps the worst error observed.
+func (a *Accountant) RecordGossipError(relErr float64) {
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if relErr > a.maxRelErr {
+		a.maxRelErr = relErr
+	}
+}
+
+// Report summarizes the privacy position of a finished run.
+type Report struct {
+	TotalEpsilon    float64
+	SpentEpsilon    float64
+	Disclosures     int
+	MaxGossipRelErr float64
+}
+
+// Report returns the current privacy report.
+func (a *Accountant) Report() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Report{
+		TotalEpsilon:    a.total,
+		SpentEpsilon:    a.spent,
+		Disclosures:     len(a.ledger),
+		MaxGossipRelErr: a.maxRelErr,
+	}
+}

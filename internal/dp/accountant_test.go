@@ -1,0 +1,129 @@
+package dp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAccountantBasicSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("x", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("y", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); got != 1.0 {
+		t.Fatalf("spent = %v", got)
+	}
+	if got := a.Remaining(); got != 0 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if got := a.Total(); got != 1.0 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestAccountantExhaustion(t *testing.T) {
+	a, _ := NewAccountant(1.0)
+	if err := a.Spend("x", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("y", 0.2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// A failed spend must not consume budget.
+	if got := a.Spent(); got != 0.9 {
+		t.Fatalf("failed spend consumed budget: %v", got)
+	}
+	// Budget still available for a fitting spend.
+	if err := a.Spend("z", 0.1); err != nil {
+		t.Fatalf("fitting spend rejected: %v", err)
+	}
+}
+
+func TestAccountantFloatingPointSlack(t *testing.T) {
+	// Ten slices of eps/10 must fit despite floating-point drift.
+	a, _ := NewAccountant(1.0)
+	for i := 0; i < 10; i++ {
+		if err := a.Spend("slice", 0.1); err != nil {
+			t.Fatalf("slice %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Fatal("zero budget should error")
+	}
+	if _, err := NewAccountant(-1); err == nil {
+		t.Fatal("negative budget should error")
+	}
+	a, _ := NewAccountant(1)
+	if err := a.Spend("x", 0); err == nil {
+		t.Fatal("zero disclosure should error")
+	}
+	if err := a.Spend("x", -0.1); err == nil {
+		t.Fatal("negative disclosure should error")
+	}
+}
+
+func TestAccountantLedger(t *testing.T) {
+	a, _ := NewAccountant(2)
+	_ = a.Spend("iter-0", 0.5)
+	_ = a.Spend("iter-1", 0.25)
+	ledger := a.Ledger()
+	if len(ledger) != 2 {
+		t.Fatalf("ledger entries = %d", len(ledger))
+	}
+	if ledger[0].Label != "iter-0" || ledger[0].Epsilon != 0.5 {
+		t.Fatalf("ledger[0] = %+v", ledger[0])
+	}
+	// Returned ledger is a copy.
+	ledger[0].Label = "mutated"
+	if a.Ledger()[0].Label != "iter-0" {
+		t.Fatal("ledger not copied")
+	}
+}
+
+func TestAccountantGossipError(t *testing.T) {
+	a, _ := NewAccountant(1)
+	a.RecordGossipError(0.01)
+	a.RecordGossipError(-0.05) // absolute value kept
+	a.RecordGossipError(0.002)
+	r := a.Report()
+	if r.MaxGossipRelErr != 0.05 {
+		t.Fatalf("max gossip error = %v, want 0.05", r.MaxGossipRelErr)
+	}
+}
+
+func TestAccountantReport(t *testing.T) {
+	a, _ := NewAccountant(3)
+	_ = a.Spend("x", 1)
+	r := a.Report()
+	if r.TotalEpsilon != 3 || r.SpentEpsilon != 1 || r.Disclosures != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestAccountantConcurrentSpend(t *testing.T) {
+	a, _ := NewAccountant(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				_ = a.Spend("c", 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent(); got != 100 {
+		t.Fatalf("concurrent spent = %v, want exactly the budget", got)
+	}
+}

@@ -1,0 +1,167 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strategy decides how the global privacy budget is distributed across the
+// k-means iterations — the first of the paper's two quality-enhancing
+// heuristic families ("smart privacy budget distribution strategies",
+// Sec. II.B). Allocate must return exactly iterations positive values
+// summing to totalEpsilon (up to floating point).
+type Strategy interface {
+	// Name identifies the strategy in logs and experiment tables.
+	Name() string
+	// Allocate splits totalEpsilon across the given number of iterations.
+	Allocate(totalEpsilon float64, iterations int) ([]float64, error)
+}
+
+func checkAllocArgs(totalEpsilon float64, iterations int) error {
+	if totalEpsilon <= 0 {
+		return fmt.Errorf("dp: total epsilon %v must be positive", totalEpsilon)
+	}
+	if iterations < 1 {
+		return fmt.Errorf("dp: iterations %d must be >= 1", iterations)
+	}
+	return nil
+}
+
+// Uniform splits the budget evenly: ε_i = ε/I. The baseline strategy.
+type Uniform struct{}
+
+// Name implements Strategy.
+func (Uniform) Name() string { return "uniform" }
+
+// Allocate implements Strategy.
+func (Uniform) Allocate(totalEpsilon float64, iterations int) ([]float64, error) {
+	if err := checkAllocArgs(totalEpsilon, iterations); err != nil {
+		return nil, err
+	}
+	out := make([]float64, iterations)
+	per := totalEpsilon / float64(iterations)
+	for i := range out {
+		out[i] = per
+	}
+	return out, nil
+}
+
+// GeometricIncreasing allocates geometrically growing slices
+// ε_i ∝ Ratio^i, spending little while centroids are still moving wildly
+// and most when the final centroids (the ones users actually keep) are
+// disclosed. Ratio must be > 1.
+type GeometricIncreasing struct {
+	Ratio float64
+}
+
+// Name implements Strategy.
+func (g GeometricIncreasing) Name() string { return fmt.Sprintf("geo-increasing(%.2f)", g.ratio()) }
+
+func (g GeometricIncreasing) ratio() float64 {
+	if g.Ratio <= 1 {
+		return 1.5
+	}
+	return g.Ratio
+}
+
+// Allocate implements Strategy.
+func (g GeometricIncreasing) Allocate(totalEpsilon float64, iterations int) ([]float64, error) {
+	if err := checkAllocArgs(totalEpsilon, iterations); err != nil {
+		return nil, err
+	}
+	r := g.ratio()
+	out := make([]float64, iterations)
+	var norm float64
+	for i := range out {
+		out[i] = math.Pow(r, float64(i))
+		norm += out[i]
+	}
+	for i := range out {
+		out[i] = out[i] / norm * totalEpsilon
+	}
+	return out, nil
+}
+
+// GeometricDecreasing allocates geometrically shrinking slices — most
+// budget to the first iterations, useful when early centroid placement
+// dominates final quality. Ratio must be > 1 (the decay factor).
+type GeometricDecreasing struct {
+	Ratio float64
+}
+
+// Name implements Strategy.
+func (g GeometricDecreasing) Name() string { return fmt.Sprintf("geo-decreasing(%.2f)", g.ratio()) }
+
+func (g GeometricDecreasing) ratio() float64 {
+	if g.Ratio <= 1 {
+		return 1.5
+	}
+	return g.Ratio
+}
+
+// Allocate implements Strategy.
+func (g GeometricDecreasing) Allocate(totalEpsilon float64, iterations int) ([]float64, error) {
+	inc := GeometricIncreasing{Ratio: g.ratio()}
+	out, err := inc.Allocate(totalEpsilon, iterations)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+// FinalBoost reserves a fraction of the budget for the last iteration and
+// splits the rest uniformly: the disclosed end result gets high fidelity
+// while intermediate centroids stay cheap. Fraction defaults to 0.5 and
+// must lie in (0, 1).
+type FinalBoost struct {
+	Fraction float64
+}
+
+// Name implements Strategy.
+func (f FinalBoost) Name() string { return fmt.Sprintf("final-boost(%.2f)", f.fraction()) }
+
+func (f FinalBoost) fraction() float64 {
+	if f.Fraction <= 0 || f.Fraction >= 1 {
+		return 0.5
+	}
+	return f.Fraction
+}
+
+// Allocate implements Strategy.
+func (f FinalBoost) Allocate(totalEpsilon float64, iterations int) ([]float64, error) {
+	if err := checkAllocArgs(totalEpsilon, iterations); err != nil {
+		return nil, err
+	}
+	out := make([]float64, iterations)
+	if iterations == 1 {
+		out[0] = totalEpsilon
+		return out, nil
+	}
+	frac := f.fraction()
+	head := totalEpsilon * (1 - frac) / float64(iterations-1)
+	for i := 0; i < iterations-1; i++ {
+		out[i] = head
+	}
+	out[iterations-1] = totalEpsilon * frac
+	return out, nil
+}
+
+// StrategyByName resolves the strategy names used by CLI flags and the
+// experiment driver.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "", "uniform":
+		return Uniform{}, nil
+	case "geo-increasing":
+		return GeometricIncreasing{}, nil
+	case "geo-decreasing":
+		return GeometricDecreasing{}, nil
+	case "final-boost":
+		return FinalBoost{}, nil
+	default:
+		return nil, fmt.Errorf("dp: unknown budget strategy %q", name)
+	}
+}

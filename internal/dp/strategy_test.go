@@ -1,0 +1,180 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sumsToTotal(t *testing.T, s Strategy, total float64, iters int) []float64 {
+	t.Helper()
+	alloc, err := s.Allocate(total, iters)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if len(alloc) != iters {
+		t.Fatalf("%s: %d slices, want %d", s.Name(), len(alloc), iters)
+	}
+	var sum float64
+	for i, e := range alloc {
+		if e <= 0 {
+			t.Fatalf("%s: slice %d = %v not positive", s.Name(), i, e)
+		}
+		sum += e
+	}
+	if math.Abs(sum-total) > 1e-9*total {
+		t.Fatalf("%s: slices sum to %v, want %v", s.Name(), sum, total)
+	}
+	return alloc
+}
+
+func allStrategies() []Strategy {
+	return []Strategy{
+		Uniform{},
+		GeometricIncreasing{},
+		GeometricIncreasing{Ratio: 2},
+		GeometricDecreasing{},
+		GeometricDecreasing{Ratio: 3},
+		FinalBoost{},
+		FinalBoost{Fraction: 0.7},
+	}
+}
+
+func TestAllStrategiesSumToBudget(t *testing.T) {
+	for _, s := range allStrategies() {
+		for _, iters := range []int{1, 2, 5, 20} {
+			sumsToTotal(t, s, 1.5, iters)
+		}
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	alloc := sumsToTotal(t, Uniform{}, 2.0, 8)
+	for _, e := range alloc {
+		if math.Abs(e-0.25) > 1e-12 {
+			t.Fatalf("uniform slice = %v, want 0.25", e)
+		}
+	}
+}
+
+func TestGeometricIncreasingMonotone(t *testing.T) {
+	alloc := sumsToTotal(t, GeometricIncreasing{Ratio: 1.5}, 1, 6)
+	for i := 1; i < len(alloc); i++ {
+		if alloc[i] <= alloc[i-1] {
+			t.Fatalf("not increasing at %d: %v", i, alloc)
+		}
+	}
+	// Ratio property.
+	if math.Abs(alloc[1]/alloc[0]-1.5) > 1e-9 {
+		t.Fatalf("ratio = %v, want 1.5", alloc[1]/alloc[0])
+	}
+}
+
+func TestGeometricDecreasingMonotone(t *testing.T) {
+	alloc := sumsToTotal(t, GeometricDecreasing{Ratio: 2}, 1, 6)
+	for i := 1; i < len(alloc); i++ {
+		if alloc[i] >= alloc[i-1] {
+			t.Fatalf("not decreasing at %d: %v", i, alloc)
+		}
+	}
+}
+
+func TestGeometricDefaultsOnBadRatio(t *testing.T) {
+	// Ratio <= 1 silently uses the documented default 1.5.
+	a1, err := GeometricIncreasing{Ratio: 0.5}.Allocate(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := GeometricIncreasing{Ratio: 1.5}.Allocate(1, 4)
+	for i := range a1 {
+		if math.Abs(a1[i]-a2[i]) > 1e-12 {
+			t.Fatalf("bad-ratio fallback mismatch at %d", i)
+		}
+	}
+}
+
+func TestFinalBoostShape(t *testing.T) {
+	alloc := sumsToTotal(t, FinalBoost{Fraction: 0.5}, 1, 5)
+	last := alloc[len(alloc)-1]
+	if math.Abs(last-0.5) > 1e-12 {
+		t.Fatalf("final slice = %v, want 0.5", last)
+	}
+	head := alloc[0]
+	for i := 1; i < len(alloc)-1; i++ {
+		if math.Abs(alloc[i]-head) > 1e-12 {
+			t.Fatalf("head slices not uniform: %v", alloc)
+		}
+	}
+	// Single iteration gets everything.
+	one := sumsToTotal(t, FinalBoost{}, 1, 1)
+	if one[0] != 1 {
+		t.Fatalf("1-iteration final-boost = %v", one)
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	for _, s := range allStrategies() {
+		if _, err := s.Allocate(0, 5); err == nil {
+			t.Errorf("%s: zero budget should error", s.Name())
+		}
+		if _, err := s.Allocate(-1, 5); err == nil {
+			t.Errorf("%s: negative budget should error", s.Name())
+		}
+		if _, err := s.Allocate(1, 0); err == nil {
+			t.Errorf("%s: zero iterations should error", s.Name())
+		}
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for name, wantName := range map[string]string{
+		"":               "uniform",
+		"uniform":        "uniform",
+		"geo-increasing": "geo-increasing(1.50)",
+		"geo-decreasing": "geo-decreasing(1.50)",
+		"final-boost":    "final-boost(0.50)",
+	} {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if s.Name() != wantName {
+			t.Errorf("%q resolved to %q, want %q", name, s.Name(), wantName)
+		}
+	}
+	if _, err := StrategyByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestStrategySumProperty(t *testing.T) {
+	// Property: any positive budget and iteration count yields a valid
+	// allocation for every strategy.
+	f := func(rawEps float64, rawIters uint8) bool {
+		eps := math.Abs(rawEps)
+		if eps < 1e-6 || eps > 1e6 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+			return true
+		}
+		iters := int(rawIters%30) + 1
+		for _, s := range allStrategies() {
+			alloc, err := s.Allocate(eps, iters)
+			if err != nil || len(alloc) != iters {
+				return false
+			}
+			var sum float64
+			for _, e := range alloc {
+				if e <= 0 {
+					return false
+				}
+				sum += e
+			}
+			if math.Abs(sum-eps) > 1e-9*eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

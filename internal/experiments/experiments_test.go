@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny is an even smaller scale than Quick, for test speed.
+var tiny = Scale{Population: 100, Iterations: 3, Repeats: 1}
+
+func checkTable(t *testing.T, tab *Table, wantID string) {
+	t.Helper()
+	if tab.ID != wantID {
+		t.Fatalf("table id = %q, want %q", tab.ID, wantID)
+	}
+	if tab.Title == "" {
+		t.Fatal("empty title")
+	}
+	if len(tab.Header) < 2 {
+		t.Fatalf("header too small: %v", tab.Header)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| --- |") && !strings.Contains(md, "--- |") {
+		t.Fatal("markdown separator missing")
+	}
+	if !strings.Contains(md, tab.Title) {
+		t.Fatal("markdown missing title")
+	}
+}
+
+func TestE1(t *testing.T) {
+	tab, err := E1CentroidEvolution(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E1")
+	if len(tab.Rows) != tiny.Iterations {
+		t.Fatalf("rows = %d, want one per iteration", len(tab.Rows))
+	}
+	// Every assignment cell must name a centroid c0..c3.
+	for _, row := range tab.Rows {
+		for _, cell := range row[2:] {
+			if !strings.HasPrefix(cell, "c") {
+				t.Fatalf("assignment cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	tab, err := E2NoiseImpact(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E2")
+	// Column-wise: noise for ε=0.1 must exceed noise for ε=2 on every
+	// iteration row (columns 1 and 4).
+	for _, row := range tab.Rows {
+		lo, err1 := strconv.ParseFloat(row[1], 64)
+		hi, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable cells in %v", row)
+		}
+		if lo <= hi {
+			t.Fatalf("ε=0.1 noise (%v) not above ε=2 noise (%v)", lo, hi)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	tab, err := E3ProfileSearch(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E3")
+}
+
+func TestE4(t *testing.T) {
+	sc := tiny
+	tab, err := E4QualityVsPrivacy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E4")
+	// 2 datasets × 4 ε × 2 variants.
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("ratio cell %q", row[3])
+		}
+		if ratio < 0.3 || ratio > 500 {
+			t.Fatalf("implausible inertia ratio %v in %v", ratio, row)
+		}
+	}
+}
+
+func TestE5(t *testing.T) {
+	tab, err := E5CryptoCosts(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E5a")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per key size", len(tab.Rows))
+	}
+	proj, err := E5CostProjection(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, proj, "E5b")
+}
+
+func TestE6(t *testing.T) {
+	tab, err := E6GossipConvergence(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E6")
+	// Error must decrease across the row (5 -> 40 rounds).
+	for _, row := range tab.Rows {
+		first, _ := strconv.ParseFloat(row[1], 64)
+		last, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if last >= first {
+			t.Fatalf("error did not decay: %v", row)
+		}
+	}
+}
+
+func TestE7(t *testing.T) {
+	tab, err := E7HeuristicsAblation(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E7")
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 4 strategies × 3 smoothings", len(tab.Rows))
+	}
+}
+
+func TestE8(t *testing.T) {
+	tab, err := E8ChurnResilience(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E8")
+	// First row is churn-free: zero crashes.
+	if tab.Rows[0][1] != "0" {
+		t.Fatalf("churn-free row reports crashes: %v", tab.Rows[0])
+	}
+	// Last row (5% churn) must report crashes.
+	if tab.Rows[len(tab.Rows)-1][1] == "0" {
+		t.Fatalf("5%% churn row reports no crashes: %v", tab.Rows[len(tab.Rows)-1])
+	}
+}
+
+func TestE9(t *testing.T) {
+	tab, err := E9NoisePopulationScaling(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E9")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Noise RMSE must stay within one order of magnitude across
+	// populations (that is the point of the scaling rule).
+	lo, hi := 1e9, 0.0
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("cell %q", row[2])
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > lo*10 {
+		t.Fatalf("noise RMSE varies too much across populations: [%v, %v]", lo, hi)
+	}
+}
+
+func TestE10(t *testing.T) {
+	tab, err := E10GossipMessageBudget(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E10")
+	// The 30-round run must aggregate more faithfully than the 6-round
+	// run (aggregation distortion column).
+	first, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	if last >= first {
+		t.Fatalf("30 rounds (%v) not better than 6 rounds (%v)", last, first)
+	}
+}
+
+func TestRegistryAndByID(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 11 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, err := ByID(e.ID); err != nil {
+			t.Fatalf("ByID(%s): %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestMarkdownEscapesNothingButRenders(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "title",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — title", "| a | b |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestLevelInit(t *testing.T) {
+	init := levelInit(4, 3)
+	if len(init) != 4 || len(init[0]) != 3 {
+		t.Fatalf("shape: %v", init)
+	}
+	if init[0][0] != 0.125 || init[3][2] != 0.875 {
+		t.Fatalf("levels: %v", init)
+	}
+}
+
+func TestScaledEps(t *testing.T) {
+	if got := scaledEps(1, 1000); got != 1000 {
+		t.Fatalf("scaledEps = %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package fixedpoint encodes float64 values as scaled integers so that
+// time-series can live in the additively-homomorphic plaintext space
+// Z_{n^s} of the Damgård–Jurik cryptosystem.
+//
+// Two concerns are handled here:
+//
+//  1. Fractional precision: a value x is stored as round(x * 2^FracBits).
+//  2. Signs in a modular ring: Z_M has no negative numbers, so negative
+//     encodings are wrapped as M - |v|, and decoding treats any residue
+//     above M/2 as negative. Callers must ensure |values| stay far below
+//     M/2 (the protocol's plaintext-headroom budget, documented in
+//     internal/core).
+//
+// The codec additionally supports power-of-two pre-scaling (PreScaleBits):
+// the gossip push-sum protocol repeatedly halves values, and halving in
+// Z_M is exact ring arithmetic but only decodes back to the intended
+// rational if the initial encoding carries enough factors of two. See
+// internal/gossip for the contract.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Codec converts between float64 and scaled big.Int representations.
+// The zero value is unusable; use New.
+type Codec struct {
+	fracBits uint
+	scale    *big.Int // 2^fracBits
+	scaleF   float64  // float64(2^fracBits)
+}
+
+// ErrNotFinite is returned when encoding NaN or ±Inf.
+var ErrNotFinite = errors.New("fixedpoint: value is not finite")
+
+// ErrOverflow is returned when a decoded magnitude cannot be represented.
+var ErrOverflow = errors.New("fixedpoint: overflow")
+
+// New returns a Codec with the given number of fractional bits.
+// fracBits must be in [0, 128].
+func New(fracBits uint) (*Codec, error) {
+	if fracBits > 128 {
+		return nil, fmt.Errorf("fixedpoint: fracBits %d > 128", fracBits)
+	}
+	scale := new(big.Int).Lsh(big.NewInt(1), fracBits)
+	return &Codec{
+		fracBits: fracBits,
+		scale:    scale,
+		scaleF:   math.Ldexp(1, int(fracBits)),
+	}, nil
+}
+
+// MustNew is New but panics on error; for use with constant arguments.
+func MustNew(fracBits uint) *Codec {
+	c, err := New(fracBits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FracBits reports the codec's fractional precision.
+func (c *Codec) FracBits() uint { return c.fracBits }
+
+// Encode converts x into a signed scaled integer round(x * 2^fracBits).
+func (c *Codec) Encode(x float64) (*big.Int, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrNotFinite, x)
+	}
+	scaled := x * c.scaleF
+	// For magnitudes within int64, the fast path is exact enough.
+	if math.Abs(scaled) < (1 << 62) {
+		return big.NewInt(int64(math.RoundToEven(scaled))), nil
+	}
+	// Slow path via big.Float for extreme magnitudes.
+	f := new(big.Float).SetPrec(256).SetFloat64(x)
+	f.Mul(f, new(big.Float).SetInt(c.scale))
+	out, _ := f.Int(nil)
+	return out, nil
+}
+
+// Decode converts a signed scaled integer back to float64.
+func (c *Codec) Decode(v *big.Int) float64 {
+	f := new(big.Float).SetPrec(256).SetInt(v)
+	f.Quo(f, new(big.Float).SetInt(c.scale))
+	out, _ := f.Float64()
+	return out
+}
+
+// EncodeMod encodes x into the ring Z_M, wrapping negatives as M - |v|.
+// It fails if the magnitude reaches M/2 (no unambiguous sign).
+func (c *Codec) EncodeMod(x float64, M *big.Int) (*big.Int, error) {
+	v, err := c.Encode(x)
+	if err != nil {
+		return nil, err
+	}
+	return WrapSigned(v, M)
+}
+
+// DecodeMod decodes a ring element of Z_M produced by EncodeMod (or by
+// homomorphic arithmetic on such encodings) back to float64.
+func (c *Codec) DecodeMod(v, M *big.Int) (float64, error) {
+	s, err := UnwrapSigned(v, M)
+	if err != nil {
+		return 0, err
+	}
+	return c.Decode(s), nil
+}
+
+// WrapSigned maps a signed integer v into Z_M (negatives become M-|v|).
+// |v| must be < M/2 so the sign stays recoverable.
+func WrapSigned(v, M *big.Int) (*big.Int, error) {
+	if M.Sign() <= 0 {
+		return nil, errors.New("fixedpoint: modulus must be positive")
+	}
+	half := new(big.Int).Rsh(M, 1)
+	abs := new(big.Int).Abs(v)
+	if abs.Cmp(half) >= 0 {
+		return nil, fmt.Errorf("%w: |%s| >= M/2", ErrOverflow, abs.String())
+	}
+	out := new(big.Int).Mod(v, M)
+	return out, nil
+}
+
+// UnwrapSigned maps a ring element of Z_M back to a signed integer,
+// interpreting residues above M/2 as negative.
+func UnwrapSigned(v, M *big.Int) (*big.Int, error) {
+	if M.Sign() <= 0 {
+		return nil, errors.New("fixedpoint: modulus must be positive")
+	}
+	if v.Sign() < 0 || v.Cmp(M) >= 0 {
+		return nil, fmt.Errorf("fixedpoint: %s not reduced mod M", v.String())
+	}
+	half := new(big.Int).Rsh(M, 1)
+	out := new(big.Int).Set(v)
+	if out.Cmp(half) > 0 {
+		out.Sub(out, M)
+	}
+	return out, nil
+}
+
+// EncodeSeries encodes each element of xs (signed representation).
+func (c *Codec) EncodeSeries(xs []float64) ([]*big.Int, error) {
+	out := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		v, err := c.Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("fixedpoint: element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecodeSeries decodes a slice of signed scaled integers.
+func (c *Codec) DecodeSeries(vs []*big.Int) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = c.Decode(v)
+	}
+	return out
+}
+
+// PreScale multiplies v by 2^bits (in place on a copy), providing the
+// factors of two that gossip halving will consume.
+func PreScale(v *big.Int, bits uint) *big.Int {
+	return new(big.Int).Lsh(v, bits)
+}
+
+// PostScale divides v by 2^bits with round-to-nearest, undoing PreScale
+// after all halvings are accounted for.
+func PostScale(v *big.Int, bits uint) *big.Int {
+	if bits == 0 {
+		return new(big.Int).Set(v)
+	}
+	half := new(big.Int).Lsh(big.NewInt(1), bits-1)
+	out := new(big.Int).Set(v)
+	if out.Sign() >= 0 {
+		out.Add(out, half)
+	} else {
+		out.Sub(out, half)
+	}
+	return out.Quo(out, new(big.Int).Lsh(big.NewInt(1), bits))
+}
+
+// HeadroomBits reports how many bits of |value| headroom remain below M/2
+// for an encoding with the given worst-case magnitude bound. It helps the
+// protocol validate that population * bound * 2^(frac+prescale) fits the
+// plaintext space. Returns a negative number if the bound already
+// overflows.
+func HeadroomBits(M *big.Int, boundBits int) int {
+	return M.BitLen() - 1 - boundBits
+}

@@ -1,0 +1,239 @@
+package fixedpoint
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(129); err == nil {
+		t.Fatal("fracBits > 128 should error")
+	}
+	if c, err := New(0); err != nil || c.FracBits() != 0 {
+		t.Fatalf("fracBits 0 should be allowed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(200) should panic")
+		}
+	}()
+	MustNew(200)
+}
+
+func TestEncodeDecodeExactValues(t *testing.T) {
+	c := MustNew(16)
+	for _, x := range []float64{0, 1, -1, 0.5, -0.25, 1234.0625} {
+		v, err := c.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Decode(v); got != x {
+			t.Fatalf("roundtrip(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	c := MustNew(8)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := c.Encode(x); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("Encode(%v): err = %v", x, err)
+		}
+	}
+}
+
+func TestRoundTripPrecisionProperty(t *testing.T) {
+	c := MustNew(30)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		v, err := c.Encode(x)
+		if err != nil {
+			return false
+		}
+		back := c.Decode(v)
+		return math.Abs(back-x) <= math.Ldexp(1, -30)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeAdditivityProperty(t *testing.T) {
+	// encode(a) + encode(b) decodes to ~(a+b): the property the
+	// homomorphic aggregation relies on.
+	c := MustNew(24)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a := rng.NormFloat64() * 100
+		b := rng.NormFloat64() * 100
+		va, _ := c.Encode(a)
+		vb, _ := c.Encode(b)
+		sum := new(big.Int).Add(va, vb)
+		if got := c.Decode(sum); math.Abs(got-(a+b)) > math.Ldexp(2, -24) {
+			t.Fatalf("decode(enc(%v)+enc(%v)) = %v", a, b, got)
+		}
+	}
+}
+
+func TestWrapUnwrapSigned(t *testing.T) {
+	M := big.NewInt(1000)
+	for _, v := range []int64{0, 1, -1, 499, -499} {
+		w, err := WrapSigned(big.NewInt(v), M)
+		if err != nil {
+			t.Fatalf("wrap(%d): %v", v, err)
+		}
+		if w.Sign() < 0 || w.Cmp(M) >= 0 {
+			t.Fatalf("wrap(%d) = %v not reduced", v, w)
+		}
+		u, err := UnwrapSigned(w, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Int64() != v {
+			t.Fatalf("unwrap(wrap(%d)) = %v", v, u)
+		}
+	}
+}
+
+func TestWrapSignedOverflow(t *testing.T) {
+	M := big.NewInt(1000)
+	if _, err := WrapSigned(big.NewInt(500), M); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("wrap(M/2): err = %v", err)
+	}
+	if _, err := WrapSigned(big.NewInt(-500), M); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("wrap(-M/2): err = %v", err)
+	}
+	if _, err := WrapSigned(big.NewInt(1), big.NewInt(-5)); err == nil {
+		t.Fatal("negative modulus should error")
+	}
+}
+
+func TestUnwrapSignedValidation(t *testing.T) {
+	M := big.NewInt(1000)
+	if _, err := UnwrapSigned(big.NewInt(-1), M); err == nil {
+		t.Fatal("negative residue should error")
+	}
+	if _, err := UnwrapSigned(big.NewInt(1000), M); err == nil {
+		t.Fatal("residue >= M should error")
+	}
+	if _, err := UnwrapSigned(big.NewInt(0), big.NewInt(0)); err == nil {
+		t.Fatal("zero modulus should error")
+	}
+}
+
+func TestModRoundTripProperty(t *testing.T) {
+	c := MustNew(20)
+	M := new(big.Int).Lsh(big.NewInt(1), 64)
+	M.Sub(M, big.NewInt(59)) // arbitrary odd modulus
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+			return true
+		}
+		w, err := c.EncodeMod(x, M)
+		if err != nil {
+			return false
+		}
+		back, err := c.DecodeMod(w, M)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-x) <= math.Ldexp(1, -20)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModularAdditionWithSigns(t *testing.T) {
+	// Mixed-sign sums must decode correctly through the ring.
+	c := MustNew(16)
+	M := big.NewInt(1 << 40)
+	M.Sub(M, big.NewInt(1))
+	a, _ := c.EncodeMod(100.5, M)
+	b, _ := c.EncodeMod(-40.25, M)
+	sum := new(big.Int).Add(a, b)
+	sum.Mod(sum, M)
+	got, err := c.DecodeMod(sum, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60.25 {
+		t.Fatalf("(-40.25 + 100.5) via ring = %v", got)
+	}
+}
+
+func TestEncodeDecodeSeries(t *testing.T) {
+	c := MustNew(12)
+	xs := []float64{1.5, -2.25, 0}
+	vs, err := c.EncodeSeries(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := c.DecodeSeries(vs)
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Fatalf("series roundtrip = %v", back)
+		}
+	}
+	if _, err := c.EncodeSeries([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN in series should error")
+	}
+}
+
+func TestPreScalePostScaleInverse(t *testing.T) {
+	for _, v := range []int64{0, 7, -7, 123456} {
+		for _, bits := range []uint{0, 1, 8, 30} {
+			up := PreScale(big.NewInt(v), bits)
+			down := PostScale(up, bits)
+			if down.Int64() != v {
+				t.Fatalf("postScale(preScale(%d, %d)) = %v", v, bits, down)
+			}
+		}
+	}
+}
+
+func TestPostScaleRounds(t *testing.T) {
+	// 5/4 rounds to 1, 7/4 rounds to 2, -5/4 rounds to -1.
+	if got := PostScale(big.NewInt(5), 2).Int64(); got != 1 {
+		t.Fatalf("PostScale(5,2) = %d", got)
+	}
+	if got := PostScale(big.NewInt(7), 2).Int64(); got != 2 {
+		t.Fatalf("PostScale(7,2) = %d", got)
+	}
+	if got := PostScale(big.NewInt(-5), 2).Int64(); got != -1 {
+		t.Fatalf("PostScale(-5,2) = %d", got)
+	}
+}
+
+func TestHeadroomBits(t *testing.T) {
+	M := new(big.Int).Lsh(big.NewInt(1), 100)
+	if got := HeadroomBits(M, 60); got != 40 {
+		t.Fatalf("headroom = %d, want 40", got)
+	}
+	if got := HeadroomBits(M, 120); got >= 0 {
+		t.Fatalf("overflowing bound should be negative, got %d", got)
+	}
+}
+
+func TestExtremeMagnitudeEncode(t *testing.T) {
+	// Exercise the big.Float slow path.
+	c := MustNew(64)
+	x := 1e30
+	v, err := c.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := c.Decode(v)
+	if math.Abs(back-x)/x > 1e-12 {
+		t.Fatalf("extreme roundtrip: %v vs %v", back, x)
+	}
+}

@@ -1,0 +1,147 @@
+// Package gossip implements the push-sum gossip aggregation protocol of
+// Kempe, Dobra and Gehrke (FOCS 2003), the distribution substrate of
+// Chiaroscuro (demo paper, Sec. II.A): lightweight, fully decentralized,
+// approximate aggregation by periodical point-to-point exchanges whose
+// error converges to zero exponentially fast in the number of exchanges.
+//
+// Chiaroscuro needs the sum protocol twice per iteration — once over
+// additively-homomorphic ciphertexts (the encrypted means) and once for
+// the encrypted Laplace noise shares. To serve both, the protocol state is
+// generic over a Ring: the value type only needs addition and exact
+// halving. Two rings are provided here (float64 and *big.Int residues);
+// internal/core adds the Damgård–Jurik ciphertext ring.
+//
+// # Exact halving over encrypted integers
+//
+// Halving a ciphertext is the homomorphic scalar multiplication by
+// 2^{-1} mod n^s, which is exact ring arithmetic. For the final decrypted
+// value to decode back to the intended rational, every plaintext is
+// pre-scaled by 2^T before the protocol starts (T = total number of
+// halvings a contribution can undergo, i.e. the number of rounds); each
+// contribution's coefficient then stays a non-negative integer multiple
+// of 2^{T-rounds} and the ring element never wraps into "fake negatives".
+// See internal/fixedpoint.PreScale.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Ring is the additive structure push-sum requires of its values.
+// Implementations must not mutate their arguments.
+type Ring[T any] interface {
+	// Zero returns the additive identity.
+	Zero() T
+	// Add returns a + b.
+	Add(a, b T) T
+	// Halve returns the exact half of a (for modular rings, a·2^{-1}).
+	Halve(a T) T
+	// Clone returns an independent copy of a.
+	Clone(a T) T
+}
+
+// Message is the half-share a node pushes to a peer: the value vector and
+// the accompanying push-sum weight.
+type Message[T any] struct {
+	V []T
+	W float64
+}
+
+// State is one node's push-sum accumulator: a vector of ring values plus
+// the scalar weight. The running estimate of the network-wide average of
+// coordinate j is V[j]/W (decoded by the caller; for ciphertext rings the
+// division happens after decryption).
+type State[T any] struct {
+	ring Ring[T]
+	V    []T
+	W    float64
+}
+
+// NewState initializes a node's state with its own contribution and
+// initial weight (1 for averaging; see package doc of internal/core for
+// how Chiaroscuro derives cluster means from averages so that the
+// population size cancels).
+func NewState[T any](ring Ring[T], values []T, weight float64) (*State[T], error) {
+	if ring == nil {
+		return nil, errors.New("gossip: nil ring")
+	}
+	if len(values) == 0 {
+		return nil, errors.New("gossip: empty value vector")
+	}
+	if weight < 0 {
+		return nil, fmt.Errorf("gossip: negative weight %v", weight)
+	}
+	v := make([]T, len(values))
+	for i := range values {
+		v[i] = ring.Clone(values[i])
+	}
+	return &State[T]{ring: ring, V: v, W: weight}, nil
+}
+
+// Emit halves the node's state and returns the outgoing half as a
+// message. The remaining half stays in the state. Push-sum's mass
+// conservation invariant: state + message = previous state.
+func (s *State[T]) Emit() *Message[T] {
+	out := &Message[T]{V: make([]T, len(s.V)), W: s.W / 2}
+	for i := range s.V {
+		h := s.ring.Halve(s.V[i])
+		s.V[i] = h
+		out.V[i] = s.ring.Clone(h)
+	}
+	s.W /= 2
+	return out
+}
+
+// Absorb merges a received message into the state.
+func (s *State[T]) Absorb(m *Message[T]) error {
+	if m == nil {
+		return errors.New("gossip: nil message")
+	}
+	if len(m.V) != len(s.V) {
+		return fmt.Errorf("gossip: message dimension %d != state dimension %d", len(m.V), len(s.V))
+	}
+	for i := range s.V {
+		s.V[i] = s.ring.Add(s.V[i], m.V[i])
+	}
+	s.W += m.W
+	return nil
+}
+
+// Weight returns the current push-sum weight.
+func (s *State[T]) Weight() float64 { return s.W }
+
+// Values returns a copy of the current value vector.
+func (s *State[T]) Values() []T {
+	out := make([]T, len(s.V))
+	for i := range s.V {
+		out[i] = s.ring.Clone(s.V[i])
+	}
+	return out
+}
+
+// FloatRing is the cleartext ring over float64, used by the baseline
+// simulations and by the accounted (non-encrypted) cipher backend.
+type FloatRing struct{}
+
+// Zero implements Ring.
+func (FloatRing) Zero() float64 { return 0 }
+
+// Add implements Ring.
+func (FloatRing) Add(a, b float64) float64 { return a + b }
+
+// Halve implements Ring.
+func (FloatRing) Halve(a float64) float64 { return a / 2 }
+
+// Clone implements Ring.
+func (FloatRing) Clone(a float64) float64 { return a }
+
+// uniformPeer draws a random peer for node i among n nodes, excluding i.
+func uniformPeer(rng *rand.Rand, n, i int) int {
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return j
+}

@@ -1,0 +1,184 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+)
+
+// SimResult captures a standalone push-sum simulation: the per-round
+// worst-case relative estimation error (the quantity whose exponential
+// decay the paper's Sec. II.A invokes) and the final per-node estimates.
+type SimResult struct {
+	// MaxRelErr[r] is the maximum over nodes of the relative L2 error of
+	// the node's average estimate after round r+1.
+	MaxRelErr []float64
+	// MeanRelErr[r] is the mean over nodes of the same quantity.
+	MeanRelErr []float64
+	// Estimates[i] is node i's final estimate of the coordinate-wise
+	// network average.
+	Estimates [][]float64
+	// Messages is the total number of point-to-point messages exchanged.
+	Messages int
+}
+
+// SimulatePushSum runs synchronous push-sum averaging over the given
+// per-node value vectors for the given number of rounds: in each round
+// every alive node halves its state and pushes one half to a uniformly
+// random peer. failProb is the per-node-per-round probability that a
+// node's outgoing message is lost (models crashed/unreachable peers; the
+// mass it carried is lost, which is exactly the distortion the paper's
+// probabilistic-DP analysis must absorb). Deterministic given rng.
+func SimulatePushSum(values [][]float64, rounds int, failProb float64, rng *rand.Rand) (*SimResult, error) {
+	n := len(values)
+	if n < 2 {
+		return nil, errors.New("gossip: need at least 2 nodes")
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("gossip: rounds %d < 1", rounds)
+	}
+	if failProb < 0 || failProb > 1 {
+		return nil, fmt.Errorf("gossip: failure probability %v outside [0,1]", failProb)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	dim := len(values[0])
+	truth := make([]float64, dim)
+	states := make([]*State[float64], n)
+	ring := FloatRing{}
+	for i, v := range values {
+		if len(v) != dim {
+			return nil, fmt.Errorf("gossip: node %d dimension %d != %d", i, len(v), dim)
+		}
+		st, err := NewState[float64](ring, v, 1)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+		for j, x := range v {
+			truth[j] += x
+		}
+	}
+	for j := range truth {
+		truth[j] /= float64(n)
+	}
+	truthNorm := l2norm(truth)
+
+	res := &SimResult{}
+	for r := 0; r < rounds; r++ {
+		// Synchronous round: all sends computed first, then delivered.
+		type send struct {
+			to  int
+			msg *Message[float64]
+		}
+		sends := make([]send, 0, n)
+		for i := 0; i < n; i++ {
+			msg := states[i].Emit()
+			if rng.Float64() < failProb {
+				continue // message (and its mass) lost
+			}
+			sends = append(sends, send{to: uniformPeer(rng, n, i), msg: msg})
+		}
+		for _, s := range sends {
+			if err := states[s.to].Absorb(s.msg); err != nil {
+				return nil, err
+			}
+			res.Messages++
+		}
+		maxErr, sumErr := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			e := relErr(states[i], truth, truthNorm)
+			if e > maxErr {
+				maxErr = e
+			}
+			sumErr += e
+		}
+		res.MaxRelErr = append(res.MaxRelErr, maxErr)
+		res.MeanRelErr = append(res.MeanRelErr, sumErr/float64(n))
+	}
+	res.Estimates = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		res.Estimates[i] = estimate(states[i])
+	}
+	return res, nil
+}
+
+func estimate(s *State[float64]) []float64 {
+	out := make([]float64, len(s.V))
+	if s.W == 0 {
+		return out
+	}
+	for j, v := range s.V {
+		out[j] = v / s.W
+	}
+	return out
+}
+
+func relErr(s *State[float64], truth []float64, truthNorm float64) float64 {
+	est := estimate(s)
+	var acc float64
+	for j := range truth {
+		d := est[j] - truth[j]
+		acc += d * d
+	}
+	if truthNorm == 0 {
+		return math.Sqrt(acc)
+	}
+	return math.Sqrt(acc) / truthNorm
+}
+
+func l2norm(v []float64) float64 {
+	var acc float64
+	for _, x := range v {
+		acc += x * x
+	}
+	return math.Sqrt(acc)
+}
+
+// ModRing is the ring of residues mod M with exact halving by 2^{-1}
+// mod M (M must be odd). It is the plaintext-space mirror of the
+// ciphertext ring and backs the accounted (crypto-disabled) backend so
+// that both backends execute bit-identical gossip arithmetic.
+type ModRing struct {
+	M    *big.Int
+	inv2 *big.Int
+}
+
+// NewModRing builds a ModRing for odd modulus M.
+func NewModRing(M *big.Int) (*ModRing, error) {
+	if M == nil || M.Sign() <= 0 || M.Bit(0) == 0 {
+		return nil, errors.New("gossip: modulus must be positive and odd")
+	}
+	inv2 := new(big.Int).ModInverse(big.NewInt(2), M)
+	if inv2 == nil {
+		return nil, errors.New("gossip: 2 not invertible mod M")
+	}
+	return &ModRing{M: new(big.Int).Set(M), inv2: inv2}, nil
+}
+
+// Zero implements Ring.
+func (r *ModRing) Zero() *big.Int { return new(big.Int) }
+
+// Add implements Ring.
+func (r *ModRing) Add(a, b *big.Int) *big.Int {
+	out := new(big.Int).Add(a, b)
+	return out.Mod(out, r.M)
+}
+
+// Halve implements Ring: multiplication by 2^{-1} mod M, computed in its
+// division-free form (even residues shift right; odd residues become
+// (a+M)/2, exact because M is odd).
+func (r *ModRing) Halve(a *big.Int) *big.Int {
+	out := new(big.Int)
+	if a.Bit(0) == 0 {
+		return out.Rsh(a, 1)
+	}
+	out.Add(a, r.M)
+	return out.Rsh(out, 1)
+}
+
+// Clone implements Ring.
+func (r *ModRing) Clone(a *big.Int) *big.Int { return new(big.Int).Set(a) }

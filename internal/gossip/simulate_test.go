@@ -1,0 +1,145 @@
+package gossip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomValues(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestSimulatePushSumConvergesToAverage(t *testing.T) {
+	values := randomValues(100, 3, 1)
+	truth := make([]float64, 3)
+	for _, v := range values {
+		for j, x := range v {
+			truth[j] += x
+		}
+	}
+	for j := range truth {
+		truth[j] /= float64(len(values))
+	}
+	res, err := SimulatePushSum(values, 40, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalErr := res.MaxRelErr[len(res.MaxRelErr)-1]
+	if finalErr > 1e-4 {
+		t.Fatalf("final max relative error = %v", finalErr)
+	}
+	for i, est := range res.Estimates {
+		for j := range truth {
+			if math.Abs(est[j]-truth[j]) > 1e-3 {
+				t.Fatalf("node %d estimate[%d] = %v, want %v", i, j, est[j], truth[j])
+			}
+		}
+	}
+}
+
+func TestSimulatePushSumErrorDecaysExponentially(t *testing.T) {
+	// The paper's Sec. II.A premise: error converges to zero
+	// exponentially fast in the number of exchanges. Check that the mean
+	// error drops by at least ~100x between round 10 and round 40.
+	values := randomValues(200, 2, 7)
+	res, err := SimulatePushSum(values, 40, 0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e10, e40 := res.MeanRelErr[9], res.MeanRelErr[39]
+	if e40 >= e10/100 {
+		t.Fatalf("error not decaying exponentially: round10=%v round40=%v", e10, e40)
+	}
+	// And weakly decreasing overall trend: final < first.
+	if res.MeanRelErr[39] >= res.MeanRelErr[0] {
+		t.Fatalf("error increased: %v -> %v", res.MeanRelErr[0], res.MeanRelErr[39])
+	}
+}
+
+func TestSimulatePushSumMessagesCount(t *testing.T) {
+	values := randomValues(50, 1, 5)
+	res, err := SimulatePushSum(values, 10, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 50*10 {
+		t.Fatalf("messages = %d, want 500", res.Messages)
+	}
+}
+
+func TestSimulatePushSumWithFailuresStillUsable(t *testing.T) {
+	values := randomValues(100, 2, 11)
+	clean, err := SimulatePushSum(values, 30, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := SimulatePushSum(values, 30, 0.10, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Messages >= clean.Messages {
+		t.Fatalf("failures should drop messages: %d vs %d", lossy.Messages, clean.Messages)
+	}
+	// Estimates remain close to the truth despite 10% loss: push-sum
+	// estimates are self-normalizing weighted averages.
+	finalErr := lossy.MaxRelErr[len(lossy.MaxRelErr)-1]
+	if finalErr > 0.05 {
+		t.Fatalf("10%% loss error = %v, want < 5%%", finalErr)
+	}
+}
+
+func TestSimulatePushSumValidation(t *testing.T) {
+	if _, err := SimulatePushSum([][]float64{{1}}, 5, 0, nil); err == nil {
+		t.Fatal("single node should error")
+	}
+	if _, err := SimulatePushSum(randomValues(5, 1, 1), 0, 0, nil); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+	if _, err := SimulatePushSum(randomValues(5, 1, 1), 5, 1.5, nil); err == nil {
+		t.Fatal("failProb > 1 should error")
+	}
+	bad := [][]float64{{1, 2}, {3}}
+	if _, err := SimulatePushSum(bad, 5, 0, nil); err == nil {
+		t.Fatal("ragged input should error")
+	}
+}
+
+func TestSimulatePushSumDeterministic(t *testing.T) {
+	values := randomValues(30, 2, 9)
+	a, _ := SimulatePushSum(values, 15, 0.05, rand.New(rand.NewSource(8)))
+	b, _ := SimulatePushSum(values, 15, 0.05, rand.New(rand.NewSource(8)))
+	for i := range a.MaxRelErr {
+		if a.MaxRelErr[i] != b.MaxRelErr[i] {
+			t.Fatalf("round %d differs: %v vs %v", i, a.MaxRelErr[i], b.MaxRelErr[i])
+		}
+	}
+}
+
+func TestSimulatePushSumNilRNGDefaults(t *testing.T) {
+	if _, err := SimulatePushSum(randomValues(10, 1, 2), 5, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreRoundsNeverWorse(t *testing.T) {
+	// Weak monotonicity: error after 2x rounds must be <= error after x
+	// rounds (same seed, prefix property of the simulation).
+	values := randomValues(80, 2, 13)
+	res, err := SimulatePushSum(values, 40, 0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelErr[39] > res.MaxRelErr[19] {
+		t.Fatalf("error grew with rounds: %v -> %v", res.MaxRelErr[19], res.MaxRelErr[39])
+	}
+}

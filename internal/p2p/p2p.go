@@ -1,0 +1,369 @@
+// Package p2p is a cycle-driven peer-to-peer network simulator modeled on
+// Peersim's cycle-driven mode (Montresor & Jelasity, P2P 2009), which is
+// the execution substrate of the Chiaroscuro demonstration. Protocols
+// implement a NextCycle method — the exact entry point the paper
+// describes ("Chiaroscuro ... implements Peersim's nextCycle method by
+// the core of its execution sequence") — and the engine calls it for
+// every alive node once per cycle, in a freshly shuffled order.
+//
+// The engine provides:
+//
+//   - a uniform peer-sampling oracle (optionally restricted by a
+//     Topology), as Peersim's idealized membership service;
+//   - asynchronous point-to-point messages with per-message byte
+//     accounting (delivered into the destination's inbox, drained at its
+//     next activation — there is no global synchronization, matching
+//     Sec. II.B);
+//   - a churn model: per-cycle crash and rejoin probabilities, with
+//     messages to crashed nodes dropped (the "possibly faulty computing
+//     nodes" of the paper's challenge statement);
+//   - deterministic execution given a seed.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a simulated node (dense, 0-based).
+type NodeID int
+
+// Protocol is the per-node behaviour, Peersim-style.
+type Protocol interface {
+	// NextCycle runs one activation of the node. All interaction with
+	// the network happens through ctx, which is only valid during the
+	// call.
+	NextCycle(ctx *Context)
+}
+
+// Resetter is optionally implemented by protocols whose state must be
+// cleared when a node rejoins after a crash with ResetOnRejoin set.
+type Resetter interface {
+	Reset()
+}
+
+// Message is an in-flight or delivered point-to-point message.
+type Message struct {
+	From    NodeID
+	Payload any
+	// Bytes is the caller-declared serialized size, used for cost
+	// accounting only.
+	Bytes int
+}
+
+// ChurnModel configures per-cycle failures.
+type ChurnModel struct {
+	// CrashProb is the probability that an alive node crashes at the
+	// start of a cycle (losing its inbox).
+	CrashProb float64
+	// RejoinProb is the probability that a crashed node comes back at
+	// the start of a cycle.
+	RejoinProb float64
+	// ResetOnRejoin clears protocol state on rejoin (permanent loss);
+	// otherwise the node resumes with its pre-crash state (transient
+	// outage).
+	ResetOnRejoin bool
+}
+
+func (c ChurnModel) validate() error {
+	if c.CrashProb < 0 || c.CrashProb > 1 {
+		return fmt.Errorf("p2p: crash probability %v outside [0,1]", c.CrashProb)
+	}
+	if c.RejoinProb < 0 || c.RejoinProb > 1 {
+		return fmt.Errorf("p2p: rejoin probability %v outside [0,1]", c.RejoinProb)
+	}
+	return nil
+}
+
+// Topology restricts which peers a node may sample. A nil Topology means
+// the complete graph (Peersim's idealized oracle).
+type Topology interface {
+	// Neighbors returns the candidate peer set of id in a population of
+	// size n. The returned slice must not be mutated by callers.
+	Neighbors(id NodeID, n int) []NodeID
+}
+
+// Stats aggregates the cost counters of a run — the quantities behind the
+// demo's network-cost displays.
+type Stats struct {
+	Cycles          int
+	MessagesSent    int
+	MessagesDropped int
+	BytesSent       int64
+	Crashes         int
+	Rejoins         int
+}
+
+// Options configures a Network.
+type Options struct {
+	Seed     int64
+	Churn    ChurnModel
+	Topology Topology
+}
+
+type nodeSlot struct {
+	proto Protocol
+	alive bool
+	inbox []Message
+	// pending holds messages sent during the current cycle; they become
+	// visible in inbox at the start of the next cycle. This synchronous
+	// delivery discipline bounds the number of gossip halvings a
+	// contribution can undergo per cycle to one, which is what lets the
+	// fixed-point pre-scaling budget equal the number of gossip rounds
+	// (see internal/gossip package docs).
+	pending []Message
+}
+
+// Network is the simulation engine.
+type Network struct {
+	nodes []nodeSlot
+	cycle int
+	rng   *rand.Rand
+	churn ChurnModel
+	topo  Topology
+	stats Stats
+	order []int // scratch permutation
+}
+
+// New builds a network of n nodes whose protocols come from factory.
+func New(n int, factory func(NodeID) Protocol, opts Options) (*Network, error) {
+	if n < 2 {
+		return nil, errors.New("p2p: need at least 2 nodes")
+	}
+	if factory == nil {
+		return nil, errors.New("p2p: nil protocol factory")
+	}
+	if err := opts.Churn.validate(); err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		nodes: make([]nodeSlot, n),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		churn: opts.Churn,
+		topo:  opts.Topology,
+		order: make([]int, n),
+	}
+	for i := range nw.nodes {
+		p := factory(NodeID(i))
+		if p == nil {
+			return nil, fmt.Errorf("p2p: factory returned nil protocol for node %d", i)
+		}
+		nw.nodes[i] = nodeSlot{proto: p, alive: true}
+	}
+	for i := range nw.order {
+		nw.order[i] = i
+	}
+	return nw, nil
+}
+
+// Size returns the population size (alive or not).
+func (nw *Network) Size() int { return len(nw.nodes) }
+
+// Cycle returns the number of completed cycles.
+func (nw *Network) Cycle() int { return nw.cycle }
+
+// Stats returns a copy of the accumulated counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Alive reports whether a node is currently up.
+func (nw *Network) Alive(id NodeID) bool {
+	return id >= 0 && int(id) < len(nw.nodes) && nw.nodes[id].alive
+}
+
+// AliveCount returns the number of alive nodes.
+func (nw *Network) AliveCount() int {
+	c := 0
+	for i := range nw.nodes {
+		if nw.nodes[i].alive {
+			c++
+		}
+	}
+	return c
+}
+
+// Protocol exposes a node's protocol instance for inspection by
+// harnesses. It panics on an out-of-range id (programmer error).
+func (nw *Network) Protocol(id NodeID) Protocol {
+	return nw.nodes[id].proto
+}
+
+// ForEachAlive invokes f for every alive node.
+func (nw *Network) ForEachAlive(f func(NodeID, Protocol)) {
+	for i := range nw.nodes {
+		if nw.nodes[i].alive {
+			f(NodeID(i), nw.nodes[i].proto)
+		}
+	}
+}
+
+// RunCycle advances the simulation by one cycle: delivers the previous
+// cycle's messages, applies churn, then activates each alive node once in
+// a shuffled order.
+func (nw *Network) RunCycle() {
+	for i := range nw.nodes {
+		slot := &nw.nodes[i]
+		if len(slot.pending) > 0 {
+			slot.inbox = append(slot.inbox, slot.pending...)
+			slot.pending = nil
+		}
+	}
+	nw.applyChurn()
+	nw.rng.Shuffle(len(nw.order), func(i, j int) {
+		nw.order[i], nw.order[j] = nw.order[j], nw.order[i]
+	})
+	for _, idx := range nw.order {
+		slot := &nw.nodes[idx]
+		if !slot.alive {
+			continue
+		}
+		ctx := &Context{nw: nw, id: NodeID(idx)}
+		slot.proto.NextCycle(ctx)
+		ctx.nw = nil // invalidate escaped contexts
+	}
+	nw.cycle++
+	nw.stats.Cycles = nw.cycle
+}
+
+// Run advances the simulation by the given number of cycles.
+func (nw *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		nw.RunCycle()
+	}
+}
+
+func (nw *Network) applyChurn() {
+	if nw.churn.CrashProb == 0 && nw.churn.RejoinProb == 0 {
+		return
+	}
+	for i := range nw.nodes {
+		slot := &nw.nodes[i]
+		if slot.alive {
+			if nw.rng.Float64() < nw.churn.CrashProb {
+				slot.alive = false
+				slot.inbox = nil
+				slot.pending = nil
+				nw.stats.Crashes++
+			}
+		} else if nw.rng.Float64() < nw.churn.RejoinProb {
+			slot.alive = true
+			nw.stats.Rejoins++
+			if nw.churn.ResetOnRejoin {
+				if r, ok := slot.proto.(Resetter); ok {
+					r.Reset()
+				}
+			}
+		}
+	}
+}
+
+// send delivers a message, dropping it if the destination is down.
+func (nw *Network) send(from, to NodeID, payload any, bytes int) error {
+	if to < 0 || int(to) >= len(nw.nodes) {
+		return fmt.Errorf("p2p: destination %d out of range", to)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("p2p: negative message size %d", bytes)
+	}
+	nw.stats.MessagesSent++
+	nw.stats.BytesSent += int64(bytes)
+	slot := &nw.nodes[to]
+	if !slot.alive {
+		nw.stats.MessagesDropped++
+		return nil
+	}
+	slot.pending = append(slot.pending, Message{From: from, Payload: payload, Bytes: bytes})
+	return nil
+}
+
+// randomPeer samples a uniform alive peer of id (excluding id itself),
+// respecting the topology. ok is false when no candidate is alive.
+func (nw *Network) randomPeer(id NodeID) (NodeID, bool) {
+	if nw.topo != nil {
+		cands := nw.topo.Neighbors(id, len(nw.nodes))
+		// Reservoir-sample an alive candidate.
+		picked, count := NodeID(-1), 0
+		for _, c := range cands {
+			if c == id || !nw.Alive(c) {
+				continue
+			}
+			count++
+			if nw.rng.Intn(count) == 0 {
+				picked = c
+			}
+		}
+		return picked, picked >= 0
+	}
+	alive := nw.AliveCount()
+	if alive < 2 {
+		return -1, false
+	}
+	for {
+		j := NodeID(nw.rng.Intn(len(nw.nodes)))
+		if j != id && nw.Alive(j) {
+			return j, true
+		}
+	}
+}
+
+// Context is the per-activation handle a protocol uses to interact with
+// the network.
+type Context struct {
+	nw *Network
+	id NodeID
+}
+
+// ID returns the node being activated.
+func (c *Context) ID() NodeID { return c.id }
+
+// Cycle returns the current cycle number (0-based).
+func (c *Context) Cycle() int { return c.nw.cycle }
+
+// PopulationSize returns the total number of nodes.
+func (c *Context) PopulationSize() int { return len(c.nw.nodes) }
+
+// AliveCount returns the number of currently alive nodes.
+func (c *Context) AliveCount() int { return c.nw.AliveCount() }
+
+// Inbox drains and returns the node's pending messages.
+func (c *Context) Inbox() []Message {
+	slot := &c.nw.nodes[c.id]
+	out := slot.inbox
+	slot.inbox = nil
+	return out
+}
+
+// Send queues a message to another node; bytes is the serialized size
+// used for cost accounting. Messages to crashed nodes are silently
+// dropped (but counted).
+func (c *Context) Send(to NodeID, payload any, bytes int) error {
+	return c.nw.send(c.id, to, payload, bytes)
+}
+
+// RandomPeer samples a uniform alive peer, excluding the node itself.
+func (c *Context) RandomPeer() (NodeID, bool) {
+	return c.nw.randomPeer(c.id)
+}
+
+// RandomPeers samples up to k distinct alive peers (excluding the node).
+// Fewer are returned when the alive population is small.
+func (c *Context) RandomPeers(k int) []NodeID {
+	out := make([]NodeID, 0, k)
+	seen := map[NodeID]bool{c.id: true}
+	// Bounded attempts so a mostly-dead network terminates.
+	for attempts := 0; len(out) < k && attempts < 16*(k+1); attempts++ {
+		p, ok := c.nw.randomPeer(c.id)
+		if !ok {
+			break
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Rand exposes the deterministic simulation RNG (e.g. for protocols that
+// need extra coin flips while staying reproducible).
+func (c *Context) Rand() *rand.Rand { return c.nw.rng }

@@ -1,0 +1,116 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete is the fully connected topology (the default when a Network is
+// built with a nil Topology). Provided explicitly so experiments can name
+// it.
+type Complete struct {
+	cache []NodeID
+}
+
+// Neighbors implements Topology.
+func (t *Complete) Neighbors(id NodeID, n int) []NodeID {
+	if len(t.cache) != n {
+		t.cache = make([]NodeID, n)
+		for i := range t.cache {
+			t.cache[i] = NodeID(i)
+		}
+	}
+	return t.cache
+}
+
+// Ring connects each node to its k successors and k predecessors on a
+// cycle.
+type Ring struct {
+	K     int
+	cache map[NodeID][]NodeID
+}
+
+// Neighbors implements Topology.
+func (t *Ring) Neighbors(id NodeID, n int) []NodeID {
+	k := t.K
+	if k < 1 {
+		k = 1
+	}
+	if t.cache == nil {
+		t.cache = make(map[NodeID][]NodeID)
+	}
+	if nb, ok := t.cache[id]; ok {
+		return nb
+	}
+	nb := make([]NodeID, 0, 2*k)
+	for d := 1; d <= k; d++ {
+		nb = append(nb, NodeID((int(id)+d)%n), NodeID((int(id)-d+n*d)%n))
+	}
+	t.cache[id] = nb
+	return nb
+}
+
+// RandomRegular gives every node K random out-neighbors chosen once at
+// construction (a static random overlay, as Peersim's wire-k-out
+// initializers build).
+type RandomRegular struct {
+	K    int
+	Seed int64
+
+	adj [][]NodeID
+}
+
+// Neighbors implements Topology.
+func (t *RandomRegular) Neighbors(id NodeID, n int) []NodeID {
+	if t.adj == nil {
+		t.build(n)
+	}
+	if int(id) >= len(t.adj) {
+		return nil
+	}
+	return t.adj[id]
+}
+
+func (t *RandomRegular) build(n int) {
+	k := t.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	t.adj = make([][]NodeID, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		nb := make([]NodeID, 0, k)
+		for _, p := range perm {
+			if p == i {
+				continue
+			}
+			nb = append(nb, NodeID(p))
+			if len(nb) == k {
+				break
+			}
+		}
+		t.adj[i] = nb
+	}
+}
+
+// TopologyByName resolves the topology names used by CLI flags.
+func TopologyByName(name string, k int, seed int64) (Topology, error) {
+	switch name {
+	case "", "complete":
+		return &Complete{}, nil
+	case "ring":
+		return &Ring{K: k}, nil
+	case "random":
+		return &RandomRegular{K: k, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("p2p: unknown topology %q", name)
+	}
+}

@@ -1,0 +1,117 @@
+package p2p
+
+import (
+	"testing"
+)
+
+func TestCompleteTopology(t *testing.T) {
+	topo := &Complete{}
+	nb := topo.Neighbors(3, 6)
+	if len(nb) != 6 {
+		t.Fatalf("complete neighbors = %d, want 6 (self filtered by sampler)", len(nb))
+	}
+	// Cache reuse across calls.
+	nb2 := topo.Neighbors(1, 6)
+	if &nb[0] != &nb2[0] {
+		t.Fatal("complete topology should reuse its cache")
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	topo := &Ring{K: 2}
+	nb := topo.Neighbors(0, 10)
+	want := map[NodeID]bool{1: true, 9: true, 2: true, 8: true}
+	if len(nb) != 4 {
+		t.Fatalf("ring neighbors = %v", nb)
+	}
+	for _, id := range nb {
+		if !want[id] {
+			t.Fatalf("unexpected ring neighbor %d in %v", id, nb)
+		}
+	}
+}
+
+func TestRingTopologyDefaultK(t *testing.T) {
+	topo := &Ring{}
+	nb := topo.Neighbors(5, 10)
+	if len(nb) != 2 {
+		t.Fatalf("default ring should have 2 neighbors, got %v", nb)
+	}
+}
+
+func TestRandomRegularTopology(t *testing.T) {
+	topo := &RandomRegular{K: 4, Seed: 1}
+	for id := NodeID(0); id < 10; id++ {
+		nb := topo.Neighbors(id, 10)
+		if len(nb) != 4 {
+			t.Fatalf("node %d: %d neighbors, want 4", id, len(nb))
+		}
+		seen := map[NodeID]bool{id: true}
+		for _, p := range nb {
+			if seen[p] {
+				t.Fatalf("node %d: duplicate/self neighbor %d", id, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRandomRegularKClamped(t *testing.T) {
+	topo := &RandomRegular{K: 99, Seed: 2}
+	nb := topo.Neighbors(0, 5)
+	if len(nb) != 4 {
+		t.Fatalf("clamped k: %d neighbors, want 4", len(nb))
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a := &RandomRegular{K: 3, Seed: 7}
+	b := &RandomRegular{K: 3, Seed: 7}
+	for id := NodeID(0); id < 8; id++ {
+		na, nb := a.Neighbors(id, 8), b.Neighbors(id, 8)
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d: %v vs %v", id, na, nb)
+			}
+		}
+	}
+}
+
+func TestTopologyByName(t *testing.T) {
+	for _, name := range []string{"", "complete", "ring", "random"} {
+		if _, err := TopologyByName(name, 3, 1); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+	if _, err := TopologyByName("hypercube", 3, 1); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestNetworkWithRingTopologySamplesOnlyNeighbors(t *testing.T) {
+	sampled := map[NodeID]bool{}
+	nw, err := New(10, func(id NodeID) Protocol {
+		return protoFunc(func(ctx *Context) {
+			if ctx.ID() != 0 {
+				return
+			}
+			for i := 0; i < 30; i++ {
+				if p, ok := ctx.RandomPeer(); ok {
+					sampled[p] = true
+				}
+			}
+		})
+	}, Options{Seed: 15, Topology: &Ring{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(2)
+	for p := range sampled {
+		if p != 1 && p != 9 {
+			t.Fatalf("sampled non-neighbor %d", p)
+		}
+	}
+	if len(sampled) != 2 {
+		t.Fatalf("sampled set = %v, want both ring neighbors", sampled)
+	}
+}

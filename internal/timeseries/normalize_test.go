@@ -1,0 +1,142 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizeMinMaxBounds(t *testing.T) {
+	set := []Series{{-2, 0, 4}, {1, 3, 6}}
+	n, err := NormalizeMinMax(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range set {
+		if v := s.Min(); v < lo {
+			lo = v
+		}
+		if v := s.Max(); v > hi {
+			hi = v
+		}
+	}
+	if !almostEq(lo, 0, 1e-12) || !almostEq(hi, 1, 1e-12) {
+		t.Fatalf("normalized bounds [%v, %v], want [0, 1]", lo, hi)
+	}
+	if n.Offset != -2 {
+		t.Fatalf("offset = %v, want -2", n.Offset)
+	}
+}
+
+func TestNormalizeInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := make([]Series, 5)
+	set := make([]Series, 5)
+	for i := range set {
+		s := make(Series, 8)
+		for j := range s {
+			s[j] = rng.NormFloat64() * 100
+		}
+		orig[i] = s.Clone()
+		set[i] = s
+	}
+	n, err := NormalizeMinMax(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set {
+		back := n.InvertSeries(set[i])
+		for j := range back {
+			if !almostEq(back[j], orig[i][j], 1e-9) {
+				t.Fatalf("roundtrip mismatch at [%d][%d]: %v vs %v", i, j, back[j], orig[i][j])
+			}
+		}
+	}
+}
+
+func TestNormalizeApplyInvertScalar(t *testing.T) {
+	n := Normalization{Offset: 10, Scale: 0.5}
+	if got := n.Apply(12); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("apply = %v", got)
+	}
+	if got := n.Invert(1); !almostEq(got, 12, 1e-12) {
+		t.Fatalf("invert = %v", got)
+	}
+	z := Normalization{Offset: 3, Scale: 0}
+	if got := z.Invert(0.7); got != 3 {
+		t.Fatalf("zero-scale invert = %v, want offset", got)
+	}
+}
+
+func TestNormalizeConstantDataset(t *testing.T) {
+	set := []Series{{5, 5}, {5, 5}}
+	n, err := NormalizeMinMax(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Scale != 1 {
+		t.Fatalf("constant dataset scale = %v, want 1", n.Scale)
+	}
+	for _, s := range set {
+		for _, v := range s {
+			if v != 0 {
+				t.Fatalf("constant dataset should map to 0, got %v", v)
+			}
+		}
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := NormalizeMinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("nil set: err = %v", err)
+	}
+	if _, err := NormalizeMinMax([]Series{{}}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty series: err = %v", err)
+	}
+}
+
+func TestApplySeriesDoesNotMutate(t *testing.T) {
+	n := Normalization{Offset: 1, Scale: 2}
+	s := Series{1, 2}
+	out := n.ApplySeries(s)
+	if s[0] != 1 || s[1] != 2 {
+		t.Fatalf("ApplySeries mutated input: %v", s)
+	}
+	if out[0] != 0 || out[1] != 2 {
+		t.Fatalf("ApplySeries = %v", out)
+	}
+}
+
+func TestZScoreEach(t *testing.T) {
+	set := []Series{{1, 2, 3}, {10, 10, 10}}
+	means, stds, err := ZScoreEach(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(means[0], 2, 1e-12) || !almostEq(means[1], 10, 1e-12) {
+		t.Fatalf("means = %v", means)
+	}
+	if !almostEq(set[0].Mean(), 0, 1e-12) || !almostEq(set[0].Std(), 1, 1e-12) {
+		t.Fatalf("standardized series 0: mean=%v std=%v", set[0].Mean(), set[0].Std())
+	}
+	// Constant series maps to zeros, std reported as 0.
+	if stds[1] != 0 {
+		t.Fatalf("constant std = %v", stds[1])
+	}
+	for _, v := range set[1] {
+		if v != 0 {
+			t.Fatalf("constant series should map to zeros: %v", set[1])
+		}
+	}
+}
+
+func TestZScoreEachErrors(t *testing.T) {
+	if _, _, err := ZScoreEach(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := ZScoreEach([]Series{{1}, {}}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("one empty: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Match is one result of a profile search: the profile index, the offset at
+// which the query subsequence aligns best, and the (Euclidean) distance at
+// that alignment.
+type Match struct {
+	Profile  int
+	Offset   int
+	Distance float64
+}
+
+// BestAlignment slides query over s and returns the offset minimizing the
+// Euclidean distance between query and the aligned window of s, together
+// with that distance. The query must be non-empty and no longer than s.
+func BestAlignment(s, query Series) (offset int, dist float64, err error) {
+	if len(query) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(query) > len(s) {
+		return 0, 0, fmt.Errorf("timeseries: query length %d exceeds series length %d", len(query), len(s))
+	}
+	best := -1
+	bestSq := 0.0
+	for off := 0; off+len(query) <= len(s); off++ {
+		var acc float64
+		for i, q := range query {
+			d := s[off+i] - q
+			acc += d * d
+			if best >= 0 && acc >= bestSq {
+				break // early abandon: cannot improve
+			}
+		}
+		if best < 0 || acc < bestSq {
+			best, bestSq = off, acc
+		}
+	}
+	return best, sqrt(bestSq), nil
+}
+
+// ClosestProfiles implements the demonstration's interactive use case
+// (Fig. 3 panel 6): given the set of cluster profiles (centroids) and a
+// subsequence of an individual's own series, it returns the m profiles
+// whose best-aligned window is closest to the subsequence, most similar
+// first. Ties are broken by profile index for determinism.
+func ClosestProfiles(profiles []Series, query Series, m int) ([]Match, error) {
+	if len(profiles) == 0 {
+		return nil, ErrEmpty
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("timeseries: requested %d matches", m)
+	}
+	matches := make([]Match, 0, len(profiles))
+	for i, p := range profiles {
+		off, d, err := BestAlignment(p, query)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: profile %d: %w", i, err)
+		}
+		matches = append(matches, Match{Profile: i, Offset: off, Distance: d})
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Distance != matches[b].Distance {
+			return matches[a].Distance < matches[b].Distance
+		}
+		return matches[a].Profile < matches[b].Profile
+	})
+	if m > len(matches) {
+		m = len(matches)
+	}
+	return matches[:m], nil
+}
+
+// NearestSeries returns the index of the series in set closest to target
+// under squared Euclidean distance, together with the squared distance.
+// All series must share target's length.
+func NearestSeries(set []Series, target Series) (int, float64, error) {
+	if len(set) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	best, bestSq := -1, 0.0
+	for i, s := range set {
+		sq, err := SquaredL2(s, target)
+		if err != nil {
+			return 0, 0, fmt.Errorf("timeseries: series %d: %w", i, err)
+		}
+		if best < 0 || sq < bestSq {
+			best, bestSq = i, sq
+		}
+	}
+	return best, bestSq, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

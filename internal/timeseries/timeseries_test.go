@@ -1,0 +1,304 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := Series{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatalf("clone aliases the original")
+	}
+}
+
+func TestZero(t *testing.T) {
+	z := Zero(4)
+	if len(z) != 4 {
+		t.Fatalf("len = %d, want 4", len(z))
+	}
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("z[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAddSubScaleInPlace(t *testing.T) {
+	s := Series{1, 2, 3}
+	if err := s.AddInPlace(Series{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 2 || s[1] != 3 || s[2] != 4 {
+		t.Fatalf("after add: %v", s)
+	}
+	if err := s.SubInPlace(Series{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 0 || s[1] != 1 || s[2] != 2 {
+		t.Fatalf("after sub: %v", s)
+	}
+	s.ScaleInPlace(3)
+	if s[0] != 0 || s[1] != 3 || s[2] != 6 {
+		t.Fatalf("after scale: %v", s)
+	}
+}
+
+func TestAddInPlaceLengthMismatch(t *testing.T) {
+	s := Series{1}
+	if err := s.AddInPlace(Series{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+	if err := s.SubInPlace(Series{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestSumMeanStd(t *testing.T) {
+	s := Series{2, 4, 4, 4, 5, 5, 7, 9}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if !almostEq(s.Std(), 2, 1e-12) {
+		t.Fatalf("std = %v, want 2", s.Std())
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Sum() != 0 {
+		t.Fatalf("empty series stats should be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatalf("empty min/max should be infinities")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Series{3, -1, 7, 0}
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := Series{0, 0, 0}
+	b := Series{1, 2, 2}
+	if d, _ := L2(a, b); !almostEq(d, 3, 1e-12) {
+		t.Fatalf("L2 = %v, want 3", d)
+	}
+	if d, _ := SquaredL2(a, b); !almostEq(d, 9, 1e-12) {
+		t.Fatalf("SquaredL2 = %v, want 9", d)
+	}
+	if d, _ := L1(a, b); !almostEq(d, 5, 1e-12) {
+		t.Fatalf("L1 = %v, want 5", d)
+	}
+	if d, _ := LInf(a, b); !almostEq(d, 2, 1e-12) {
+		t.Fatalf("LInf = %v, want 2", d)
+	}
+}
+
+func TestDistanceMismatch(t *testing.T) {
+	a := Series{1}
+	b := Series{1, 2}
+	for name, f := range map[string]func(Series, Series) (float64, error){
+		"L2": L2, "SquaredL2": SquaredL2, "L1": L1, "LInf": LInf,
+	} {
+		if _, err := f(a, b); !errors.Is(err, ErrLengthMismatch) {
+			t.Errorf("%s: err = %v, want ErrLengthMismatch", name, err)
+		}
+	}
+}
+
+func TestDistanceMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randSeries := func() Series {
+		s := make(Series, 6)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := randSeries(), randSeries(), randSeries()
+		dab, _ := L2(a, b)
+		dba, _ := L2(b, a)
+		if !almostEq(dab, dba, 1e-12) {
+			t.Fatalf("symmetry violated: %v vs %v", dab, dba)
+		}
+		daa, _ := L2(a, a)
+		if daa != 0 {
+			t.Fatalf("identity violated: %v", daa)
+		}
+		dac, _ := L2(a, c)
+		dcb, _ := L2(c, b)
+		if dab > dac+dcb+1e-9 {
+			t.Fatalf("triangle inequality violated: %v > %v + %v", dab, dac, dcb)
+		}
+	}
+}
+
+func TestL1DominatesL2DominatesLInf(t *testing.T) {
+	// Property: LInf <= L2 <= L1 for any pair.
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		half := len(raw) / 2
+		a, b := Series(raw[:half]), Series(raw[half:2*half])
+		for _, v := range append(a.Clone(), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		linf, _ := LInf(a, b)
+		l2, _ := L2(a, b)
+		l1, _ := L1(a, b)
+		return linf <= l2+1e-9 && l2 <= l1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	out, err := Resample(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if !almostEq(out[i], s[i], 1e-12) {
+			t.Fatalf("resample to same length changed values: %v", out)
+		}
+	}
+}
+
+func TestResampleUpDown(t *testing.T) {
+	s := Series{0, 1}
+	up, err := Resample(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{0, 0.5, 1}
+	for i := range want {
+		if !almostEq(up[i], want[i], 1e-12) {
+			t.Fatalf("upsample = %v, want %v", up, want)
+		}
+	}
+	down, err := Resample(Series{0, 1, 2, 3, 4, 5, 6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDown := Series{0, 2, 4, 6}
+	for i := range wantDown {
+		if !almostEq(down[i], wantDown[i], 1e-12) {
+			t.Fatalf("downsample = %v, want %v", down, wantDown)
+		}
+	}
+}
+
+func TestResampleEdgeCases(t *testing.T) {
+	if _, err := Resample(nil, 3); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: err = %v", err)
+	}
+	if _, err := Resample(Series{1}, 0); err == nil {
+		t.Fatalf("m=0 should error")
+	}
+	one, err := Resample(Series{2, 4}, 1)
+	if err != nil || !almostEq(one[0], 3, 1e-12) {
+		t.Fatalf("m=1 should give the mean: %v, %v", one, err)
+	}
+	constant, err := Resample(Series{5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range constant {
+		if v != 5 {
+			t.Fatalf("single-point resample = %v", constant)
+		}
+	}
+}
+
+func TestMovingAveragePreservesConstant(t *testing.T) {
+	s := Series{3, 3, 3, 3, 3}
+	out := MovingAverage(s, 3)
+	for i, v := range out {
+		if !almostEq(v, 3, 1e-12) {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMovingAverageWidthOne(t *testing.T) {
+	s := Series{1, 5, 2}
+	out := MovingAverage(s, 1)
+	for i := range s {
+		if out[i] != s[i] {
+			t.Fatalf("width 1 must copy: %v", out)
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	// Alternating spikes should flatten: variance must strictly drop.
+	s := make(Series, 32)
+	for i := range s {
+		if i%2 == 0 {
+			s[i] = 1
+		}
+	}
+	out := MovingAverage(s, 5)
+	if out.Std() >= s.Std() {
+		t.Fatalf("smoothing did not reduce variance: %v >= %v", out.Std(), s.Std())
+	}
+	// Mean approximately preserved.
+	if !almostEq(out.Mean(), s.Mean(), 0.06) {
+		t.Fatalf("mean drifted: %v vs %v", out.Mean(), s.Mean())
+	}
+}
+
+func TestExponentialSmoothing(t *testing.T) {
+	s := Series{0, 1, 1, 1}
+	out, err := ExponentialSmoothing(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{0, 0.5, 0.75, 0.875}
+	for i := range want {
+		if !almostEq(out[i], want[i], 1e-12) {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if _, err := ExponentialSmoothing(s, 0); err == nil {
+		t.Fatal("alpha=0 should error")
+	}
+	if _, err := ExponentialSmoothing(s, 1.5); err == nil {
+		t.Fatal("alpha>1 should error")
+	}
+	if out, err := ExponentialSmoothing(nil, 0.5); err != nil || len(out) != 0 {
+		t.Fatalf("empty input should be fine: %v, %v", out, err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	out := Clamp(Series{-1, 0.5, 2}, 0, 1)
+	want := Series{0, 0.5, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("clamp = %v, want %v", out, want)
+		}
+	}
+}

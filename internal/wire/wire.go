@@ -1,0 +1,311 @@
+// Package wire provides stable binary encodings for the protocol's
+// transportable artifacts: public keys, threshold key material, key
+// shares, ciphertexts and partial decryptions. A real Chiaroscuro
+// deployment moves these between devices; the demonstration platform
+// stores them. The format is deliberately simple and self-describing:
+//
+//	[1 byte kind] [1 byte version] { [4-byte big-endian length] [payload] }*
+//
+// where each payload is the minimal big-endian two's-complement-free
+// magnitude of a non-negative big.Int, or a 4-byte big-endian integer for
+// scalar fields. All values in the protocol are non-negative residues, so
+// no sign bytes are needed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+// Artifact kind tags.
+const (
+	kindPublicKey byte = 0x01
+	kindKeyShare  byte = 0x02
+	kindPartial   byte = 0x03
+	kindCipher    byte = 0x04
+)
+
+const version byte = 1
+
+// Encoding errors.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrBadKind   = errors.New("wire: unexpected artifact kind")
+	ErrBadVer    = errors.New("wire: unsupported version")
+)
+
+// appendField appends a length-prefixed big-endian field.
+func appendField(buf []byte, payload []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(payload)))
+	buf = append(buf, l[:]...)
+	return append(buf, payload...)
+}
+
+func appendInt(buf []byte, v *big.Int) []byte {
+	if v == nil || v.Sign() < 0 {
+		// Negative values never occur in valid artifacts; encode as
+		// empty, which round-trips to zero and fails validation later.
+		return appendField(buf, nil)
+	}
+	return appendField(buf, v.Bytes())
+}
+
+func appendUint32(buf []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return appendField(buf, b[:])
+}
+
+// reader walks length-prefixed fields.
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) field() ([]byte, error) {
+	if len(r.buf) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(r.buf[:4])
+	r.buf = r.buf[4:]
+	if uint32(len(r.buf)) < n {
+		return nil, ErrTruncated
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) bigInt() (*big.Int, error) {
+	f, err := r.field()
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(f), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	f, err := r.field()
+	if err != nil {
+		return 0, err
+	}
+	if len(f) != 4 {
+		return 0, fmt.Errorf("wire: scalar field of %d bytes", len(f))
+	}
+	return binary.BigEndian.Uint32(f), nil
+}
+
+func (r *reader) done() error {
+	if len(r.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf))
+	}
+	return nil
+}
+
+func header(kind byte) []byte { return []byte{kind, version} }
+
+func checkHeader(buf []byte, kind byte) (*reader, error) {
+	if len(buf) < 2 {
+		return nil, ErrTruncated
+	}
+	if buf[0] != kind {
+		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrBadKind, buf[0], kind)
+	}
+	if buf[1] != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVer, buf[1])
+	}
+	return &reader{buf: buf[2:]}, nil
+}
+
+// MarshalPublicKey encodes (n, s).
+func MarshalPublicKey(pk *damgardjurik.PublicKey) ([]byte, error) {
+	if pk == nil || pk.N == nil {
+		return nil, errors.New("wire: nil public key")
+	}
+	buf := header(kindPublicKey)
+	buf = appendInt(buf, pk.N)
+	buf = appendUint32(buf, uint32(pk.S))
+	return buf, nil
+}
+
+// UnmarshalPublicKey decodes a public key and rebuilds its caches.
+func UnmarshalPublicKey(buf []byte) (*damgardjurik.PublicKey, error) {
+	r, err := checkHeader(buf, kindPublicKey)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.bigInt()
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return damgardjurik.NewPublicKey(n, int(s))
+}
+
+// MarshalKeyShare encodes a secret key share. Treat the output as secret
+// material.
+func MarshalKeyShare(ks damgardjurik.KeyShare) ([]byte, error) {
+	if ks.Value == nil || ks.Index < 1 {
+		return nil, errors.New("wire: invalid key share")
+	}
+	buf := header(kindKeyShare)
+	buf = appendUint32(buf, uint32(ks.Index))
+	buf = appendInt(buf, ks.Value)
+	return buf, nil
+}
+
+// UnmarshalKeyShare decodes a key share.
+func UnmarshalKeyShare(buf []byte) (damgardjurik.KeyShare, error) {
+	r, err := checkHeader(buf, kindKeyShare)
+	if err != nil {
+		return damgardjurik.KeyShare{}, err
+	}
+	idx, err := r.uint32()
+	if err != nil {
+		return damgardjurik.KeyShare{}, err
+	}
+	v, err := r.bigInt()
+	if err != nil {
+		return damgardjurik.KeyShare{}, err
+	}
+	if err := r.done(); err != nil {
+		return damgardjurik.KeyShare{}, err
+	}
+	if idx < 1 {
+		return damgardjurik.KeyShare{}, errors.New("wire: key share index 0")
+	}
+	return damgardjurik.KeyShare{Index: int(idx), Value: v}, nil
+}
+
+// MarshalPartial encodes a partial decryption.
+func MarshalPartial(p damgardjurik.PartialDecryption) ([]byte, error) {
+	if p.Value == nil || p.Index < 1 {
+		return nil, errors.New("wire: invalid partial decryption")
+	}
+	buf := header(kindPartial)
+	buf = appendUint32(buf, uint32(p.Index))
+	buf = appendInt(buf, p.Value)
+	return buf, nil
+}
+
+// UnmarshalPartial decodes a partial decryption.
+func UnmarshalPartial(buf []byte) (damgardjurik.PartialDecryption, error) {
+	r, err := checkHeader(buf, kindPartial)
+	if err != nil {
+		return damgardjurik.PartialDecryption{}, err
+	}
+	idx, err := r.uint32()
+	if err != nil {
+		return damgardjurik.PartialDecryption{}, err
+	}
+	v, err := r.bigInt()
+	if err != nil {
+		return damgardjurik.PartialDecryption{}, err
+	}
+	if err := r.done(); err != nil {
+		return damgardjurik.PartialDecryption{}, err
+	}
+	if idx < 1 {
+		return damgardjurik.PartialDecryption{}, errors.New("wire: partial index 0")
+	}
+	return damgardjurik.PartialDecryption{Index: int(idx), Value: v}, nil
+}
+
+// MarshalCiphertext encodes one ciphertext, fixed-width against the given
+// public key so message sizes are predictable (the basis of the cost
+// accounting).
+func MarshalCiphertext(pk *damgardjurik.PublicKey, c *big.Int) ([]byte, error) {
+	if pk == nil {
+		return nil, errors.New("wire: nil public key")
+	}
+	if c == nil || c.Sign() <= 0 || c.Cmp(pk.CiphertextModulus()) >= 0 {
+		return nil, errors.New("wire: ciphertext out of range")
+	}
+	width := pk.CiphertextBytes()
+	buf := make([]byte, 0, 2+4+width)
+	buf = append(buf, header(kindCipher)...)
+	payload := make([]byte, width)
+	c.FillBytes(payload)
+	return appendField(buf, payload), nil
+}
+
+// UnmarshalCiphertext decodes a ciphertext and validates it against the
+// public key.
+func UnmarshalCiphertext(pk *damgardjurik.PublicKey, buf []byte) (*big.Int, error) {
+	r, err := checkHeader(buf, kindCipher)
+	if err != nil {
+		return nil, err
+	}
+	f, err := r.field()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(f) != pk.CiphertextBytes() {
+		return nil, fmt.Errorf("wire: ciphertext width %d, want %d", len(f), pk.CiphertextBytes())
+	}
+	c := new(big.Int).SetBytes(f)
+	if c.Sign() <= 0 || c.Cmp(pk.CiphertextModulus()) >= 0 {
+		return nil, errors.New("wire: ciphertext out of range")
+	}
+	return c, nil
+}
+
+// MarshalCiphertextVector encodes a vector of ciphertexts (one gossip
+// message's payload) compactly: header, count, then fixed-width bodies.
+func MarshalCiphertextVector(pk *damgardjurik.PublicKey, cs []*big.Int) ([]byte, error) {
+	if pk == nil {
+		return nil, errors.New("wire: nil public key")
+	}
+	width := pk.CiphertextBytes()
+	buf := make([]byte, 0, 2+4+len(cs)*width)
+	buf = append(buf, header(kindCipher)...)
+	buf = appendUint32(buf, uint32(len(cs)))
+	body := make([]byte, width)
+	for i, c := range cs {
+		if c == nil || c.Sign() <= 0 || c.Cmp(pk.CiphertextModulus()) >= 0 {
+			return nil, fmt.Errorf("wire: ciphertext %d out of range", i)
+		}
+		c.FillBytes(body)
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+// UnmarshalCiphertextVector decodes a ciphertext vector.
+func UnmarshalCiphertextVector(pk *damgardjurik.PublicKey, buf []byte) ([]*big.Int, error) {
+	r, err := checkHeader(buf, kindCipher)
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	width := pk.CiphertextBytes()
+	if uint64(len(r.buf)) != uint64(count)*uint64(width) {
+		return nil, fmt.Errorf("wire: vector body %d bytes, want %d", len(r.buf), int(count)*width)
+	}
+	out := make([]*big.Int, count)
+	for i := range out {
+		c := new(big.Int).SetBytes(r.buf[:width])
+		r.buf = r.buf[width:]
+		if c.Sign() <= 0 || c.Cmp(pk.CiphertextModulus()) >= 0 {
+			return nil, fmt.Errorf("wire: ciphertext %d out of range", i)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+func testKey(t *testing.T) (*damgardjurik.ThresholdKey, []damgardjurik.KeyShare) {
+	t.Helper()
+	tk, shares, err := damgardjurik.FixtureThresholdKey(128, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk, shares
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	tk, _ := testKey(t)
+	pk := &tk.PublicKey
+	buf, err := MarshalPublicKey(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPublicKey(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(pk.N) != 0 || back.S != pk.S {
+		t.Fatal("public key round trip mismatch")
+	}
+	// The rebuilt key must be fully functional.
+	c, err := back.Encrypt(rand.Reader, big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Add(c, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyShareRoundTrip(t *testing.T) {
+	_, shares := testKey(t)
+	for _, ks := range shares {
+		buf, err := MarshalKeyShare(ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalKeyShare(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Index != ks.Index || back.Value.Cmp(ks.Value) != 0 {
+			t.Fatal("key share round trip mismatch")
+		}
+	}
+}
+
+func TestPartialRoundTripAndUse(t *testing.T) {
+	tk, shares := testKey(t)
+	m := big.NewInt(31337)
+	c, err := tk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize both partials, deserialize, and combine the copies.
+	var parts []damgardjurik.PartialDecryption
+	for _, ks := range shares[:2] {
+		p, err := tk.PartialDecrypt(ks, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := MarshalPartial(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalPartial(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, back)
+	}
+	got, err := tk.Combine(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("combined deserialized partials = %v", got)
+	}
+}
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	tk, _ := testKey(t)
+	pk := &tk.PublicKey
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(424242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := MarshalCiphertext(pk, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed width: every ciphertext serializes to the same size.
+	if len(buf) != 2+4+pk.CiphertextBytes() {
+		t.Fatalf("serialized size %d", len(buf))
+	}
+	back, err := UnmarshalCiphertext(pk, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cmp(c) != 0 {
+		t.Fatal("ciphertext round trip mismatch")
+	}
+}
+
+func TestCiphertextVectorRoundTrip(t *testing.T) {
+	tk, shares := testKey(t)
+	pk := &tk.PublicKey
+	var cs []*big.Int
+	for i := int64(0); i < 5; i++ {
+		c, err := pk.Encrypt(rand.Reader, big.NewInt(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	buf, err := MarshalCiphertextVector(pk, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCiphertextVector(pk, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("vector length %d", len(back))
+	}
+	for i := range back {
+		if back[i].Cmp(cs[i]) != 0 {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	// The deserialized ciphertexts decrypt correctly.
+	p1, _ := tk.PartialDecrypt(shares[0], back[3])
+	p2, _ := tk.PartialDecrypt(shares[2], back[3])
+	got, err := tk.Combine([]damgardjurik.PartialDecryption{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 103 {
+		t.Fatalf("decrypted deserialized ciphertext = %v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	tk, _ := testKey(t)
+	pk := &tk.PublicKey
+	cases := [][]byte{
+		nil,
+		{},
+		{0x01},
+		{0xFF, 0x01, 0, 0, 0, 0}, // wrong kind
+		{0x01, 0x99},             // wrong version
+		{0x01, 0x01, 0, 0, 0, 9}, // truncated field
+	}
+	for i, buf := range cases {
+		if _, err := UnmarshalPublicKey(buf); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	if _, err := UnmarshalCiphertext(pk, []byte{0x04, 0x01, 0, 0, 0, 1, 0x00}); err == nil {
+		t.Error("undersized ciphertext accepted")
+	}
+}
+
+func TestUnmarshalKindMismatch(t *testing.T) {
+	_, shares := testKey(t)
+	buf, err := MarshalKeyShare(shares[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPublicKey(buf); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("kind confusion not detected: %v", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	tk, _ := testKey(t)
+	buf, err := MarshalPublicKey(&tk.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xAB)
+	if _, err := UnmarshalPublicKey(buf); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	tk, _ := testKey(t)
+	pk := &tk.PublicKey
+	if _, err := MarshalPublicKey(nil); err == nil {
+		t.Error("nil public key accepted")
+	}
+	if _, err := MarshalKeyShare(damgardjurik.KeyShare{Index: 0, Value: big.NewInt(1)}); err == nil {
+		t.Error("index-0 share accepted")
+	}
+	if _, err := MarshalPartial(damgardjurik.PartialDecryption{Index: 1}); err == nil {
+		t.Error("nil-value partial accepted")
+	}
+	if _, err := MarshalCiphertext(pk, big.NewInt(0)); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := MarshalCiphertext(pk, pk.CiphertextModulus()); err == nil {
+		t.Error("out-of-range ciphertext accepted")
+	}
+	if _, err := MarshalCiphertextVector(pk, []*big.Int{nil}); err == nil {
+		t.Error("nil element accepted")
+	}
+}
+
+func TestVectorOutOfRangeElementRejected(t *testing.T) {
+	tk, _ := testKey(t)
+	pk := &tk.PublicKey
+	c, _ := pk.Encrypt(rand.Reader, big.NewInt(1))
+	buf, err := MarshalCiphertextVector(pk, []*big.Int{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the body to all 0xFF: >= n^{s+1} must be rejected.
+	body := buf[len(buf)-pk.CiphertextBytes():]
+	for i := range body {
+		body[i] = 0xFF
+	}
+	if _, err := UnmarshalCiphertextVector(pk, buf); err == nil {
+		t.Fatal("out-of-range vector element accepted")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	tk, _ := testKey(t)
+	a, _ := MarshalPublicKey(&tk.PublicKey)
+	b, _ := MarshalPublicKey(&tk.PublicKey)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
