@@ -146,6 +146,48 @@ func BenchmarkDamgardJurikOps(b *testing.B) {
 	}
 }
 
+// benchClusterEngine times full protocol runs through the public API on
+// the accounted backend at population n with the given engine — the
+// basis of the engine-scaling comparison (see BenchmarkEngine*).
+func benchClusterEngine(b *testing.B, n int, engine string) {
+	b.Helper()
+	series, _, _ := chiaroscuro.SyntheticCER(n, 8, 1)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		b.Fatal(err)
+	}
+	cfg := chiaroscuro.Config{
+		K: 3, Epsilon: 50, Iterations: 2, Seed: 1,
+		GossipRounds: 10, DecryptThreshold: 4,
+		Engine: engine,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.Cluster(series, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCycles1k / BenchmarkEngineSharded1k compare the
+// sequential cycle engine against the sharded engine at a small
+// population (cheap enough for CI smoke runs). The two engines produce
+// bit-identical traces (see internal/core sharded tests); only
+// wall-clock differs.
+func BenchmarkEngineCycles1k(b *testing.B)  { benchClusterEngine(b, 1000, "cycles") }
+func BenchmarkEngineSharded1k(b *testing.B) { benchClusterEngine(b, 1000, "sharded") }
+
+// BenchmarkEngineCycles10k / BenchmarkEngineSharded10k are the paper-
+// scale engine comparison: N=10k participants on the accounted backend.
+// On a host with >=4 cores the sharded engine is expected to finish the
+// same (bit-identical) simulation at least 2x faster than the
+// sequential engine; on a single core the two are equivalent (the
+// sharded scheduler degrades to the sequential one at Workers=1).
+//
+//	go test -bench 'Engine.*10k' -benchtime=1x
+func BenchmarkEngineCycles10k(b *testing.B)  { benchClusterEngine(b, 10000, "cycles") }
+func BenchmarkEngineSharded10k(b *testing.B) { benchClusterEngine(b, 10000, "sharded") }
+
 // BenchmarkClusterEndToEnd times one full protocol run through the
 // public API (accounted backend, demo-scale parameters).
 func BenchmarkClusterEndToEnd(b *testing.B) {

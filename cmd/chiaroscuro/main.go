@@ -34,6 +34,8 @@ func main() {
 		strategy  = flag.String("strategy", "uniform", "budget strategy: uniform | geo-increasing | geo-decreasing | final-boost")
 		smoothing = flag.String("smoothing", "moving-average", "perturbed-mean smoothing: none | moving-average | exponential")
 		backend   = flag.String("backend", "accounted", "cipher backend: accounted | damgard-jurik")
+		engine    = flag.String("engine", "cycles", "execution engine: cycles | sharded | async (sharded is bit-identical to cycles, parallelized)")
+		workers   = flag.Int("workers", 0, "shard workers for -engine sharded (0 = GOMAXPROCS)")
 		modulus   = flag.Int("modulus", 0, "key size in bits (0 = default)")
 		seed      = flag.Int64("seed", 2016, "random seed (whole run is deterministic)")
 		churn     = flag.Float64("churn", 0, "per-cycle crash probability")
@@ -66,6 +68,8 @@ func main() {
 		GossipRounds:     *rounds,
 		DecryptThreshold: *threshold,
 		Backend:          chiaroscuro.Backend(*backend),
+		Engine:           *engine,
+		Workers:          *workers,
 		ModulusBits:      *modulus,
 		Strategy:         *strategy,
 		Smoothing:        chiaroscuro.Smoothing{Method: *smoothing},
@@ -81,7 +85,7 @@ func main() {
 	if *targetPop > 0 {
 		fmt.Printf(" (ε=%.2g at %d devices)", *epsilon, *targetPop)
 	}
-	fmt.Printf(", backend=%s\n", *backend)
+	fmt.Printf(", backend=%s, engine=%s\n", *backend, *engine)
 	fmt.Printf("archetypes in the generator: %v\n\n", archetypes)
 
 	res, err := chiaroscuro.Cluster(series, cfg)

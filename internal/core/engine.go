@@ -1,0 +1,87 @@
+package core
+
+import (
+	"chiaroscuro/internal/p2p"
+)
+
+// engine.go is the per-cycle step API shared by the execution engines.
+// The protocol itself lives in participant.step (one activation against
+// any Env); what distinguishes the engines is only the scheduler that
+// drives those steps:
+//
+//   - Run        — the cycle-driven simulator, one sequential pass per
+//                  cycle (Peersim semantics; deterministic);
+//   - RunSharded — the same cycle-driven simulation executed by P shard
+//                  workers per cycle with a deterministic reduction
+//                  (bit-identical to Run at any worker count; see
+//                  sharded.go and the internal/p2p determinism contract);
+//   - RunAsync   — one goroutine per participant, channel messaging, no
+//                  global synchronization (the paper's deployment model;
+//                  not deterministic).
+//
+// cycleDriver is the shared harness for the two cycle-driven schedulers:
+// it owns the simulated network, steps it until every alive participant
+// has terminated, and assembles the trace.
+type cycleDriver struct {
+	rs           *runSetup
+	data         [][]float64
+	nw           *p2p.Network
+	participants []*participant
+}
+
+// newCycleDriver builds the simulated network around one participant per
+// series. workers selects the p2p scheduler: 1 for the sequential
+// engine, >1 for the sharded engine.
+func newCycleDriver(data [][]float64, rs *runSetup, workers int) (*cycleDriver, error) {
+	n := len(data)
+	participants := make([]*participant, n)
+	factory := func(id p2p.NodeID) p2p.Protocol {
+		pt := rs.newParticipant(id, data[id])
+		participants[id] = pt
+		return pt
+	}
+	nw, err := p2p.New(n, factory, p2p.Options{
+		Seed:    rs.p.Seed + 1,
+		Workers: workers,
+		Churn: p2p.ChurnModel{
+			CrashProb:     rs.p.ChurnCrashProb,
+			RejoinProb:    rs.p.ChurnRejoinProb,
+			ResetOnRejoin: rs.p.ChurnResetOnRejoin,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &cycleDriver{rs: rs, data: data, nw: nw, participants: participants}, nil
+}
+
+// maxCycles bounds the simulation: the protocol schedule length per
+// iteration (assignment + gossip rounds + decryption window) with a 2x
+// slack for churn-induced retries, plus a fixed tail.
+func (d *cycleDriver) maxCycles() int {
+	p := d.rs.p
+	return 2*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 100
+}
+
+// run steps the network cycle by cycle until every alive participant has
+// terminated (or the cycle bound is hit), then builds the trace.
+func (d *cycleDriver) run() (*Trace, error) {
+	limit := d.maxCycles()
+	for cycle := 0; cycle < limit; cycle++ {
+		d.nw.RunCycle()
+		if d.allAliveDone() {
+			break
+		}
+	}
+	return buildTrace(d.data, d.rs.p, d.participants, d.nw.Cycle(), d.nw.Stats(), d.rs.suite, d.rs.accountant)
+}
+
+func (d *cycleDriver) allAliveDone() bool {
+	done := true
+	d.nw.ForEachAlive(func(id p2p.NodeID, _ p2p.Protocol) {
+		if d.participants[id].phase != phaseDone {
+			done = false
+		}
+	})
+	return done
+}

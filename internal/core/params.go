@@ -111,6 +111,13 @@ type Params struct {
 	// Seed drives every random choice (simulation, noise, init).
 	Seed int64
 
+	// Workers is the shard-worker count of RunSharded (ignored by Run
+	// and RunAsync). 0 defaults to GOMAXPROCS. Any value produces
+	// bit-identical results; Workers only trades wall-clock for cores.
+	// The effective count is capped at the population size and at
+	// max(64, 4·GOMAXPROCS) (see internal/p2p).
+	Workers int
+
 	// MaxValue bounds the (normalized) data domain; inputs must lie in
 	// [0, MaxValue]. Default 1. The DP sensitivity derives from it.
 	MaxValue float64
@@ -302,4 +309,28 @@ func (r *cipherRing) Halve(a Cipher) Cipher {
 // backends, so sharing is safe.
 func (r *cipherRing) Clone(a Cipher) Cipher { return a }
 
-var _ gossip.Ring[Cipher] = (*cipherRing)(nil)
+// batchAdder is the optional CipherSuite extension behind the gossip
+// batch path: suites that can fold several addends into one accumulator
+// without intermediate allocations implement it (the accounted plain
+// suite does; the Damgård–Jurik suite falls back to chained Adds).
+type batchAdder interface {
+	AddAll(acc Cipher, vs []Cipher) (Cipher, error)
+}
+
+// AddAll implements gossip.BatchRing.
+func (r *cipherRing) AddAll(acc Cipher, vs []Cipher) Cipher {
+	if ba, ok := r.suite.(batchAdder); ok {
+		out, err := ba.AddAll(acc, vs)
+		if err != nil {
+			panic(fmt.Sprintf("core: cipher batch add: %v", err))
+		}
+		return out
+	}
+	out := acc
+	for _, v := range vs {
+		out = r.Add(out, v)
+	}
+	return out
+}
+
+var _ gossip.BatchRing[Cipher] = (*cipherRing)(nil)

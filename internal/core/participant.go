@@ -119,6 +119,11 @@ type participant struct {
 	history     []IterationResult
 	staleDrops  int
 	decryptFail int
+
+	// absorbBatch is the reusable scratch for the batched gossip
+	// exchange: same-iteration messages drained from one inbox are
+	// absorbed in a single AbsorbAll pass.
+	absorbBatch []*gossip.Message[Cipher]
 }
 
 // runShared is configuration and services shared by all participants of
@@ -162,9 +167,7 @@ func (pt *participant) step(ctx Env) {
 			responses = append(responses, pl)
 		}
 	}
-	for _, g := range gossips {
-		pt.handleGossip(ctx, g)
-	}
+	pt.handleGossips(ctx, gossips)
 	if pt.phase == phaseDone {
 		return
 	}
@@ -327,33 +330,65 @@ func (pt *participant) stepGossip(ctx Env) {
 	}
 }
 
-func (pt *participant) handleGossip(ctx Env, g *gossipPayload) {
-	switch {
-	case pt.phase == phaseDone:
+// handleGossips processes one activation's gossip inflow as a batched
+// exchange: runs of messages absorbable under the current state are
+// validated up front and folded into the push-sum state by a single
+// AbsorbAll pass (which the accounted ring turns into allocation-free
+// accumulator folds); a late-synchronization message flushes the run
+// first, so the observable behaviour — including staleDrops accounting —
+// is identical to absorbing the messages one by one in arrival order.
+func (pt *participant) handleGossips(ctx Env, gs []*gossipPayload) {
+	if len(gs) == 0 || pt.phase == phaseDone {
 		return
-	case g.Iter == pt.iter && (pt.phase == phaseGossip || pt.phase == phaseDecrypt):
-		if pt.phase == phaseDecrypt && pt.pendingCT != nil {
-			// Our estimate is already frozen and under decryption;
-			// absorbing now would desynchronize value and weight.
-			pt.staleDrops++
+	}
+	batch := pt.absorbBatch[:0]
+	flush := func() {
+		if len(batch) == 0 {
 			return
 		}
-		if err := pt.diptych.Means.Absorb(g.Msg); err != nil {
-			pt.staleDrops++
+		if err := pt.diptych.Means.AbsorbAll(batch); err != nil {
+			// Unreachable: the batch is validated message by message
+			// below. Counted defensively rather than panicking.
+			pt.staleDrops += len(batch)
 		}
-	case g.Iter > pt.iter:
-		// Late synchronization: adopt the newer iteration's centroids,
-		// redo the local assignment step, then absorb the message.
-		pt.iter = g.Iter
-		pt.diptych.Centroids = deepCopyMatrix(g.Centroids)
-		pt.phase = phaseAssign
-		pt.stepAssign(ctx)
-		if err := pt.diptych.Means.Absorb(g.Msg); err != nil {
-			pt.staleDrops++
+		for i := range batch {
+			batch[i] = nil // do not pin absorbed messages until next use
 		}
-	default:
-		pt.staleDrops++ // stale iteration: drop
+		batch = batch[:0]
 	}
+	for _, g := range gs {
+		switch {
+		case g.Iter == pt.iter && (pt.phase == phaseGossip || pt.phase == phaseDecrypt):
+			if pt.phase == phaseDecrypt && pt.pendingCT != nil {
+				// Our estimate is already frozen and under decryption;
+				// absorbing now would desynchronize value and weight.
+				pt.staleDrops++
+				continue
+			}
+			if g.Msg == nil || len(g.Msg.V) != len(pt.diptych.Means.V) {
+				pt.staleDrops++ // what Absorb would have rejected
+				continue
+			}
+			batch = append(batch, g.Msg)
+		case g.Iter > pt.iter:
+			// Late synchronization: adopt the newer iteration's
+			// centroids, redo the local assignment step, then absorb the
+			// message. Anything batched so far belongs to the abandoned
+			// iteration's state and is folded in before it is replaced.
+			flush()
+			pt.iter = g.Iter
+			pt.diptych.Centroids = deepCopyMatrix(g.Centroids)
+			pt.phase = phaseAssign
+			pt.stepAssign(ctx)
+			if err := pt.diptych.Means.Absorb(g.Msg); err != nil {
+				pt.staleDrops++
+			}
+		default:
+			pt.staleDrops++ // stale iteration: drop
+		}
+	}
+	flush()
+	pt.absorbBatch = batch[:0]
 }
 
 // --- Step 2c/2d: noise addition + collaborative decryption ----------------

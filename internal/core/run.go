@@ -88,42 +88,20 @@ func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant
 
 // Run executes the full Chiaroscuro protocol over the given cleartext
 // series (one per participant, all in [0, MaxValue]^dim) on the simulated
-// network, and returns the trace. Everything is deterministic given
-// Params.Seed.
+// network, sequentially, and returns the trace. Everything is
+// deterministic given Params.Seed. RunSharded executes the identical
+// simulation across shard workers and produces a bit-identical trace;
+// RunAsync trades determinism for real unsynchronized concurrency.
 func Run(data [][]float64, params Params) (*Trace, error) {
 	rs, err := prepareRun(data, params)
 	if err != nil {
 		return nil, err
 	}
-	p := rs.p
-	n := len(data)
-	participants := make([]*participant, n)
-	factory := func(id p2p.NodeID) p2p.Protocol {
-		pt := rs.newParticipant(id, data[id])
-		participants[id] = pt
-		return pt
-	}
-	nw, err := p2p.New(n, factory, p2p.Options{
-		Seed: p.Seed + 1,
-		Churn: p2p.ChurnModel{
-			CrashProb:     p.ChurnCrashProb,
-			RejoinProb:    p.ChurnRejoinProb,
-			ResetOnRejoin: p.ChurnResetOnRejoin,
-		},
-	})
+	d, err := newCycleDriver(data, rs, 1)
 	if err != nil {
 		return nil, err
 	}
-
-	maxCycles := 2*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 100
-	for cycle := 0; cycle < maxCycles; cycle++ {
-		nw.RunCycle()
-		if allAliveDone(nw, participants) {
-			break
-		}
-	}
-
-	return buildTrace(data, p, participants, nw.Cycle(), nw.Stats(), rs.suite, rs.accountant)
+	return d.run()
 }
 
 // prepareRun validates the inputs and constructs the run-wide state.
@@ -271,16 +249,6 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		shared:     shared,
 		initial:    initial,
 	}, nil
-}
-
-func allAliveDone(nw *p2p.Network, participants []*participant) bool {
-	done := true
-	nw.ForEachAlive(func(id p2p.NodeID, _ p2p.Protocol) {
-		if participants[id].phase != phaseDone {
-			done = false
-		}
-	})
-	return done
 }
 
 func buildTrace(data [][]float64, p Params, participants []*participant, cycles int, stats p2p.Stats, suite CipherSuite, accountant *dp.Accountant) (*Trace, error) {

@@ -109,6 +109,31 @@ func (s *plainSuite) Add(a, b Cipher) (Cipher, error) {
 	return plainCipher{v: out}, nil
 }
 
+// AddAll implements the optional batch extension (see cipherRing): it
+// folds all addends into one freshly allocated accumulator with a
+// conditional subtraction per step — value-identical to a chain of Add
+// calls (operands are reduced residues), but without the intermediate
+// allocations, and it accounts the same number of homomorphic additions.
+func (s *plainSuite) AddAll(acc Cipher, vs []Cipher) (Cipher, error) {
+	ca, ok := acc.(plainCipher)
+	if !ok {
+		return nil, errors.New("core: foreign cipher type in plain suite")
+	}
+	out := new(big.Int).Set(ca.v)
+	for _, v := range vs {
+		cv, ok := v.(plainCipher)
+		if !ok {
+			return nil, errors.New("core: foreign cipher type in plain suite")
+		}
+		out.Add(out, cv.v)
+		if out.Cmp(s.m) >= 0 {
+			out.Sub(out, s.m)
+		}
+	}
+	s.adds.Add(int64(len(vs)))
+	return plainCipher{v: out}, nil
+}
+
 // Halve implements CipherSuite: multiplication by 2^{-1} mod M. For odd
 // M this has a division-free form — even residues shift right, odd
 // residues become (v+M)/2 (exact, since v+M is even) — which is

@@ -1,0 +1,149 @@
+package gossip
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestAbsorbAllMatchesSequentialFloat pins the batched-exchange
+// contract on the non-associative float ring: AbsorbAll must reproduce
+// one-by-one absorption bit for bit, including the weight fold order.
+func TestAbsorbAllMatchesSequentialFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := func() []float64 {
+		v := make([]float64, 5)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	seq, err := NewState[float64](FloatRing{}, vals(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewState[float64](FloatRing{}, append([]float64(nil), seq.V...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*Message[float64]
+	for k := 0; k < 7; k++ {
+		other, _ := NewState[float64](FloatRing{}, vals(), 1)
+		ms = append(ms, other.Emit())
+	}
+	for _, m := range ms {
+		if err := seq.Absorb(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.AbsorbAll(ms); err != nil {
+		t.Fatal(err)
+	}
+	if seq.W != bat.W {
+		t.Fatalf("weights diverge: %v vs %v", seq.W, bat.W)
+	}
+	for i := range seq.V {
+		if seq.V[i] != bat.V[i] {
+			t.Fatalf("coordinate %d diverges: %v vs %v", i, seq.V[i], bat.V[i])
+		}
+	}
+}
+
+// TestAbsorbAllMatchesSequentialMod pins the same contract on the
+// modular ring (the accounted backend's arithmetic), where AddAll uses
+// the single-accumulator conditional-subtraction fold.
+func TestAbsorbAllMatchesSequentialMod(t *testing.T) {
+	m := new(big.Int).Lsh(big.NewInt(1), 61)
+	m.Sub(m, big.NewInt(1))
+	ring, err := NewModRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	vals := func() []*big.Int {
+		v := make([]*big.Int, 4)
+		for i := range v {
+			v[i] = new(big.Int).Rand(rng, m)
+		}
+		return v
+	}
+	start := vals()
+	seq, err := NewState[*big.Int](ring, start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewState[*big.Int](ring, start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*Message[*big.Int]
+	for k := 0; k < 6; k++ {
+		other, _ := NewState[*big.Int](ring, vals(), 1)
+		ms = append(ms, other.Emit())
+	}
+	for _, msg := range ms {
+		if err := seq.Absorb(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.AbsorbAll(ms); err != nil {
+		t.Fatal(err)
+	}
+	if seq.W != bat.W {
+		t.Fatalf("weights diverge: %v vs %v", seq.W, bat.W)
+	}
+	for i := range seq.V {
+		if seq.V[i].Cmp(bat.V[i]) != 0 {
+			t.Fatalf("coordinate %d diverges: %v vs %v", i, seq.V[i], bat.V[i])
+		}
+	}
+}
+
+// TestAbsorbAllValidatesBeforeMutating checks the all-or-nothing
+// property: a malformed message anywhere in the batch must leave the
+// state untouched.
+func TestAbsorbAllValidatesBeforeMutating(t *testing.T) {
+	st, err := NewState[float64](FloatRing{}, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Message[float64]{V: []float64{1, 1, 1}, W: 0.5}
+	bad := &Message[float64]{V: []float64{1}, W: 0.5}
+	if err := st.AbsorbAll([]*Message[float64]{good, bad}); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+	if st.V[0] != 1 || st.W != 1 {
+		t.Fatalf("state mutated by rejected batch: %+v", st)
+	}
+	if err := st.AbsorbAll([]*Message[float64]{good, nil}); err == nil {
+		t.Fatal("nil message not rejected")
+	}
+	if err := st.AbsorbAll(nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestEmitIntoReusesBuffer checks buffer recycling and that EmitInto is
+// arithmetically the same as Emit.
+func TestEmitIntoReusesBuffer(t *testing.T) {
+	a, _ := NewState[float64](FloatRing{}, []float64{8, 4}, 1)
+	b, _ := NewState[float64](FloatRing{}, []float64{8, 4}, 1)
+	buf := &Message[float64]{V: make([]float64, 0, 2)}
+	want := a.Emit()
+	got := b.EmitInto(buf)
+	if got != buf {
+		t.Fatal("EmitInto did not return the provided buffer")
+	}
+	if got.W != want.W || got.V[0] != want.V[0] || got.V[1] != want.V[1] {
+		t.Fatalf("EmitInto diverges from Emit: %+v vs %+v", got, want)
+	}
+	// Second emission into the same buffer must not allocate a new V.
+	prev := &got.V[0]
+	got2 := b.EmitInto(buf)
+	if &got2.V[0] != prev {
+		t.Fatal("EmitInto reallocated a reusable buffer")
+	}
+	if got2.V[0] != 2 { // 8 -> emitted 4, kept 4 -> emitted 2
+		t.Fatalf("second emission value %v, want 2", got2.V[0])
+	}
+}

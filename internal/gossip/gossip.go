@@ -42,6 +42,18 @@ type Ring[T any] interface {
 	Clone(a T) T
 }
 
+// BatchRing is an optional Ring extension for batched exchanges: AddAll
+// folds a whole column of message values into an accumulator in one
+// pass, sparing the intermediate results Add would allocate. The
+// arithmetic must be identical to left-folding Add over vs (same
+// operand order), so batched and sequential absorbs stay bit-identical.
+type BatchRing[T any] interface {
+	Ring[T]
+	// AddAll returns acc + vs[0] + vs[1] + ..., evaluated left to right,
+	// without mutating acc or any element of vs.
+	AddAll(acc T, vs []T) T
+}
+
 // Message is the half-share a node pushes to a peer: the value vector and
 // the accompanying push-sum weight.
 type Message[T any] struct {
@@ -84,14 +96,31 @@ func NewState[T any](ring Ring[T], values []T, weight float64) (*State[T], error
 // message. The remaining half stays in the state. Push-sum's mass
 // conservation invariant: state + message = previous state.
 func (s *State[T]) Emit() *Message[T] {
-	out := &Message[T]{V: make([]T, len(s.V)), W: s.W / 2}
+	return s.EmitInto(nil)
+}
+
+// EmitInto is Emit writing into a caller-owned message, reusing its
+// value buffer when the capacity allows (nil behaves like Emit). Reuse
+// is only sound once the previous occupant of dst has been absorbed —
+// e.g. the synchronous-round pattern of SimulatePushSum, or any schedule
+// where a message is consumed before its sender emits again.
+func (s *State[T]) EmitInto(dst *Message[T]) *Message[T] {
+	if dst == nil {
+		dst = &Message[T]{}
+	}
+	if cap(dst.V) >= len(s.V) {
+		dst.V = dst.V[:len(s.V)]
+	} else {
+		dst.V = make([]T, len(s.V))
+	}
+	dst.W = s.W / 2
 	for i := range s.V {
 		h := s.ring.Halve(s.V[i])
 		s.V[i] = h
-		out.V[i] = s.ring.Clone(h)
+		dst.V[i] = s.ring.Clone(h)
 	}
 	s.W /= 2
-	return out
+	return dst
 }
 
 // Absorb merges a received message into the state.
@@ -106,6 +135,50 @@ func (s *State[T]) Absorb(m *Message[T]) error {
 		s.V[i] = s.ring.Add(s.V[i], m.V[i])
 	}
 	s.W += m.W
+	return nil
+}
+
+// AbsorbAll merges a batch of received messages in one pass — the
+// batched exchange a shard worker performs when several same-iteration
+// messages are waiting in a node's inbox. When the ring implements
+// BatchRing, each coordinate is folded with a single accumulator
+// (allocation-free inner loop); otherwise it falls back to repeated
+// Adds. Either way the result is bit-identical to absorbing the
+// messages one by one in order, and the whole batch is validated before
+// any state is touched (all-or-nothing on malformed input).
+func (s *State[T]) AbsorbAll(ms []*Message[T]) error {
+	for _, m := range ms {
+		if m == nil {
+			return errors.New("gossip: nil message")
+		}
+		if len(m.V) != len(s.V) {
+			return fmt.Errorf("gossip: message dimension %d != state dimension %d", len(m.V), len(s.V))
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return s.Absorb(ms[0])
+	}
+	if br, ok := s.ring.(BatchRing[T]); ok {
+		col := make([]T, len(ms))
+		for i := range s.V {
+			for j, m := range ms {
+				col[j] = m.V[i]
+			}
+			s.V[i] = br.AddAll(s.V[i], col)
+		}
+	} else {
+		for _, m := range ms {
+			for i := range s.V {
+				s.V[i] = s.ring.Add(s.V[i], m.V[i])
+			}
+		}
+	}
+	for _, m := range ms {
+		s.W += m.W
+	}
 	return nil
 }
 
@@ -136,6 +209,18 @@ func (FloatRing) Halve(a float64) float64 { return a / 2 }
 
 // Clone implements Ring.
 func (FloatRing) Clone(a float64) float64 { return a }
+
+// AddAll implements BatchRing. Float addition is not associative, so the
+// left-to-right order is load-bearing for bit-identity with sequential
+// absorbs.
+func (FloatRing) AddAll(acc float64, vs []float64) float64 {
+	for _, v := range vs {
+		acc += v
+	}
+	return acc
+}
+
+var _ BatchRing[float64] = FloatRing{}
 
 // uniformPeer draws a random peer for node i among n nodes, excluding i.
 func uniformPeer(rng *rand.Rand, n, i int) int {

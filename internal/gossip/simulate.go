@@ -68,15 +68,22 @@ func SimulatePushSum(values [][]float64, rounds int, failProb float64, rng *rand
 	truthNorm := l2norm(truth)
 
 	res := &SimResult{}
+	// Per-node reusable message buffers: within a synchronous round every
+	// emitted message is absorbed (or lost) before its sender emits
+	// again, so EmitInto can recycle the buffers across rounds and the
+	// round loop performs no per-message allocations.
+	bufs := make([]*Message[float64], n)
+	type send struct {
+		to  int
+		msg *Message[float64]
+	}
+	sends := make([]send, 0, n)
 	for r := 0; r < rounds; r++ {
 		// Synchronous round: all sends computed first, then delivered.
-		type send struct {
-			to  int
-			msg *Message[float64]
-		}
-		sends := make([]send, 0, n)
+		sends = sends[:0]
 		for i := 0; i < n; i++ {
-			msg := states[i].Emit()
+			msg := states[i].EmitInto(bufs[i])
+			bufs[i] = msg
 			if rng.Float64() < failProb {
 				continue // message (and its mass) lost
 			}
@@ -182,3 +189,19 @@ func (r *ModRing) Halve(a *big.Int) *big.Int {
 
 // Clone implements Ring.
 func (r *ModRing) Clone(a *big.Int) *big.Int { return new(big.Int).Set(a) }
+
+// AddAll implements BatchRing with a single accumulator: operands are
+// reduced residues, so each step needs only a conditional subtraction,
+// and the whole fold allocates one big.Int instead of one per addend.
+func (r *ModRing) AddAll(acc *big.Int, vs []*big.Int) *big.Int {
+	out := new(big.Int).Set(acc)
+	for _, v := range vs {
+		out.Add(out, v)
+		if out.Cmp(r.M) >= 0 {
+			out.Sub(out, r.M)
+		}
+	}
+	return out
+}
+
+var _ BatchRing[*big.Int] = (*ModRing)(nil)

@@ -4,7 +4,7 @@
 // implement a NextCycle method — the exact entry point the paper
 // describes ("Chiaroscuro ... implements Peersim's nextCycle method by
 // the core of its execution sequence") — and the engine calls it for
-// every alive node once per cycle, in a freshly shuffled order.
+// every alive node once per cycle.
 //
 // The engine provides:
 //
@@ -17,14 +17,47 @@
 //   - a churn model: per-cycle crash and rejoin probabilities, with
 //     messages to crashed nodes dropped (the "possibly faulty computing
 //     nodes" of the paper's challenge statement);
-//   - deterministic execution given a seed.
+//   - deterministic execution given a seed, at ANY worker count.
+//
+// # Determinism contract
+//
+// The simulation is a bulk-synchronous-parallel system: messages sent
+// during cycle c become visible in the destination's inbox at cycle c+1
+// (the double-buffered pending/inbox discipline below). Within a cycle,
+// activations therefore cannot observe each other; the only cross-node
+// effects are the order in which sent messages land in a destination's
+// queue and the consumption of randomness. The engine pins both down:
+//
+//   - every node owns a private peer-sampling RNG derived from
+//     (Options.Seed, node id), so the random choices a node makes depend
+//     only on its own activation history, never on scheduling;
+//   - churn is applied sequentially in node-id order at the start of each
+//     cycle from a dedicated RNG;
+//   - nodes are activated in ascending id order, and each destination's
+//     queue receives messages in ascending sender-id order (per-sender
+//     send order preserved).
+//
+// Because the per-destination delivery order is defined by sender id and
+// not by scheduling, the sharded parallel scheduler (shard.go) reproduces
+// the sequential execution bit for bit: it partitions the id space into
+// contiguous shards, buffers sends in per-(source,destination)-shard
+// buckets, and merges them in stable shard order after a barrier.
 package p2p
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 )
+
+// clearMessages zeroes a message slice so recycled backing arrays do
+// not keep payloads reachable.
+func clearMessages(ms []Message) {
+	for i := range ms {
+		ms[i] = Message{}
+	}
+}
 
 // NodeID identifies a simulated node (dense, 0-based).
 type NodeID int
@@ -100,30 +133,68 @@ type Options struct {
 	Seed     int64
 	Churn    ChurnModel
 	Topology Topology
+	// Workers is the number of shard workers activating nodes in
+	// parallel each cycle. 0 or 1 selects the sequential scheduler. Any
+	// value yields bit-identical results (see the package determinism
+	// contract); Workers only trades wall-clock time for cores. The
+	// effective count is capped at the population size and at
+	// maxWorkers = max(64, 4·GOMAXPROCS) — the outbox bucketing is
+	// O(workers²), so uncapped worker counts would cost memory without
+	// buying parallelism (the 64 floor keeps many-shard configurations
+	// testable on small machines).
+	Workers int
+}
+
+// maxWorkers bounds the effective shard-worker count: beyond a few
+// times the core count extra shards add scheduling and O(workers²)
+// bucket overhead with no parallelism gain. Results are unaffected
+// (any worker count is bit-identical).
+func maxWorkers() int {
+	if m := 4 * runtime.GOMAXPROCS(0); m > 64 {
+		return m
+	}
+	return 64
 }
 
 type nodeSlot struct {
 	proto Protocol
 	alive bool
-	inbox []Message
-	// pending holds messages sent during the current cycle; they become
-	// visible in inbox at the start of the next cycle. This synchronous
-	// delivery discipline bounds the number of gossip halvings a
-	// contribution can undergo per cycle to one, which is what lets the
-	// fixed-point pre-scaling budget equal the number of gossip rounds
-	// (see internal/gossip package docs).
+	// rng is the node's private peer-sampling randomness (derived from
+	// the run seed and the node id), making random choices independent
+	// of scheduling.
+	rng *rand.Rand
+	// inbox holds the messages delivered for the current cycle; pending
+	// holds messages sent during the current cycle, which become visible
+	// in inbox at the start of the next cycle. This synchronous delivery
+	// discipline bounds the number of gossip halvings a contribution can
+	// undergo per cycle to one, which is what lets the fixed-point
+	// pre-scaling budget equal the number of gossip rounds (see
+	// internal/gossip package docs). The two buffers are swapped, not
+	// reallocated, so a steady-state cycle performs no queue allocations.
+	inbox   []Message
 	pending []Message
 }
 
 // Network is the simulation engine.
 type Network struct {
-	nodes []nodeSlot
-	cycle int
-	rng   *rand.Rand
-	churn ChurnModel
-	topo  Topology
-	stats Stats
-	order []int // scratch permutation
+	nodes    []nodeSlot
+	cycle    int
+	churnRng *rand.Rand
+	churn    ChurnModel
+	topo     Topology
+	stats    Stats
+	alive    int // cached count, fixed between churn applications
+	workers  int
+	shards   []shardRunner
+}
+
+// nodeSeed derives a node-private RNG seed from the run seed via a
+// splitmix64 finalizer, so streams of distinct nodes are uncorrelated.
+func nodeSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // New builds a network of n nodes whose protocols come from factory.
@@ -137,22 +208,43 @@ func New(n int, factory func(NodeID) Protocol, opts Options) (*Network, error) {
 	if err := opts.Churn.validate(); err != nil {
 		return nil, err
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("p2p: negative worker count %d", opts.Workers)
+	}
 	nw := &Network{
-		nodes: make([]nodeSlot, n),
-		rng:   rand.New(rand.NewSource(opts.Seed)),
-		churn: opts.Churn,
-		topo:  opts.Topology,
-		order: make([]int, n),
+		nodes:    make([]nodeSlot, n),
+		churnRng: rand.New(rand.NewSource(opts.Seed)),
+		churn:    opts.Churn,
+		topo:     opts.Topology,
+		alive:    n,
+		workers:  opts.Workers,
 	}
 	for i := range nw.nodes {
 		p := factory(NodeID(i))
 		if p == nil {
 			return nil, fmt.Errorf("p2p: factory returned nil protocol for node %d", i)
 		}
-		nw.nodes[i] = nodeSlot{proto: p, alive: true}
+		nw.nodes[i] = nodeSlot{
+			proto: p,
+			alive: true,
+			rng:   rand.New(rand.NewSource(nodeSeed(opts.Seed, i))),
+		}
 	}
-	for i := range nw.order {
-		nw.order[i] = i
+	if nw.workers > n {
+		nw.workers = n
+	}
+	if m := maxWorkers(); nw.workers > m {
+		nw.workers = m
+	}
+	if nw.workers > 1 {
+		nw.shards = makeShards(n, nw.workers)
+	}
+	if nw.topo != nil {
+		// Warm any lazy per-node neighbor caches sequentially, so that
+		// Neighbors calls from concurrent shard workers are pure reads.
+		for i := 0; i < n; i++ {
+			nw.topo.Neighbors(NodeID(i), n)
+		}
 	}
 	return nw, nil
 }
@@ -166,21 +258,22 @@ func (nw *Network) Cycle() int { return nw.cycle }
 // Stats returns a copy of the accumulated counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 
+// Workers returns the effective worker count of the scheduler (1 for the
+// sequential engine).
+func (nw *Network) Workers() int {
+	if nw.workers > 1 {
+		return nw.workers
+	}
+	return 1
+}
+
 // Alive reports whether a node is currently up.
 func (nw *Network) Alive(id NodeID) bool {
 	return id >= 0 && int(id) < len(nw.nodes) && nw.nodes[id].alive
 }
 
 // AliveCount returns the number of alive nodes.
-func (nw *Network) AliveCount() int {
-	c := 0
-	for i := range nw.nodes {
-		if nw.nodes[i].alive {
-			c++
-		}
-	}
-	return c
-}
+func (nw *Network) AliveCount() int { return nw.alive }
 
 // Protocol exposes a node's protocol instance for inspection by
 // harnesses. It panics on an out-of-range id (programmer error).
@@ -199,30 +292,46 @@ func (nw *Network) ForEachAlive(f func(NodeID, Protocol)) {
 
 // RunCycle advances the simulation by one cycle: delivers the previous
 // cycle's messages, applies churn, then activates each alive node once in
-// a shuffled order.
+// ascending id order — sequentially, or across shard workers when the
+// network was built with Options.Workers > 1 (bit-identical either way).
 func (nw *Network) RunCycle() {
-	for i := range nw.nodes {
-		slot := &nw.nodes[i]
-		if len(slot.pending) > 0 {
-			slot.inbox = append(slot.inbox, slot.pending...)
-			slot.pending = nil
-		}
-	}
+	nw.deliver()
 	nw.applyChurn()
-	nw.rng.Shuffle(len(nw.order), func(i, j int) {
-		nw.order[i], nw.order[j] = nw.order[j], nw.order[i]
-	})
-	for _, idx := range nw.order {
-		slot := &nw.nodes[idx]
-		if !slot.alive {
-			continue
+	if nw.workers > 1 {
+		nw.runCycleSharded()
+	} else {
+		for idx := range nw.nodes {
+			slot := &nw.nodes[idx]
+			if !slot.alive {
+				continue
+			}
+			ctx := Context{nw: nw, id: NodeID(idx)}
+			slot.proto.NextCycle(&ctx)
+			ctx.nw = nil // invalidate escaped contexts
 		}
-		ctx := &Context{nw: nw, id: NodeID(idx)}
-		slot.proto.NextCycle(ctx)
-		ctx.nw = nil // invalidate escaped contexts
 	}
 	nw.cycle++
 	nw.stats.Cycles = nw.cycle
+}
+
+// deliver moves every node's pending queue into its inbox. The common
+// case (inbox fully drained last cycle) is a buffer swap; leftover
+// undrained messages are preserved by falling back to an append. The
+// slice a protocol obtained from Context.Inbox is invalidated here — it
+// must not be retained across activations.
+func (nw *Network) deliver() {
+	for i := range nw.nodes {
+		slot := &nw.nodes[i]
+		if len(slot.pending) == 0 {
+			continue
+		}
+		if len(slot.inbox) == 0 {
+			slot.inbox, slot.pending = slot.pending, slot.inbox[:0]
+		} else {
+			slot.inbox = append(slot.inbox, slot.pending...)
+			slot.pending = slot.pending[:0]
+		}
+	}
 }
 
 // Run advances the simulation by the given number of cycles.
@@ -239,15 +348,21 @@ func (nw *Network) applyChurn() {
 	for i := range nw.nodes {
 		slot := &nw.nodes[i]
 		if slot.alive {
-			if nw.rng.Float64() < nw.churn.CrashProb {
+			if nw.churnRng.Float64() < nw.churn.CrashProb {
 				slot.alive = false
-				slot.inbox = nil
-				slot.pending = nil
+				// Clear before truncating so the recycled arrays do not
+				// pin the dropped payloads for the rest of the run.
+				clearMessages(slot.inbox)
+				clearMessages(slot.pending)
+				slot.inbox = slot.inbox[:0]
+				slot.pending = slot.pending[:0]
 				nw.stats.Crashes++
+				nw.alive--
 			}
-		} else if nw.rng.Float64() < nw.churn.RejoinProb {
+		} else if nw.churnRng.Float64() < nw.churn.RejoinProb {
 			slot.alive = true
 			nw.stats.Rejoins++
+			nw.alive++
 			if nw.churn.ResetOnRejoin {
 				if r, ok := slot.proto.(Resetter); ok {
 					r.Reset()
@@ -257,13 +372,19 @@ func (nw *Network) applyChurn() {
 	}
 }
 
-// send delivers a message, dropping it if the destination is down.
-func (nw *Network) send(from, to NodeID, payload any, bytes int) error {
+// send delivers a message, dropping it if the destination is down. When
+// the sender is being activated by a shard worker, the message is
+// buffered in the shard's outbox and merged deterministically after the
+// cycle barrier (see shard.go).
+func (nw *Network) send(sh *shardRunner, from, to NodeID, payload any, bytes int) error {
 	if to < 0 || int(to) >= len(nw.nodes) {
 		return fmt.Errorf("p2p: destination %d out of range", to)
 	}
 	if bytes < 0 {
 		return fmt.Errorf("p2p: negative message size %d", bytes)
+	}
+	if sh != nil {
+		return sh.send(nw, from, to, payload, bytes)
 	}
 	nw.stats.MessagesSent++
 	nw.stats.BytesSent += int64(bytes)
@@ -277,8 +398,10 @@ func (nw *Network) send(from, to NodeID, payload any, bytes int) error {
 }
 
 // randomPeer samples a uniform alive peer of id (excluding id itself),
-// respecting the topology. ok is false when no candidate is alive.
+// respecting the topology, from the node's private RNG. ok is false when
+// no candidate is alive.
 func (nw *Network) randomPeer(id NodeID) (NodeID, bool) {
+	rng := nw.nodes[id].rng
 	if nw.topo != nil {
 		cands := nw.topo.Neighbors(id, len(nw.nodes))
 		// Reservoir-sample an alive candidate.
@@ -288,19 +411,18 @@ func (nw *Network) randomPeer(id NodeID) (NodeID, bool) {
 				continue
 			}
 			count++
-			if nw.rng.Intn(count) == 0 {
+			if rng.Intn(count) == 0 {
 				picked = c
 			}
 		}
 		return picked, picked >= 0
 	}
-	alive := nw.AliveCount()
-	if alive < 2 {
+	if nw.alive < 2 {
 		return -1, false
 	}
 	for {
-		j := NodeID(nw.rng.Intn(len(nw.nodes)))
-		if j != id && nw.Alive(j) {
+		j := NodeID(rng.Intn(len(nw.nodes)))
+		if j != id && nw.nodes[j].alive {
 			return j, true
 		}
 	}
@@ -309,8 +431,9 @@ func (nw *Network) randomPeer(id NodeID) (NodeID, bool) {
 // Context is the per-activation handle a protocol uses to interact with
 // the network.
 type Context struct {
-	nw *Network
-	id NodeID
+	nw    *Network
+	id    NodeID
+	shard *shardRunner // nil under the sequential scheduler
 }
 
 // ID returns the node being activated.
@@ -323,13 +446,15 @@ func (c *Context) Cycle() int { return c.nw.cycle }
 func (c *Context) PopulationSize() int { return len(c.nw.nodes) }
 
 // AliveCount returns the number of currently alive nodes.
-func (c *Context) AliveCount() int { return c.nw.AliveCount() }
+func (c *Context) AliveCount() int { return c.nw.alive }
 
-// Inbox drains and returns the node's pending messages.
+// Inbox drains and returns the node's pending messages. The returned
+// slice is only valid until the activation returns: the engine recycles
+// its backing array (copy out any messages that must outlive the call).
 func (c *Context) Inbox() []Message {
 	slot := &c.nw.nodes[c.id]
 	out := slot.inbox
-	slot.inbox = nil
+	slot.inbox = slot.inbox[:0]
 	return out
 }
 
@@ -337,7 +462,7 @@ func (c *Context) Inbox() []Message {
 // used for cost accounting. Messages to crashed nodes are silently
 // dropped (but counted).
 func (c *Context) Send(to NodeID, payload any, bytes int) error {
-	return c.nw.send(c.id, to, payload, bytes)
+	return c.nw.send(c.shard, c.id, to, payload, bytes)
 }
 
 // RandomPeer samples a uniform alive peer, excluding the node itself.
@@ -364,6 +489,7 @@ func (c *Context) RandomPeers(k int) []NodeID {
 	return out
 }
 
-// Rand exposes the deterministic simulation RNG (e.g. for protocols that
-// need extra coin flips while staying reproducible).
-func (c *Context) Rand() *rand.Rand { return c.nw.rng }
+// Rand exposes the node's private deterministic RNG (e.g. for protocols
+// that need extra coin flips while staying reproducible at any worker
+// count).
+func (c *Context) Rand() *rand.Rand { return c.nw.nodes[c.id].rng }

@@ -1,0 +1,160 @@
+package p2p
+
+import "sync"
+
+// shard.go implements the parallel cycle scheduler: the node id space is
+// partitioned into contiguous shards, one worker goroutine activates each
+// shard's alive nodes in ascending id order, and the messages they send
+// are buffered in per-(source shard, destination shard) buckets. After
+// the barrier, buckets are merged into the destination pending queues in
+// stable (source-shard, send-order) order — which, because shards are
+// contiguous and activations within a shard run in id order, is exactly
+// the ascending-sender-id delivery order the sequential scheduler
+// produces. Combined with the per-node RNGs (see the package determinism
+// contract in p2p.go), a sharded cycle is bit-identical to a sequential
+// one.
+//
+// All buffers are retained and reused across cycles (truncated, never
+// reallocated), so a steady-state cycle allocates nothing on the
+// messaging path.
+
+// routed is a buffered message together with its destination.
+type routed struct {
+	to  NodeID
+	msg Message
+}
+
+// shardRunner is one worker's slice of the population plus its private
+// outbox buckets and cost counters for the cycle in flight.
+type shardRunner struct {
+	lo, hi int // node id range [lo, hi)
+	// out[d] buffers the messages this shard's nodes sent to nodes of
+	// destination shard d during the current cycle, in send order.
+	out [][]routed
+	// Per-cycle cost counters, folded into Network.stats at the barrier.
+	sent    int
+	dropped int
+	bytes   int64
+
+	// pad keeps hot per-shard counters on distinct cache lines so the
+	// workers do not false-share while counting.
+	_ [64]byte
+}
+
+// makeShards partitions n nodes into p contiguous shards of near-equal
+// size.
+func makeShards(n, p int) []shardRunner {
+	q := (n + p - 1) / p
+	shards := make([]shardRunner, p)
+	for s := range shards {
+		lo := s * q
+		hi := lo + q
+		if hi > n {
+			hi = n
+		}
+		if lo > n {
+			lo = n
+		}
+		shards[s] = shardRunner{lo: lo, hi: hi, out: make([][]routed, p)}
+	}
+	return shards
+}
+
+// shardOf maps a node id to its shard index for the given shard layout.
+func (nw *Network) shardOf(id NodeID) int {
+	q := nw.shards[0].hi - nw.shards[0].lo
+	if q <= 0 {
+		return 0
+	}
+	s := int(id) / q
+	if s >= len(nw.shards) {
+		s = len(nw.shards) - 1
+	}
+	return s
+}
+
+// send buffers a message in the shard's outbox. Destination validation
+// already happened in Network.send; liveness is stable for the whole
+// cycle (churn applies only at cycle start), so dropping here is
+// equivalent to dropping at merge time.
+func (sh *shardRunner) send(nw *Network, from, to NodeID, payload any, bytes int) error {
+	sh.sent++
+	sh.bytes += int64(bytes)
+	if !nw.nodes[to].alive {
+		sh.dropped++
+		return nil
+	}
+	d := nw.shardOf(to)
+	sh.out[d] = append(sh.out[d], routed{to: to, msg: Message{From: from, Payload: payload, Bytes: bytes}})
+	return nil
+}
+
+// runCycleSharded activates all alive nodes across the shard workers and
+// then performs the deterministic reduction: stats and outboxes are
+// folded in ascending shard order.
+func (nw *Network) runCycleSharded() {
+	var wg sync.WaitGroup
+	for s := range nw.shards {
+		wg.Add(1)
+		go func(sh *shardRunner) {
+			defer wg.Done()
+			for id := sh.lo; id < sh.hi; id++ {
+				slot := &nw.nodes[id]
+				if !slot.alive {
+					continue
+				}
+				ctx := Context{nw: nw, id: NodeID(id), shard: sh}
+				slot.proto.NextCycle(&ctx)
+				ctx.nw = nil
+			}
+		}(&nw.shards[s])
+	}
+	wg.Wait()
+
+	// Deterministic merge. The destination loop can run in parallel
+	// (distinct d touch disjoint pending queues), but the source loop
+	// order is what defines the canonical ascending-sender-id delivery
+	// order and must stay ascending.
+	if len(nw.shards) >= 4 {
+		var mg sync.WaitGroup
+		for d := range nw.shards {
+			mg.Add(1)
+			go func(d int) {
+				defer mg.Done()
+				nw.mergeInto(d)
+			}(d)
+		}
+		mg.Wait()
+	} else {
+		for d := range nw.shards {
+			nw.mergeInto(d)
+		}
+	}
+	for s := range nw.shards {
+		sh := &nw.shards[s]
+		nw.stats.MessagesSent += sh.sent
+		nw.stats.MessagesDropped += sh.dropped
+		nw.stats.BytesSent += sh.bytes
+		sh.sent, sh.dropped, sh.bytes = 0, 0, 0
+	}
+}
+
+// mergeInto appends, in ascending source-shard order, every message
+// destined to shard d onto its destination's pending queue, then resets
+// the buckets for reuse.
+func (nw *Network) mergeInto(d int) {
+	for s := range nw.shards {
+		bucket := nw.shards[s].out[d]
+		for i := range bucket {
+			r := &bucket[i]
+			slot := &nw.nodes[r.to]
+			slot.pending = append(slot.pending, r.msg)
+		}
+		// Clear payload references so pooled buckets do not pin large
+		// gossip payloads across cycles, then truncate for reuse.
+		for i := range bucket {
+			bucket[i] = routed{}
+		}
+		nw.shards[s].out[d] = bucket[:0]
+	}
+}
