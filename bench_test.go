@@ -146,6 +146,130 @@ func BenchmarkDamgardJurikOps(b *testing.B) {
 	}
 }
 
+// BenchmarkDamgardJurikFastPath compares the retained naive reference
+// implementations against the precomputed fast paths, operation by
+// operation (the ISSUE 2 acceptance gate: ≥2× on Encrypt and
+// PartialDecrypt at ModulusBits=1024):
+//
+//   - Encrypt: naive r^{n^s} full-width exponentiation vs the fixed-base
+//     windowed table over H = h^{n^s} with a short exponent;
+//
+//   - PartialDecrypt / Decrypt: direct mod-n^{s+1} exponentiation vs the
+//     CRT split with exponent reduction (bit-identical results);
+//
+//   - Rerandomize: fresh exponentiation vs the precomputed randomizer
+//     pool;
+//
+//   - Combine: per-partial exponentiations vs one simultaneous
+//     multi-exponentiation with cached Lagrange coefficients.
+//
+//     go test -bench 'DamgardJurikFastPath' -benchtime=100x
+func BenchmarkDamgardJurikFastPath(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		tk, shares, err := damgardjurik.FixtureThresholdKey(bits, 1, 8, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk, err := damgardjurik.FixturePrivateKey(bits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ec, err := tk.NewEncContext(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := damgardjurik.NewRandomizerPool(ec, 512, nil)
+		defer pool.Close()
+		m := big.NewInt(123456789)
+		ct, err := tk.Encrypt(rand.Reader, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctSK, err := sk.Encrypt(rand.Reader, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts := make([]damgardjurik.PartialDecryption, 5)
+		for i := 0; i < 5; i++ {
+			parts[i], err = tk.PartialDecrypt(shares[i], ct)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.Run(fmt.Sprintf("Encrypt/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Encrypt/fast/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ec.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PartialDecrypt/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.PartialDecryptNaive(shares[0], ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PartialDecrypt/fast/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.PartialDecrypt(shares[0], ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Decrypt/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.DecryptNaive(ctSK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Decrypt/fast/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Decrypt(ctSK); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Rerandomize/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Rerandomize(rand.Reader, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Rerandomize/pooled/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.Rerandomize(ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Combine/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.CombineNaive(parts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Combine/batched/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Combine(parts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchClusterEngine times full protocol runs through the public API on
 // the accounted backend at population n with the given engine — the
 // basis of the engine-scaling comparison (see BenchmarkEngine*).

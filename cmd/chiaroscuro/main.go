@@ -10,15 +10,26 @@
 //	go run ./cmd/chiaroscuro -dataset tumor -n 1000 -k 4 -epsilon 1
 //	go run ./cmd/chiaroscuro -backend damgard-jurik -n 20 -modulus 256
 //	go run ./cmd/chiaroscuro -churn 0.02 -strategy geo-increasing
+//
+// The -bench-crypto mode skips the protocol entirely and measures the
+// Damgård–Jurik per-operation timings on this machine, naive reference
+// versus precomputed fast path (docs/CRYPTO.md), optionally writing the
+// profiles as JSON for trend tracking (CI uploads BENCH_crypto.json):
+//
+//	go run ./cmd/chiaroscuro -bench-crypto
+//	go run ./cmd/chiaroscuro -bench-crypto -modulus 512 -bench-reps 16 -bench-crypto-out BENCH_crypto.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"chiaroscuro"
+	"chiaroscuro/internal/costmodel"
 )
 
 func main() {
@@ -40,8 +51,19 @@ func main() {
 		seed      = flag.Int64("seed", 2016, "random seed (whole run is deterministic)")
 		churn     = flag.Float64("churn", 0, "per-cycle crash probability")
 		quiet     = flag.Bool("quiet", false, "suppress the per-iteration log")
+
+		benchCrypto    = flag.Bool("bench-crypto", false, "measure Damgård–Jurik op timings (naive vs fast path) and exit")
+		benchCryptoOut = flag.String("bench-crypto-out", "", "with -bench-crypto: also write the profiles as JSON to this file")
+		benchReps      = flag.Int("bench-reps", 8, "with -bench-crypto: repetitions per measured operation")
 	)
 	flag.Parse()
+
+	if *benchCrypto {
+		if err := runBenchCrypto(*modulus, *benchReps, *benchCryptoOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	series, _, archetypes, err := load(*dataset, *n, *seed)
 	if err != nil {
@@ -128,6 +150,79 @@ func main() {
 	}
 	fmt.Printf("elapsed:  %s\n", res.Elapsed.Round(1e6))
 	os.Exit(0)
+}
+
+// cryptoBenchEntry is one key size's measurements in the JSON artifact.
+type cryptoBenchEntry struct {
+	*costmodel.CryptoProfile
+	Speedups map[string]float64 `json:"Speedups"`
+}
+
+// cryptoBenchResult is the BENCH_crypto.json schema: stable enough that
+// CI artifacts from successive commits can be diffed for perf trends.
+type cryptoBenchResult struct {
+	Schema    string             `json:"Schema"` // "chiaroscuro-bench-crypto/v1"
+	Timestamp string             `json:"Timestamp"`
+	Parties   int                `json:"Parties"`
+	Threshold int                `json:"Threshold"`
+	Reps      int                `json:"Reps"`
+	Profiles  []cryptoBenchEntry `json:"Profiles"`
+}
+
+// runBenchCrypto measures naive vs fast-path crypto timings at the given
+// modulus size (0 = the 512/1024 pair) and prints a table; with a
+// non-empty out path it also writes the JSON artifact.
+func runBenchCrypto(modulus, reps int, out string) error {
+	sizes := []int{512, 1024}
+	if modulus != 0 {
+		sizes = []int{modulus}
+	}
+	const parties, threshold = 8, 5
+	res := cryptoBenchResult{
+		Schema:    "chiaroscuro-bench-crypto/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Parties:   parties,
+		Threshold: threshold,
+		Reps:      reps,
+	}
+	fmt.Printf("damgård–jurik op timings, naive vs fast path (s=1, %d-of-%d, %d reps)\n\n", threshold, parties, reps)
+	fmt.Println("bits   op               naive        fast         speedup")
+	for _, bits := range sizes {
+		p, err := costmodel.MeasureProfile(bits, 1, parties, threshold, reps)
+		if err != nil {
+			return err
+		}
+		sp := p.Speedups()
+		rows := []struct {
+			name        string
+			naive, fast time.Duration
+		}{
+			{"encrypt", p.Encrypt, p.FastEncrypt},
+			{"decrypt", p.Decrypt, p.FastDecrypt},
+			{"partial-decrypt", p.PartialDecrypt, p.FastPartialDecrypt},
+			{"combine", p.Combine, p.FastCombine},
+			{"rerandomize", p.Rerandomize, p.FastRerandomize},
+		}
+		for _, r := range rows {
+			fmt.Printf("%-6d %-16s %-12s %-12s %.2fx\n",
+				bits, r.name, r.naive.Round(time.Microsecond), r.fast.Round(time.Microsecond), sp[r.name])
+		}
+		fmt.Printf("%-6d %-16s %-12s %-12s\n", bits, "hom-add", p.Add.Round(time.Nanosecond), "-")
+		fmt.Println()
+		res.Profiles = append(res.Profiles, cryptoBenchEntry{CryptoProfile: p, Speedups: sp})
+	}
+	if out == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 func load(name string, n int, seed int64) ([][]float64, []int, []string, error) {

@@ -35,6 +35,41 @@ func ExampleCluster() {
 	// privacy disclosures: 4 (budget fully spent: true)
 }
 
+// ExampleCluster_damgardJurikBackend runs the protocol with real
+// threshold Damgård–Jurik encryption instead of the accounted plaintext
+// backend: every aggregate is genuinely encrypted, gossiped, and opened
+// by collaborative decryption (4 partial decryptions here). The
+// homomorphic arithmetic runs on the package's precomputed fast paths
+// (fixed-base encryption, CRT partial decryption, pooled
+// rerandomization — see docs/CRYPTO.md), which is what makes even this
+// small end-to-end run quick. Key sizing: 128-bit fixture modulus for
+// example speed; docs/CRYPTO.md and the README discuss the
+// Backend/ModulusBits/Degree trade-offs for real use.
+func ExampleCluster_damgardJurikBackend() {
+	series, _, _ := chiaroscuro.SyntheticTumorGrowth(16, 10, 1)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		log.Fatal(err)
+	}
+	res, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
+		K: 2, Epsilon: 100, Iterations: 2, Seed: 7,
+		Backend:     chiaroscuro.BackendDamgardJurik,
+		ModulusBits: 128, Degree: 1,
+		DecryptThreshold: 4, GossipRounds: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiles disclosed: %d\n", len(res.Centroids))
+	fmt.Printf("participants assigned: %d\n", len(res.Assignments))
+	fmt.Printf("real encryptions happened: %v\n", res.Crypto.Encrypts > 0)
+	fmt.Printf("collaborative decryptions happened: %v\n", res.Crypto.Combines > 0)
+	// Output:
+	// profiles disclosed: 2
+	// participants assigned: 16
+	// real encryptions happened: true
+	// collaborative decryptions happened: true
+}
+
 // ExampleCluster_shardedEngine shows the deterministic parallel engine:
 // Engine "sharded" partitions the participants across Workers shard
 // workers and merges their message queues through a deterministic

@@ -35,6 +35,7 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rs.close()
 	p := rs.p
 	n := len(data)
 	// Gossip protocols are built on *periodical* exchanges (Sec. II.A);

@@ -10,14 +10,14 @@ import (
 // drives those steps:
 //
 //   - Run        — the cycle-driven simulator, one sequential pass per
-//                  cycle (Peersim semantics; deterministic);
+//     cycle (Peersim semantics; deterministic);
 //   - RunSharded — the same cycle-driven simulation executed by P shard
-//                  workers per cycle with a deterministic reduction
-//                  (bit-identical to Run at any worker count; see
-//                  sharded.go and the internal/p2p determinism contract);
+//     workers per cycle with a deterministic reduction
+//     (bit-identical to Run at any worker count; see
+//     sharded.go and the internal/p2p determinism contract);
 //   - RunAsync   — one goroutine per participant, channel messaging, no
-//                  global synchronization (the paper's deployment model;
-//                  not deterministic).
+//     global synchronization (the paper's deployment model;
+//     not deterministic).
 //
 // cycleDriver is the shared harness for the two cycle-driven schedulers:
 // it owns the simulated network, steps it until every alive participant

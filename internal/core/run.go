@@ -73,6 +73,15 @@ type runSetup struct {
 	initial    [][]float64
 }
 
+// close releases suite-held resources — today the Damgård–Jurik
+// backend's randomizer-pool background refill. Each engine defers it
+// once its prepareRun succeeds.
+func (rs *runSetup) close() {
+	if c, ok := rs.suite.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // newParticipant builds one participant over the shared run state.
 func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant {
 	return &participant{
@@ -97,6 +106,7 @@ func Run(data [][]float64, params Params) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rs.close()
 	d, err := newCycleDriver(data, rs, 1)
 	if err != nil {
 		return nil, err

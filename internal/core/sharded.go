@@ -33,6 +33,7 @@ func RunSharded(data [][]float64, params Params) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rs.close()
 	workers := rs.p.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)

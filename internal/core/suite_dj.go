@@ -12,10 +12,24 @@ import (
 // djSuite is the real homomorphic backend over a threshold Damgård–Jurik
 // key. The simulation's trusted dealer holds all key shares and hands
 // each participant its own (share index = participant id + 1).
+//
+// The suite runs entirely on the package's precomputed fast paths
+// (docs/CRYPTO.md): encryption and noise-share encryption draw
+// randomizers from a shared RandomizerPool over a fixed-base table,
+// gossip halving rerandomizes from the same pool, partial decryptions
+// go through the dealer-side CRT context the threshold key carries, and
+// share combination is one batched multi-exponentiation. The
+// EncContext's table is immutable and the pool is channel-based, so all
+// of it is shared safely by the sharded engine's parallel workers;
+// per-worker scratch state lives in sync.Pools inside the crypto
+// package, keeping workers contention-free. Close releases the pool's
+// background refill (Run/RunSharded/RunAsync call it on completion).
 type djSuite struct {
 	tk     *damgardjurik.ThresholdKey
 	shares []damgardjurik.KeyShare
 	inv2   *big.Int
+	enc    *damgardjurik.EncContext
+	pool   *damgardjurik.RandomizerPool
 
 	encrypts        atomic.Int64
 	adds            atomic.Int64
@@ -23,6 +37,11 @@ type djSuite struct {
 	partialDecrypts atomic.Int64
 	combines        atomic.Int64
 }
+
+// djPoolCapacity sizes the shared randomizer pool: large enough to cover
+// a cycle's burst of halvings across workers, small enough that the
+// background fill finishes in milliseconds at demo key sizes.
+const djPoolCapacity = 256
 
 // NewDamgardJurikSuite deals a fresh threshold key over fixture safe
 // primes of the given modulus size and wraps it as a CipherSuite for a
@@ -51,8 +70,17 @@ func newDJSuite(tk *damgardjurik.ThresholdKey, shares []damgardjurik.KeyShare) (
 	if inv2 == nil {
 		return nil, errors.New("core: 2 not invertible in plaintext ring")
 	}
-	return &djSuite{tk: tk, shares: shares, inv2: inv2}, nil
+	enc, err := tk.NewEncContext(nil)
+	if err != nil {
+		return nil, err
+	}
+	pool := damgardjurik.NewRandomizerPool(enc, djPoolCapacity, nil)
+	return &djSuite{tk: tk, shares: shares, inv2: inv2, enc: enc, pool: pool}, nil
 }
+
+// Close stops the randomizer pool's background refill. The suite remains
+// usable afterwards (randomizers are then computed synchronously).
+func (s *djSuite) Close() { s.pool.Close() }
 
 // Name implements CipherSuite.
 func (s *djSuite) Name() string { return "damgard-jurik" }
@@ -63,10 +91,11 @@ func (s *djSuite) PlainModulus() *big.Int { return s.tk.PlaintextModulus() }
 // CipherBytes implements CipherSuite.
 func (s *djSuite) CipherBytes() int { return s.tk.CiphertextBytes() }
 
-// Encrypt implements CipherSuite.
+// Encrypt implements CipherSuite: fixed-base fast-path encryption with a
+// pooled randomizer (decrypt-identical to the naive ciphertexts).
 func (s *djSuite) Encrypt(m *big.Int) (Cipher, error) {
 	s.encrypts.Add(1)
-	return s.tk.Encrypt(nil, m)
+	return s.pool.Encrypt(m)
 }
 
 // Add implements CipherSuite.
@@ -95,7 +124,7 @@ func (s *djSuite) Halve(c Cipher) (Cipher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.tk.Rerandomize(nil, h)
+	return s.pool.Rerandomize(h)
 }
 
 // Parties implements CipherSuite.

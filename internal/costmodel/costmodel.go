@@ -22,24 +22,69 @@ import (
 )
 
 // CryptoProfile holds measured per-operation averages for one key
-// configuration.
+// configuration. Every operation that has a precomputed fast path
+// (docs/CRYPTO.md) is measured twice: the retained naive reference
+// (Encrypt, Decrypt, PartialDecrypt, Combine, Rerandomize) and the
+// fast-path counterpart (Fast*), so accounted-mode reports can surface
+// both the historical naive projection and what the current
+// implementation actually costs.
 type CryptoProfile struct {
 	KeyBits int
 	Degree  int // Damgård–Jurik s
 
+	// Naive reference timings.
 	Encrypt        time.Duration
 	Decrypt        time.Duration
 	Add            time.Duration
 	ScalarMul      time.Duration // full-width exponent (gossip halving)
 	PartialDecrypt time.Duration
 	Combine        time.Duration
+	Rerandomize    time.Duration
+
+	// Fast-path timings: fixed-base table encryption, CRT decryption and
+	// partial decryption, batched multi-exponentiation combine, pooled
+	// rerandomization.
+	FastEncrypt        time.Duration
+	FastDecrypt        time.Duration
+	FastPartialDecrypt time.Duration
+	FastCombine        time.Duration
+	FastRerandomize    time.Duration
 
 	CiphertextBytes int
 }
 
+// Speedups reports naive/fast ratios per accelerated operation (values
+// > 1 mean the fast path wins); operations without both measurements
+// are omitted.
+func (p *CryptoProfile) Speedups() map[string]float64 {
+	out := make(map[string]float64, 5)
+	pairs := []struct {
+		name        string
+		naive, fast time.Duration
+	}{
+		{"encrypt", p.Encrypt, p.FastEncrypt},
+		{"decrypt", p.Decrypt, p.FastDecrypt},
+		{"partial-decrypt", p.PartialDecrypt, p.FastPartialDecrypt},
+		{"combine", p.Combine, p.FastCombine},
+		{"rerandomize", p.Rerandomize, p.FastRerandomize},
+	}
+	for _, pr := range pairs {
+		if pr.naive > 0 && pr.fast > 0 {
+			out[pr.name] = float64(pr.naive) / float64(pr.fast)
+		}
+	}
+	return out
+}
+
 // MeasureProfile times the real implementation over reps repetitions per
 // operation, using fixture moduli (so the measurement is instant to set
-// up). parties/threshold configure the threshold operations.
+// up). parties/threshold configure the threshold operations. Both the
+// naive references and the precomputed fast paths are measured; the
+// one-time fixed-base table construction happens outside the timed
+// regions (the protocol amortizes it across a whole run), and the fast
+// randomized ops are timed synchronously — the RandomizerPool only
+// shifts that work off the latency path, it does not shrink the CPU
+// cost a projection must charge.
 func MeasureProfile(keyBits, degree, parties, threshold, reps int) (*CryptoProfile, error) {
 	if reps < 1 {
 		reps = 8
@@ -52,6 +97,10 @@ func MeasureProfile(keyBits, degree, parties, threshold, reps int) (*CryptoProfi
 	if err != nil {
 		return nil, err
 	}
+	ec, err := tk.NewEncContext(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
 	prof := &CryptoProfile{
 		KeyBits:         keyBits,
 		Degree:          degree,
@@ -61,61 +110,97 @@ func MeasureProfile(keyBits, degree, parties, threshold, reps int) (*CryptoProfi
 	msg := big.NewInt(123456789)
 	half := new(big.Int).ModInverse(big.NewInt(2), tk.PlaintextModulus())
 
-	// Encrypt.
-	var cts []*big.Int
-	start := time.Now()
-	for i := 0; i < reps; i++ {
-		c, err := tk.Encrypt(rand.Reader, msg)
-		if err != nil {
-			return nil, err
+	avg := func(f func(i int) error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := f(i); err != nil {
+				return 0, err
+			}
 		}
-		cts = append(cts, c)
+		return time.Since(start) / time.Duration(reps), nil
 	}
-	prof.Encrypt = time.Since(start) / time.Duration(reps)
+
+	// Encrypt: naive full-width randomizer vs fixed-base table + pool.
+	var cts []*big.Int
+	prof.Encrypt, err = avg(func(int) error {
+		c, err := tk.Encrypt(rand.Reader, msg)
+		cts = append(cts, c)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if prof.FastEncrypt, err = avg(func(int) error {
+		_, err := ec.Encrypt(rand.Reader, msg)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	// Add.
-	start = time.Now()
 	acc := cts[0]
-	for i := 0; i < reps; i++ {
+	if prof.Add, err = avg(func(i int) error {
 		acc, err = tk.Add(acc, cts[i%len(cts)])
-		if err != nil {
-			return nil, err
-		}
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	prof.Add = time.Since(start) / time.Duration(reps)
 
 	// ScalarMul (halving-style full-width exponent).
-	start = time.Now()
-	for i := 0; i < reps; i++ {
-		if _, err = tk.ScalarMul(cts[i%len(cts)], half); err != nil {
-			return nil, err
-		}
+	if prof.ScalarMul, err = avg(func(i int) error {
+		_, err := tk.ScalarMul(cts[i%len(cts)], half)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	prof.ScalarMul = time.Since(start) / time.Duration(reps)
 
-	// Single-holder decrypt (for reference / the non-threshold path).
+	// Rerandomize: fresh exponentiation vs pooled precomputed factor.
+	if prof.Rerandomize, err = avg(func(i int) error {
+		_, err := tk.Rerandomize(rand.Reader, cts[i%len(cts)])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if prof.FastRerandomize, err = avg(func(i int) error {
+		_, err := ec.Rerandomize(rand.Reader, cts[i%len(cts)])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Single-holder decrypt: naive vs CRT.
 	ct, err := sk.Encrypt(rand.Reader, msg)
 	if err != nil {
 		return nil, err
 	}
-	start = time.Now()
-	for i := 0; i < reps; i++ {
-		if _, err = sk.Decrypt(ct); err != nil {
-			return nil, err
-		}
+	if prof.Decrypt, err = avg(func(int) error {
+		_, err := sk.DecryptNaive(ct)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	prof.Decrypt = time.Since(start) / time.Duration(reps)
-
-	// Partial decryption.
-	start = time.Now()
-	for i := 0; i < reps; i++ {
-		if _, err = tk.PartialDecrypt(shares[i%threshold], cts[0]); err != nil {
-			return nil, err
-		}
+	if prof.FastDecrypt, err = avg(func(int) error {
+		_, err := sk.Decrypt(ct)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	prof.PartialDecrypt = time.Since(start) / time.Duration(reps)
 
-	// Combine.
+	// Partial decryption: naive vs CRT.
+	if prof.PartialDecrypt, err = avg(func(i int) error {
+		_, err := tk.PartialDecryptNaive(shares[i%threshold], cts[0])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if prof.FastPartialDecrypt, err = avg(func(i int) error {
+		_, err := tk.PartialDecrypt(shares[i%threshold], cts[0])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Combine: per-partial exponentiations vs batched multi-exponentiation.
 	parts := make([]damgardjurik.PartialDecryption, threshold)
 	for i := 0; i < threshold; i++ {
 		parts[i], err = tk.PartialDecrypt(shares[i], cts[0])
@@ -123,13 +208,18 @@ func MeasureProfile(keyBits, degree, parties, threshold, reps int) (*CryptoProfi
 			return nil, err
 		}
 	}
-	start = time.Now()
-	for i := 0; i < reps; i++ {
-		if _, err = tk.Combine(parts); err != nil {
-			return nil, err
-		}
+	if prof.Combine, err = avg(func(int) error {
+		_, err := tk.CombineNaive(parts)
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	prof.Combine = time.Since(start) / time.Duration(reps)
+	if prof.FastCombine, err = avg(func(int) error {
+		_, err := tk.Combine(parts)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	return prof, nil
 }
@@ -162,22 +252,32 @@ func (w Workload) VectorLen() int {
 type Report struct {
 	Workload Workload
 
-	// Per-participant operation counts over the whole run.
+	// Per-participant operation counts over the whole run. Every gossip
+	// halving rerandomizes the halved ciphertext (the traffic-analysis
+	// defence of the real backend), so RerandomizeOps equals ScalarOps.
 	EncryptOps        int
 	AddOps            int
 	ScalarOps         int
+	RerandomizeOps    int
 	PartialDecryptOps int
 	CombineOps        int
 
-	// Per-participant totals.
+	// Per-participant totals. CPUTime is projected from the naive
+	// reference timings (the historical baseline the demo scaled up
+	// from); CPUTimeFast projects the same operation counts through the
+	// precomputed fast paths — what the current implementation would
+	// actually spend.
 	CPUTime       time.Duration
+	CPUTimeFast   time.Duration
 	MessagesSent  int
 	BytesSent     int64
 	BytesReceived int64
 
 	// DecryptLatency is the wall-clock of one collaborative decryption
-	// (t partial decryptions, serialized on the requester, plus combine).
-	DecryptLatency time.Duration
+	// (t partial decryptions, serialized on the requester, plus combine);
+	// DecryptLatencyFast is its fast-path counterpart.
+	DecryptLatency     time.Duration
+	DecryptLatencyFast time.Duration
 }
 
 // Project derives the per-participant cost report of the workload under
@@ -186,9 +286,10 @@ type Report struct {
 //   - assignment: encrypt K·(Dim+1) mean entries + K·(Dim+1) noise
 //     shares;
 //   - gossip: GossipRounds rounds; each round halves the full vector
-//     (VectorLen scalar multiplications), sends it (1 message of
-//     VectorLen ciphertexts), and absorbs an expected 1 incoming message
-//     (VectorLen additions);
+//     (VectorLen scalar multiplications, each followed by a
+//     rerandomization so the half cannot be traced across hops), sends
+//     it (1 message of VectorLen ciphertexts), and absorbs an expected
+//     1 incoming message (VectorLen additions);
 //   - collaborative decryption: the participant asks DecryptThreshold
 //     peers (request carries the K·(Dim+1) perturbed-mean ciphertexts,
 //     response the same volume), serves on average DecryptThreshold
@@ -209,15 +310,23 @@ func Project(p *CryptoProfile, w Workload) (*Report, error) {
 	it := w.Iterations
 	r.EncryptOps = it * 2 * meanLen
 	r.ScalarOps = it * w.GossipRounds * vecLen
+	r.RerandomizeOps = r.ScalarOps                    // every halving is refreshed before it travels
 	r.AddOps = it * (w.GossipRounds*vecLen + meanLen) // gossip merges + noise-to-mean addition
 	r.PartialDecryptOps = it * w.DecryptThreshold * meanLen
 	r.CombineOps = it * meanLen
 
 	r.CPUTime = time.Duration(r.EncryptOps)*p.Encrypt +
 		time.Duration(r.ScalarOps)*p.ScalarMul +
+		time.Duration(r.RerandomizeOps)*p.Rerandomize +
 		time.Duration(r.AddOps)*p.Add +
 		time.Duration(r.PartialDecryptOps)*p.PartialDecrypt +
 		time.Duration(r.CombineOps)*p.Combine
+	r.CPUTimeFast = time.Duration(r.EncryptOps)*orElse(p.FastEncrypt, p.Encrypt) +
+		time.Duration(r.ScalarOps)*p.ScalarMul +
+		time.Duration(r.RerandomizeOps)*orElse(p.FastRerandomize, p.Rerandomize) +
+		time.Duration(r.AddOps)*p.Add +
+		time.Duration(r.PartialDecryptOps)*orElse(p.FastPartialDecrypt, p.PartialDecrypt) +
+		time.Duration(r.CombineOps)*orElse(p.FastCombine, p.Combine)
 
 	cb := int64(p.CiphertextBytes)
 	gossipMsgs := it * w.GossipRounds
@@ -232,5 +341,16 @@ func Project(p *CryptoProfile, w Workload) (*Report, error) {
 	r.BytesReceived = gossipBytes + decReqBytes + decRespBytes // symmetric in expectation
 
 	r.DecryptLatency = time.Duration(meanLen)*p.PartialDecrypt + time.Duration(meanLen)*p.Combine
+	r.DecryptLatencyFast = time.Duration(meanLen)*orElse(p.FastPartialDecrypt, p.PartialDecrypt) +
+		time.Duration(meanLen)*orElse(p.FastCombine, p.Combine)
 	return r, nil
+}
+
+// orElse substitutes the naive measurement when a fast-path one is
+// absent (hand-built profiles), so fast projections degrade gracefully.
+func orElse(fast, naive time.Duration) time.Duration {
+	if fast > 0 {
+		return fast
+	}
+	return naive
 }

@@ -32,6 +32,47 @@ func TestMeasureProfilePopulatesEverything(t *testing.T) {
 	}
 }
 
+func TestMeasureProfilePopulatesFastPaths(t *testing.T) {
+	p := measureSmall(t)
+	for name, d := range map[string]time.Duration{
+		"Rerandomize": p.Rerandomize, "FastEncrypt": p.FastEncrypt,
+		"FastDecrypt": p.FastDecrypt, "FastPartialDecrypt": p.FastPartialDecrypt,
+		"FastCombine": p.FastCombine, "FastRerandomize": p.FastRerandomize,
+	} {
+		if d <= 0 {
+			t.Errorf("%s duration = %v, want > 0", name, d)
+		}
+	}
+	sp := p.Speedups()
+	for _, op := range []string{"encrypt", "decrypt", "partial-decrypt", "combine", "rerandomize"} {
+		if sp[op] <= 0 {
+			t.Errorf("speedup for %s missing: %v", op, sp)
+		}
+	}
+}
+
+func TestProjectReportsBothNaiveAndFastCosts(t *testing.T) {
+	p := measureSmall(t)
+	r, err := Project(p, baseWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPUTimeFast <= 0 || r.DecryptLatencyFast <= 0 {
+		t.Fatalf("fast projections missing: cpu %v latency %v", r.CPUTimeFast, r.DecryptLatencyFast)
+	}
+	// A profile without fast measurements degrades to the naive numbers.
+	naiveOnly := *p
+	naiveOnly.FastEncrypt, naiveOnly.FastDecrypt = 0, 0
+	naiveOnly.FastPartialDecrypt, naiveOnly.FastCombine, naiveOnly.FastRerandomize = 0, 0, 0
+	r2, err := Project(&naiveOnly, baseWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CPUTimeFast != r2.CPUTime || r2.DecryptLatencyFast != r2.DecryptLatency {
+		t.Fatal("fast projection should fall back to naive timings when unmeasured")
+	}
+}
+
 func TestMeasureProfileUnknownFixture(t *testing.T) {
 	if _, err := MeasureProfile(333, 1, 3, 2, 1); err == nil {
 		t.Fatal("unknown fixture size should error")
@@ -66,6 +107,9 @@ func TestProjectOperationCounts(t *testing.T) {
 	}
 	if r.ScalarOps != w.Iterations*w.GossipRounds*vecLen {
 		t.Fatalf("scalar ops = %d", r.ScalarOps)
+	}
+	if r.RerandomizeOps != r.ScalarOps {
+		t.Fatalf("rerandomize ops = %d, want %d (one per halving)", r.RerandomizeOps, r.ScalarOps)
 	}
 	if r.AddOps != w.Iterations*(w.GossipRounds*vecLen+meanLen) {
 		t.Fatalf("add ops = %d", r.AddOps)

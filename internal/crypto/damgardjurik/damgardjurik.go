@@ -20,7 +20,10 @@
 // Ciphertexts and plaintexts are *big.Int values. This implementation
 // targets the honest-but-curious model of the paper: zero-knowledge
 // proofs of correct partial decryption (used against active adversaries)
-// are out of scope and documented as such in DESIGN.md.
+// are out of scope and documented as such in docs/CRYPTO.md, along with
+// the scheme description, the precomputed fast paths (fixed-base
+// encryption, CRT decryption, pooled rerandomization, batched share
+// combination) and the remaining security caveats.
 package damgardjurik
 
 import (

@@ -1,0 +1,110 @@
+package damgardjurik
+
+import (
+	"math/big"
+	"sync"
+)
+
+// fixedBaseTable implements fixed-base windowed exponentiation
+// (Brickell–Gordon–McCurley–Wilson; Menezes et al., Handbook of Applied
+// Cryptography §14.6.3): for a base g that is known in advance, precompute
+//
+//	rows[i][j] = g^(j · 2^(i·w)) mod m,   0 <= j < 2^w,
+//
+// so that g^e for e = Σ e_i·2^(i·w) (the base-2^w digits of e) is the
+// product Π rows[i][e_i] — one modular multiplication per non-zero digit
+// and zero squarings, versus ~1.5 squarings/multiplications per exponent
+// bit for the generic square-and-multiply in big.Int.Exp.
+//
+// The table is immutable after construction and safe for concurrent use;
+// per-call scratch accumulators come from a sync.Pool so parallel shard
+// workers do not contend on allocations.
+type fixedBaseTable struct {
+	mod     *big.Int
+	window  uint
+	maxBits int
+	rows    [][]*big.Int
+
+	scratch sync.Pool // *big.Int accumulators, reused across Exp calls
+}
+
+// fixedBaseWindow is the digit width w. 2^w table entries per row; w=6
+// keeps the table around a few MB at 2048-bit moduli while cutting the
+// per-exponentiation multiplication count to ceil(bits/6).
+const fixedBaseWindow = 6
+
+// newFixedBaseTable precomputes the windowed table for base^e mod mod,
+// for exponents of up to maxBits bits.
+func newFixedBaseTable(base, mod *big.Int, maxBits int) *fixedBaseTable {
+	w := uint(fixedBaseWindow)
+	numRows := (maxBits + fixedBaseWindow - 1) / fixedBaseWindow
+	if numRows < 1 {
+		numRows = 1
+	}
+	t := &fixedBaseTable{
+		mod:     new(big.Int).Set(mod),
+		window:  w,
+		maxBits: numRows * fixedBaseWindow,
+		rows:    make([][]*big.Int, numRows),
+	}
+	t.scratch.New = func() interface{} { return new(big.Int) }
+	entries := 1 << w
+	rowBase := new(big.Int).Mod(base, mod) // g^(2^(i·w)) for the current row
+	for i := 0; i < numRows; i++ {
+		row := make([]*big.Int, entries)
+		row[0] = one
+		for j := 1; j < entries; j++ {
+			row[j] = new(big.Int).Mul(row[j-1], rowBase)
+			row[j].Mod(row[j], mod)
+		}
+		t.rows[i] = row
+		if i < numRows-1 {
+			next := new(big.Int).Mul(row[entries-1], rowBase)
+			rowBase = next.Mod(next, mod)
+		}
+	}
+	return t
+}
+
+// Exp returns base^e mod mod using the precomputed table. Exponents wider
+// than the table fall back to big.Int.Exp (correct, just slow); negative
+// exponents are not supported and return nil.
+func (t *fixedBaseTable) Exp(e *big.Int) *big.Int {
+	if e.Sign() < 0 {
+		return nil
+	}
+	if e.BitLen() > t.maxBits {
+		return new(big.Int).Exp(t.rows[0][1], e, t.mod)
+	}
+	acc := t.scratch.Get().(*big.Int)
+	defer t.scratch.Put(acc)
+	acc.SetInt64(1)
+	mask := uint((1 << t.window) - 1)
+	words := e.Bits()
+	bits := e.BitLen()
+	for i, off := 0, 0; off < bits; i, off = i+1, off+fixedBaseWindow {
+		digit := extractWindow(words, uint(off), fixedBaseWindow, mask)
+		if digit == 0 {
+			continue
+		}
+		acc.Mul(acc, t.rows[i][digit])
+		acc.Mod(acc, t.mod)
+	}
+	return new(big.Int).Set(acc)
+}
+
+// extractWindow reads the w-bit digit (mask = 2^w − 1) of the
+// little-endian word slice starting at bit offset off.
+func extractWindow(words []big.Word, off, w, mask uint) uint {
+	const wordBits = uint(32 << (^big.Word(0) >> 63)) // 32 or 64
+	wi := off / wordBits
+	if wi >= uint(len(words)) {
+		return 0
+	}
+	shift := off % wordBits
+	d := uint(words[wi] >> shift)
+	if shift+w > wordBits && wi+1 < uint(len(words)) {
+		d |= uint(words[wi+1]) << (wordBits - shift)
+	}
+	return d & mask
+}

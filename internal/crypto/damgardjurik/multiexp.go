@@ -1,0 +1,65 @@
+package damgardjurik
+
+import "math/big"
+
+// multiExpWindow is the per-base digit width for simultaneous
+// exponentiation; 2^w − 1 precomputed odd-and-even powers per base.
+const multiExpWindow = 4
+
+// multiExp computes Π bases[i]^exps[i] mod m in one interleaved pass
+// (Straus' algorithm, a.k.a. Shamir's trick generalized to k bases):
+// the squaring chain — the dominant cost of square-and-multiply — is
+// walked once for all bases together instead of once per base, so
+// combining w partial decryptions costs ~|e| squarings + w·|e|/4
+// multiplications instead of w·1.5·|e| operations.
+//
+// All exponents must be non-negative (Combine inverts negative-exponent
+// bases before calling). The result is bit-identical to the sequential
+// Π new(big.Int).Exp(...) product.
+func multiExp(bases, exps []*big.Int, m *big.Int) *big.Int {
+	if len(bases) == 0 {
+		return big.NewInt(1)
+	}
+	if len(bases) == 1 {
+		return new(big.Int).Exp(bases[0], exps[0], m)
+	}
+	// Per-base tables: tables[i][d] = bases[i]^d mod m, d in [1, 2^w).
+	entries := 1 << multiExpWindow
+	tables := make([][]*big.Int, len(bases))
+	maxBits := 0
+	for i, b := range bases {
+		row := make([]*big.Int, entries)
+		row[1] = new(big.Int).Mod(b, m)
+		for d := 2; d < entries; d++ {
+			row[d] = new(big.Int).Mul(row[d-1], row[1])
+			row[d].Mod(row[d], m)
+		}
+		tables[i] = row
+		if bl := exps[i].BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	numWindows := (maxBits + multiExpWindow - 1) / multiExpWindow
+	mask := uint(entries - 1)
+	acc := big.NewInt(1)
+	started := false
+	for wi := numWindows - 1; wi >= 0; wi-- {
+		if started {
+			for s := 0; s < multiExpWindow; s++ {
+				acc.Mul(acc, acc)
+				acc.Mod(acc, m)
+			}
+		}
+		off := uint(wi * multiExpWindow)
+		for i := range bases {
+			d := extractWindow(exps[i].Bits(), off, multiExpWindow, mask)
+			if d == 0 {
+				continue
+			}
+			acc.Mul(acc, tables[i][d])
+			acc.Mod(acc, m)
+			started = true
+		}
+	}
+	return acc
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math/big"
 	"sort"
+	"strconv"
+	"sync"
 )
 
 // The threshold variant follows Damgård–Jurik (PKC 2001, Sec. 4.1), which
@@ -34,7 +36,11 @@ var (
 )
 
 // ThresholdKey is the public material of a threshold deployment. Every
-// participant holds a copy; it contains no secrets.
+// participant holds a copy; it contains no secrets — except that keys
+// dealt by NewThresholdKeyFromPrimes additionally carry the dealer-side
+// CRT acceleration context (crt.go), which embeds the factorization and
+// is deliberately dropped by a key rebuilt from transported public
+// parameters.
 type ThresholdKey struct {
 	PublicKey
 	Parties   int // l: total number of key-share holders
@@ -42,6 +48,11 @@ type ThresholdKey struct {
 
 	delta      *big.Int // Δ = l!
 	invCombine *big.Int // (4Δ²)^{-1} mod n^s
+
+	crt *crtContext // dealer-side fast path; nil on share-holder copies
+
+	lagMu    sync.Mutex
+	lagCache map[string][]*big.Int // combine-subset -> Lagrange coefficients
 }
 
 // KeyShare is the secret share of one party. Index is 1-based.
@@ -139,6 +150,9 @@ func NewThresholdKeyFromPrimes(rnd io.Reader, p, q *big.Int, s, parties, thresho
 		Parties:   parties,
 		Threshold: threshold,
 	}
+	if crt, err := newCRTContext(p, q, s); err == nil {
+		tk.crt = crt
+	}
 	tk.delta = factorial(parties)
 	four := big.NewInt(4)
 	comb := new(big.Int).Mul(tk.delta, tk.delta)
@@ -151,8 +165,31 @@ func NewThresholdKeyFromPrimes(rnd io.Reader, p, q *big.Int, s, parties, thresho
 }
 
 // PartialDecrypt computes party share.Index's contribution for ciphertext
-// c: c^{2Δ·s_i} mod n^{s+1}.
+// c: c^{2Δ·s_i} mod n^{s+1}. Keys dealt from known primes route the
+// exponentiation through the CRT fast path (crt.go) — bit-identical to
+// the naive route, ~4× faster at 1024-bit moduli; keys rebuilt from
+// public parameters fall back to PartialDecryptNaive.
 func (tk *ThresholdKey) PartialDecrypt(share KeyShare, c *big.Int) (PartialDecryption, error) {
+	if tk.crt == nil {
+		return tk.PartialDecryptNaive(share, c)
+	}
+	if share.Index < 1 || share.Index > tk.Parties {
+		return PartialDecryption{}, ErrShareOutOfRange
+	}
+	if err := tk.checkCiphertext(c); err != nil {
+		return PartialDecryption{}, err
+	}
+	e := new(big.Int).Mul(two, tk.delta)
+	e.Mul(e, share.Value)
+	return PartialDecryption{Index: share.Index, Value: tk.crt.exp(c, e)}, nil
+}
+
+// PartialDecryptNaive is the retained reference implementation of
+// PartialDecrypt: one full-width exponentiation modulo n^{s+1}. It is
+// the route share holders without the factorization take, the baseline
+// of the fast-path benchmarks, and the oracle of the bit-identity
+// property tests.
+func (tk *ThresholdKey) PartialDecryptNaive(share KeyShare, c *big.Int) (PartialDecryption, error) {
 	if share.Index < 1 || share.Index > tk.Parties {
 		return PartialDecryption{}, ErrShareOutOfRange
 	}
@@ -168,32 +205,55 @@ func (tk *ThresholdKey) PartialDecrypt(share KeyShare, c *big.Int) (PartialDecry
 // Combine merges at least Threshold distinct partial decryptions of the
 // same ciphertext into the plaintext. Extra partials beyond the threshold
 // are ignored (the lowest indices are used, for determinism).
+//
+// This is the batched fast path: the w exponentiations
+// Π_i v_i^{2·λ_{0,i}} are fused into one simultaneous multi-
+// exponentiation (multiexp.go) that walks a single squaring chain, and
+// the integer Lagrange coefficients — which depend only on the index
+// subset, not the ciphertext — are cached across calls, because the
+// protocol decrypts whole centroid vectors against the same quorum. The
+// result is bit-identical to CombineNaive.
 func (tk *ThresholdKey) Combine(parts []PartialDecryption) (*big.Int, error) {
-	if len(parts) < tk.Threshold {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(parts), tk.Threshold)
+	use, err := tk.selectPartials(parts)
+	if err != nil {
+		return nil, err
 	}
-	sorted := make([]PartialDecryption, len(parts))
-	copy(sorted, parts)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
-	seen := make(map[int]bool, len(sorted))
-	use := make([]PartialDecryption, 0, tk.Threshold)
-	for _, p := range sorted {
-		if p.Index < 1 || p.Index > tk.Parties {
-			return nil, fmt.Errorf("%w: index %d", ErrShareOutOfRange, p.Index)
-		}
-		if seen[p.Index] {
-			return nil, fmt.Errorf("%w: index %d", ErrDuplicateShare, p.Index)
-		}
-		seen[p.Index] = true
-		use = append(use, p)
-		if len(use) == tk.Threshold {
-			break
-		}
+	indices := make([]int, len(use))
+	for i, p := range use {
+		indices[i] = p.Index
 	}
-	if len(use) < tk.Threshold {
-		return nil, fmt.Errorf("%w: only %d distinct", ErrNotEnoughShares, len(use))
+	lams, err := tk.lagrangeFor(indices)
+	if err != nil {
+		return nil, err
 	}
+	bases := make([]*big.Int, len(use))
+	exps := make([]*big.Int, len(use))
+	for i, p := range use {
+		e := new(big.Int).Mul(two, lams[i])
+		base := p.Value
+		if e.Sign() < 0 {
+			base = new(big.Int).ModInverse(p.Value, tk.ns1)
+			if base == nil {
+				return nil, fmt.Errorf("%w: partial %d not a unit", ErrCombineMismatch, p.Index)
+			}
+			e.Neg(e)
+		}
+		bases[i] = base
+		exps[i] = e
+	}
+	acc := multiExp(bases, exps, tk.ns1)
+	return tk.finishCombine(acc)
+}
 
+// CombineNaive is the retained reference implementation of Combine: one
+// independent full-width exponentiation per partial, Lagrange
+// coefficients recomputed every call. Kept as the benchmark baseline and
+// the oracle of the bit-identity property tests.
+func (tk *ThresholdKey) CombineNaive(parts []PartialDecryption) (*big.Int, error) {
+	use, err := tk.selectPartials(parts)
+	if err != nil {
+		return nil, err
+	}
 	// c' = Π_i use[i].Value ^ (2·λ_{0,i}) mod n^{s+1}, with integer
 	// Lagrange coefficients λ_{0,i} = Δ·Π_{j≠i} j/(j-i).
 	indices := make([]int, len(use))
@@ -219,14 +279,78 @@ func (tk *ThresholdKey) Combine(parts []PartialDecryption) (*big.Int, error) {
 		acc.Mul(acc, t)
 		acc.Mod(acc, tk.ns1)
 	}
+	return tk.finishCombine(acc)
+}
 
-	// acc = (1+n)^{4Δ²·m}; extract and rescale.
+// selectPartials validates parts and picks the Threshold lowest distinct
+// indices (the deterministic subset both Combine variants share).
+func (tk *ThresholdKey) selectPartials(parts []PartialDecryption) ([]PartialDecryption, error) {
+	if len(parts) < tk.Threshold {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(parts), tk.Threshold)
+	}
+	sorted := make([]PartialDecryption, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Index < sorted[b].Index })
+	seen := make(map[int]bool, len(sorted))
+	use := make([]PartialDecryption, 0, tk.Threshold)
+	for _, p := range sorted {
+		if p.Index < 1 || p.Index > tk.Parties {
+			return nil, fmt.Errorf("%w: index %d", ErrShareOutOfRange, p.Index)
+		}
+		if seen[p.Index] {
+			return nil, fmt.Errorf("%w: index %d", ErrDuplicateShare, p.Index)
+		}
+		seen[p.Index] = true
+		use = append(use, p)
+		if len(use) == tk.Threshold {
+			break
+		}
+	}
+	if len(use) < tk.Threshold {
+		return nil, fmt.Errorf("%w: only %d distinct", ErrNotEnoughShares, len(use))
+	}
+	return use, nil
+}
+
+// finishCombine extracts m from acc = (1+n)^{4Δ²·m} and rescales.
+func (tk *ThresholdKey) finishCombine(acc *big.Int) (*big.Int, error) {
 	val, err := tk.dLog(acc)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCombineMismatch, err)
 	}
 	val.Mul(val, tk.invCombine)
 	return val.Mod(val, tk.ns), nil
+}
+
+// lagrangeFor returns the integer Lagrange coefficients λ_{0,i} for the
+// given (ascending, distinct) index subset, memoized per subset.
+func (tk *ThresholdKey) lagrangeFor(indices []int) ([]*big.Int, error) {
+	key := make([]byte, 0, 4*len(indices))
+	for _, id := range indices {
+		key = strconv.AppendInt(key, int64(id), 10)
+		key = append(key, ',')
+	}
+	tk.lagMu.Lock()
+	cached, ok := tk.lagCache[string(key)]
+	tk.lagMu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	lams := make([]*big.Int, len(indices))
+	for i := range indices {
+		lam, err := lagrangeAtZero(tk.delta, indices, i)
+		if err != nil {
+			return nil, err
+		}
+		lams[i] = lam
+	}
+	tk.lagMu.Lock()
+	if tk.lagCache == nil {
+		tk.lagCache = make(map[string][]*big.Int)
+	}
+	tk.lagCache[string(key)] = lams
+	tk.lagMu.Unlock()
+	return lams, nil
 }
 
 // Delta returns Δ = parties! (a fresh copy); exposed for diagnostics.
