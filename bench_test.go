@@ -330,23 +330,36 @@ func BenchmarkClusterEndToEnd(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterRealCrypto times a fully encrypted end-to-end run
-// (small population, 128-bit fixture key) — the configuration the demo
-// disables for scale, exercised here for completeness.
+// BenchmarkClusterRealCrypto times fully encrypted end-to-end runs — the
+// configuration the demo disables for scale — at a 512-bit key (the
+// smallest size the E5 cost tables measure), unpacked versus slot-packed.
+// The packed run performs ~an-order-of-magnitude fewer encrypts,
+// halvings and partial decryptions (see TestPackedDamgardJurikOpReduction
+// for the exact OpCounts gate) and the wall-clock gap here is the
+// end-to-end measurement of that reduction:
+//
+//	go test -bench 'ClusterRealCrypto' -benchtime=1x
 func BenchmarkClusterRealCrypto(b *testing.B) {
 	series, _, _ := chiaroscuro.SyntheticTumorGrowth(16, 10, 1)
 	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
-			K: 2, Epsilon: 100, Iterations: 2, Seed: int64(i),
-			Backend: chiaroscuro.BackendDamgardJurik, ModulusBits: 128,
-			DecryptThreshold: 4, GossipRounds: 8,
-		}); err != nil {
-			b.Fatal(err)
+	for _, packed := range []bool{false, true} {
+		name := "unpacked"
+		if packed {
+			name = "packed"
 		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
+					K: 2, Epsilon: 100, Iterations: 2, Seed: int64(i),
+					Backend: chiaroscuro.BackendDamgardJurik, ModulusBits: 512,
+					DecryptThreshold: 4, GossipRounds: 8, Packed: packed,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -108,6 +108,13 @@ type Config struct {
 	// and the effective count is capped at the population size and at
 	// max(64, 4·GOMAXPROCS).
 	Workers int
+	// Packed packs multiple coordinates of the encrypted side into each
+	// ciphertext (slot packing): encrypts, gossip halvings, partial
+	// decryptions and wire bytes all shrink by the packing factor
+	// (~8–16× at a 1024-bit key). On the accounted backend, packed and
+	// unpacked runs disclose bit-identical centroids; see docs/CRYPTO.md
+	// ("Slot packing") for the slot layout and its exactness argument.
+	Packed bool
 	// ModulusBits is the encryption key size (default 1024 accounted /
 	// 256 real; fixtures exist for 64–2048).
 	ModulusBits int
@@ -333,6 +340,7 @@ func (cfg Config) toParams() (core.Params, error) {
 		InitialCentroids:     cfg.InitialCentroids,
 		Seed:                 cfg.Seed,
 		Workers:              cfg.Workers,
+		Packed:               cfg.Packed,
 		MaxValue:             1,
 		ChurnCrashProb:       cfg.ChurnCrashProb,
 		ChurnRejoinProb:      cfg.ChurnRejoinProb,

@@ -18,6 +18,15 @@
 //
 //	go run ./cmd/chiaroscuro -bench-crypto
 //	go run ./cmd/chiaroscuro -bench-crypto -modulus 512 -bench-reps 16 -bench-crypto-out BENCH_crypto.json
+//
+// The -bench-core mode times whole protocol runs — the engine comparison
+// on the accounted backend and fully encrypted end-to-end runs, packed
+// and unpacked — and optionally writes them as JSON (CI uploads
+// BENCH_core.json next to BENCH_crypto.json, so the perf trajectory of
+// the engines and of slot packing is tracked per push):
+//
+//	go run ./cmd/chiaroscuro -bench-core
+//	go run ./cmd/chiaroscuro -bench-core -bench-core-out BENCH_core.json
 package main
 
 import (
@@ -47,6 +56,7 @@ func main() {
 		backend   = flag.String("backend", "accounted", "cipher backend: accounted | damgard-jurik")
 		engine    = flag.String("engine", "cycles", "execution engine: cycles | sharded | async (sharded is bit-identical to cycles, parallelized)")
 		workers   = flag.Int("workers", 0, "shard workers for -engine sharded (0 = GOMAXPROCS)")
+		packed    = flag.Bool("packed", false, "pack multiple coordinates per ciphertext on the encrypted side (slot packing)")
 		modulus   = flag.Int("modulus", 0, "key size in bits (0 = default)")
 		seed      = flag.Int64("seed", 2016, "random seed (whole run is deterministic)")
 		churn     = flag.Float64("churn", 0, "per-cycle crash probability")
@@ -55,11 +65,19 @@ func main() {
 		benchCrypto    = flag.Bool("bench-crypto", false, "measure Damgård–Jurik op timings (naive vs fast path) and exit")
 		benchCryptoOut = flag.String("bench-crypto-out", "", "with -bench-crypto: also write the profiles as JSON to this file")
 		benchReps      = flag.Int("bench-reps", 8, "with -bench-crypto: repetitions per measured operation")
+		benchCore      = flag.Bool("bench-core", false, "time full protocol runs (engines, packed vs unpacked end-to-end) and exit")
+		benchCoreOut   = flag.String("bench-core-out", "", "with -bench-core: also write the results as JSON to this file")
 	)
 	flag.Parse()
 
 	if *benchCrypto {
 		if err := runBenchCrypto(*modulus, *benchReps, *benchCryptoOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchCore {
+		if err := runBenchCore(*benchCoreOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -92,6 +110,7 @@ func main() {
 		Backend:          chiaroscuro.Backend(*backend),
 		Engine:           *engine,
 		Workers:          *workers,
+		Packed:           *packed,
 		ModulusBits:      *modulus,
 		Strategy:         *strategy,
 		Smoothing:        chiaroscuro.Smoothing{Method: *smoothing},
@@ -107,7 +126,11 @@ func main() {
 	if *targetPop > 0 {
 		fmt.Printf(" (ε=%.2g at %d devices)", *epsilon, *targetPop)
 	}
-	fmt.Printf(", backend=%s, engine=%s\n", *backend, *engine)
+	fmt.Printf(", backend=%s, engine=%s", *backend, *engine)
+	if *packed {
+		fmt.Printf(", packed")
+	}
+	fmt.Println()
 	fmt.Printf("archetypes in the generator: %v\n\n", archetypes)
 
 	res, err := chiaroscuro.Cluster(series, cfg)
@@ -210,6 +233,142 @@ func runBenchCrypto(modulus, reps int, out string) error {
 		fmt.Printf("%-6d %-16s %-12s %-12s\n", bits, "hom-add", p.Add.Round(time.Nanosecond), "-")
 		fmt.Println()
 		res.Profiles = append(res.Profiles, cryptoBenchEntry{CryptoProfile: p, Speedups: sp})
+	}
+	if out == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// coreBenchEntry is one timed protocol run in the BENCH_core.json
+// artifact: configuration, wall-clock, and the homomorphic-operation and
+// network totals that make packing regressions visible in a diff.
+type coreBenchEntry struct {
+	Name       string
+	Backend    string
+	Engine     string
+	Packed     bool
+	N          int
+	Dim        int
+	K          int
+	Iterations int
+
+	Elapsed      time.Duration
+	Encrypts     int64
+	Halvings     int64
+	PartialDecs  int64
+	Combines     int64
+	MessagesSent int
+	BytesSent    int64
+}
+
+// coreBenchResult is the BENCH_core.json schema: stable enough that CI
+// artifacts from successive commits can be diffed for perf trends,
+// companion to BENCH_crypto.json's per-operation view.
+type coreBenchResult struct {
+	Schema    string           `json:"Schema"` // "chiaroscuro-bench-core/v1"
+	Timestamp string           `json:"Timestamp"`
+	Runs      []coreBenchEntry `json:"Runs"`
+}
+
+// runBenchCore times full protocol runs: the engine comparison on the
+// accounted backend and fully encrypted end-to-end runs, packed and
+// unpacked, and prints a table; with a non-empty out path it also writes
+// the JSON artifact.
+func runBenchCore(out string) error {
+	res := coreBenchResult{
+		Schema:    "chiaroscuro-bench-core/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	run := func(name string, series [][]float64, cfg chiaroscuro.Config) error {
+		start := time.Now()
+		r, err := chiaroscuro.Cluster(series, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		engine := cfg.Engine
+		if engine == "" {
+			engine = "cycles"
+		}
+		backend := string(cfg.Backend)
+		if backend == "" {
+			backend = string(chiaroscuro.BackendAccounted)
+		}
+		res.Runs = append(res.Runs, coreBenchEntry{
+			Name:         name,
+			Backend:      backend,
+			Engine:       engine,
+			Packed:       cfg.Packed,
+			N:            len(series),
+			Dim:          len(series[0]),
+			K:            cfg.K,
+			Iterations:   cfg.Iterations,
+			Elapsed:      time.Since(start),
+			Encrypts:     r.Crypto.Encrypts,
+			Halvings:     r.Crypto.Halvings,
+			PartialDecs:  r.Crypto.PartialDecrypts,
+			Combines:     r.Crypto.Combines,
+			MessagesSent: r.Network.MessagesSent,
+			BytesSent:    r.Network.BytesSent,
+		})
+		return nil
+	}
+
+	// Engine comparison: the accounted backend at a CI-friendly
+	// population, sequential vs sharded (bit-identical traces), then the
+	// packed accounted run (bit-identical disclosures, fewer ring ops).
+	acc, _, _ := chiaroscuro.SyntheticCER(600, 12, 1)
+	if _, _, err := chiaroscuro.Normalize01(acc); err != nil {
+		return err
+	}
+	accCfg := chiaroscuro.Config{K: 3, Epsilon: 50, Iterations: 2, Seed: 1, GossipRounds: 10, DecryptThreshold: 4}
+	for _, engine := range []string{"cycles", "sharded"} {
+		cfg := accCfg
+		cfg.Engine = engine
+		if err := run("accounted-"+engine, acc, cfg); err != nil {
+			return err
+		}
+	}
+	{
+		cfg := accCfg
+		cfg.Packed = true
+		if err := run("accounted-cycles-packed", acc, cfg); err != nil {
+			return err
+		}
+	}
+
+	// End-to-end real crypto, unpacked vs packed: the slot-packing
+	// speedup measured on genuine homomorphic arithmetic.
+	dj, _, _ := chiaroscuro.SyntheticTumorGrowth(16, 10, 1)
+	if _, _, err := chiaroscuro.Normalize01(dj); err != nil {
+		return err
+	}
+	djCfg := chiaroscuro.Config{
+		K: 2, Epsilon: 100, Iterations: 2, Seed: 1,
+		Backend: chiaroscuro.BackendDamgardJurik, ModulusBits: 256,
+		DecryptThreshold: 4, GossipRounds: 8,
+	}
+	if err := run("damgard-jurik-unpacked", dj, djCfg); err != nil {
+		return err
+	}
+	djCfg.Packed = true
+	if err := run("damgard-jurik-packed", dj, djCfg); err != nil {
+		return err
+	}
+
+	fmt.Println("run                        elapsed      encrypts  halvings  partial-dec  bytes")
+	for _, e := range res.Runs {
+		fmt.Printf("%-26s %-12s %-9d %-9d %-12d %.2f MB\n",
+			e.Name, e.Elapsed.Round(time.Millisecond), e.Encrypts, e.Halvings, e.PartialDecs,
+			float64(e.BytesSent)/1e6)
 	}
 	if out == "" {
 		return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"chiaroscuro/internal/dp"
+	"chiaroscuro/internal/fixedpoint"
 	"chiaroscuro/internal/gossip"
 )
 
@@ -117,6 +118,17 @@ type Params struct {
 	// The effective count is capped at the population size and at
 	// max(64, 4·GOMAXPROCS) (see internal/p2p).
 	Workers int
+
+	// Packed packs multiple coordinates of the encrypted Diptych side
+	// into each ciphertext (slot packing): the fused gossip vector
+	// shrinks from 2·K·(dim+1) ciphertexts to ⌈K·(dim+1)/slots⌉ groups
+	// per side, and encrypts, halvings, partial decryptions, combines
+	// and gossip bytes all shrink by the packing factor. The slot width
+	// is derived from the same headroom budget checkHeadroom charges the
+	// unpacked ring, so a configuration that fits unpacked fits packed;
+	// on the accounted backend packed and unpacked runs disclose
+	// bit-identical centroids. See docs/CRYPTO.md ("Slot packing").
+	Packed bool
 
 	// MaxValue bounds the (normalized) data domain; inputs must lie in
 	// [0, MaxValue]. Default 1. The DP sensitivity derives from it.
@@ -252,6 +264,101 @@ func (p Params) validate(n, dim int) error {
 		return errors.New("core: InertiaStopThreshold requires TrackInertia")
 	}
 	return nil
+}
+
+// preScaleBits is the power-of-two budget every contribution carries for
+// gossip halvings: enough factors of two that the final decode is exact
+// (see internal/gossip). The asynchronous engine cannot bound a
+// contribution's halving count by the round budget (peers drift), so it
+// gets a much larger allowance plus decode-time overflow detection.
+func (p Params) preScaleBits() uint {
+	if p.asyncEngine {
+		return uint(4*p.GossipRounds + 16)
+	}
+	return uint(p.GossipRounds + 2)
+}
+
+// noiseEnvelope derives the per-coordinate magnitude bounds of a
+// defaulted Params at dimension dim under the given epsilon schedule:
+// coordBound bounds any disclosed-aggregate coordinate contribution and
+// noiseBound is the clamp applied to noise shares (64 Laplace scales at
+// the stingiest iteration: P(|share| > 64b) < 2e-28 per the Laplace tail
+// bound, so clamping is statistically invisible while making the
+// headroom finite).
+func (p Params) noiseEnvelope(dim int, epsSched []float64) (coordBound, noiseBound float64) {
+	minEps := epsSched[0]
+	for _, e := range epsSched {
+		if e < minEps {
+			minEps = e
+		}
+	}
+	sens := dp.SumSensitivity(dim, p.MaxValue)
+	coordBound = p.MaxValue
+	if p.TrackInertia {
+		inertiaBound := float64(dim) * p.MaxValue * p.MaxValue
+		sens += inertiaBound
+		if inertiaBound > coordBound {
+			coordBound = inertiaBound
+		}
+	}
+	return coordBound, 64 * sens / minEps
+}
+
+// ErrPackingInfeasible reports that the plaintext space cannot fit even
+// one slot at the configuration's headroom budget — the expected,
+// recoverable failure mode of packing at small moduli, as opposed to a
+// misconfiguration error. Callers projecting costs fall back to the
+// unpacked protocol on it.
+var ErrPackingInfeasible = errors.New("core: packing infeasible — increase ModulusBits or Degree, or reduce GossipRounds/FracBits")
+
+// packedLayout derives the slot packing of the encrypted side for a
+// plaintext space of plainBits usable bits: per-slot magnitude bits from
+// the same value/noise/fixed-point/pre-scale budget checkHeadroom
+// charges the unpacked ring, plus a sign-bias bit, plus aggregation
+// headroom (population bits — all n contributions can land on one
+// holder — the slot-wise means+noise addition of step 2c, and guard
+// bits).
+func packedLayout(plainBits, n int, bound float64, fracBits, preScale uint) (*fixedpoint.SlotLayout, error) {
+	magBits := boundBits(bound) + fracBits + preScale
+	headBits := boundBits(float64(n)) + 3
+	l, err := fixedpoint.NewSlotLayout(plainBits, magBits, headBits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPackingInfeasible, err)
+	}
+	return l, nil
+}
+
+// boundBits is the number of bits needed to hold magnitudes up to bound,
+// with round-up slack (at least 1).
+func boundBits(bound float64) uint {
+	b := int(math.Ceil(math.Log2(bound))) + 1
+	if b < 1 {
+		b = 1
+	}
+	return uint(b)
+}
+
+// PackedSlots reports the slots-per-ciphertext a packed run
+// (Params.Packed) would use over a plaintext space of plainBits usable
+// bits, for a population of n participants with series of the given
+// dimension — the packing factor, exported for the cost projections
+// (internal/costmodel, experiment E5). prepareRun derives the actual
+// layout from the identical rule.
+func PackedSlots(plainBits, n, dim int, params Params) (int, error) {
+	p := params.withDefaults(n)
+	if err := p.validate(n, dim); err != nil {
+		return 0, err
+	}
+	epsSched, err := p.Strategy.Allocate(p.Epsilon, p.Iterations)
+	if err != nil {
+		return 0, err
+	}
+	coordBound, noiseBound := p.noiseEnvelope(dim, epsSched)
+	l, err := packedLayout(plainBits, n, coordBound+noiseBound, p.FracBits, p.preScaleBits())
+	if err != nil {
+		return 0, err
+	}
+	return l.Slots(), nil
 }
 
 // checkHeadroom verifies the plaintext space can absorb the worst-case

@@ -139,9 +139,11 @@ type runShared struct {
 	preScale      uint
 	epsSched      []float64
 	noiseBound    float64
-	vecLen        int     // k*(dim+1): cluster sums and counts
-	sideLen       int     // vecLen (+1 when the inertia aggregate is tracked)
-	decodeBound   float64 // max plausible |decoded| per coordinate
+	vecLen        int                    // k*(dim+1): cluster sums and counts
+	sideLen       int                    // vecLen (+1 when the inertia aggregate is tracked)
+	sideCiphers   int                    // ciphertexts per side: sideLen, or ⌈sideLen/slots⌉ when packed
+	layout        *fixedpoint.SlotLayout // slot packing of the encrypted side (nil = unpacked)
+	decodeBound   float64                // max plausible |decoded| per coordinate
 	centroidBytes int
 }
 
@@ -217,37 +219,33 @@ func (pt *participant) stepAssign(ctx Env) {
 	pt.assignment = best
 
 	// Build the fused contribution vector:
-	//   [0 .. vecLen)            encrypted means side (sums then count per cluster)
+	//   [0 .. vecLen)            means side (sums then count per cluster)
 	//   [vecLen .. sideLen)      optional inertia aggregate (footnote 2)
-	//   [sideLen .. 2*sideLen)   encrypted noise shares for the same layout
+	//   [sideLen .. 2*sideLen)   noise shares for the same layout
+	// The cleartext coordinates are assembled first and encrypted after —
+	// per coordinate, or per slot group when the run is packed — so the
+	// coordinate order (and hence the noise-share RNG consumption) is
+	// identical either way, keeping packed and unpacked runs on the same
+	// gossip trajectory.
 	r := pt.run
 	k := r.params.K
 	per := r.dim + 1
-	values := make([]Cipher, 2*r.sideLen)
+	vals := make([]float64, r.sideLen)
+	noises := make([]float64, r.sideLen)
 	scale := pt.noiseScale()
 	nShares := ctx.AliveCount()
 	if nShares < 2 {
 		nShares = 2
 	}
-	encryptPair := func(idx int, x float64) {
-		ct, err := pt.encryptValue(x)
-		if err != nil {
-			// Headroom was validated up front; an error here is a
-			// programming error worth failing loudly in simulation.
-			panic(err)
-		}
-		values[idx] = ct
+	fill := func(idx int, x float64) {
+		vals[idx] = x
 		noise := dp.NoiseShare(pt.rng, nShares, scale)
 		if noise > r.noiseBound {
 			noise = r.noiseBound
 		} else if noise < -r.noiseBound {
 			noise = -r.noiseBound
 		}
-		nct, err := pt.encryptValue(noise)
-		if err != nil {
-			panic(err)
-		}
-		values[r.sideLen+idx] = nct
+		noises[idx] = noise
 	}
 	for j := 0; j < k; j++ {
 		for t := 0; t < per; t++ {
@@ -259,11 +257,17 @@ func (pt *participant) stepAssign(ctx Env) {
 					x = 1 // count coordinate
 				}
 			}
-			encryptPair(j*per+t, x)
+			fill(j*per+t, x)
 		}
 	}
 	if r.params.TrackInertia {
-		encryptPair(r.sideLen-1, bestSq)
+		fill(r.sideLen-1, bestSq)
+	}
+	values, err := pt.encryptSides(vals, noises)
+	if err != nil {
+		// Headroom was validated up front; an error here is a
+		// programming error worth failing loudly in simulation.
+		panic(err)
 	}
 	st, err := gossip.NewState[Cipher](r.ring, values, 1)
 	if err != nil {
@@ -287,6 +291,61 @@ func (pt *participant) noiseScale() float64 {
 		sens += float64(r.dim) * r.params.MaxValue * r.params.MaxValue
 	}
 	return sens / eps
+}
+
+// encryptSides encrypts the fused contribution [values | noise shares]:
+// one ciphertext per coordinate, or — when the run is packed — one per
+// slot group, with the two sides packed under the same layout so the
+// step-2c noise addition stays a slot-aligned homomorphic Add.
+func (pt *participant) encryptSides(vals, noises []float64) ([]Cipher, error) {
+	r := pt.run
+	out := make([]Cipher, 2*r.sideCiphers)
+	if r.layout == nil {
+		for i := range vals {
+			ct, err := pt.encryptValue(vals[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ct
+			nct, err := pt.encryptValue(noises[i])
+			if err != nil {
+				return nil, err
+			}
+			out[r.sideCiphers+i] = nct
+		}
+		return out, nil
+	}
+	for side, xs := range [2][]float64{vals, noises} {
+		packed, err := pt.packSide(xs)
+		if err != nil {
+			return nil, err
+		}
+		for g, m := range packed {
+			ct, err := r.suite.Encrypt(m)
+			if err != nil {
+				return nil, err
+			}
+			out[side*r.sideCiphers+g] = ct
+		}
+	}
+	return out, nil
+}
+
+// packSide fixed-point-encodes one side of the contribution (with
+// pre-scaling) and packs it into biased slot groups. Unlike the unpacked
+// path no modular sign wrap is needed: the per-slot bias keeps every
+// field non-negative.
+func (pt *participant) packSide(xs []float64) ([]*big.Int, error) {
+	r := pt.run
+	enc := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		v, err := r.codec.Encode(x)
+		if err != nil {
+			return nil, err
+		}
+		enc[i] = v.Lsh(v, r.preScale)
+	}
+	return r.layout.Pack(enc)
 }
 
 // encryptValue fixed-point-encodes x (with pre-scaling) into the
@@ -317,7 +376,10 @@ func (pt *participant) stepGossip(ctx Env) {
 			Centroids: pt.diptych.Centroids,
 			Msg:       msg,
 		}
-		bytes := 2*r.sideLen*r.suite.CipherBytes() + r.centroidBytes + 16
+		// Byte accounting from the actual ciphertext count of the
+		// emitted message — not a recomputed 2·sideLen — so packed and
+		// inertia-tracking runs report true wire bytes.
+		bytes := len(msg.V)*r.suite.CipherBytes() + r.centroidBytes + 16
 		_ = ctx.Send(peer, payload, bytes)
 	}
 	pt.roundsDone++
@@ -400,9 +462,9 @@ func (pt *participant) stepDecrypt(ctx Env, responses []*decryptResponse) {
 		// the gossiped encrypted means — the aggregate that will be
 		// disclosed is perturbed *before* anyone can decrypt it.
 		vals := pt.diptych.Means.Values()
-		cts := make([]Cipher, r.sideLen)
-		for i := 0; i < r.sideLen; i++ {
-			c, err := r.suite.Add(vals[i], vals[r.sideLen+i])
+		cts := make([]Cipher, r.sideCiphers)
+		for i := 0; i < r.sideCiphers; i++ {
+			c, err := r.suite.Add(vals[i], vals[r.sideCiphers+i])
 			if err != nil {
 				panic(err)
 			}
@@ -563,17 +625,19 @@ func (pt *participant) finishIteration(ctx Env, failed bool) {
 
 // decodeAll combines the collected partials for every pending ciphertext
 // and decodes the fixed-point plaintexts to floats, already divided by
-// the push-sum weight and the pre-scaling factor.
+// the push-sum weight and the pre-scaling factor. It always returns
+// sideLen coordinates: unpacked ciphertexts decode one each, packed ones
+// unpack into their slots first.
 func (pt *participant) decodeAll() ([]float64, error) {
 	r := pt.run
 	w := pt.diptych.Means.Weight()
 	denom := w * math.Ldexp(1, int(r.preScale))
-	out := make([]float64, len(pt.pendingCT))
-	// Assemble the per-cipher partial sets.
+	// Assemble the per-cipher partial sets and open every pending cipher.
 	responders := make([][]Partial, 0, len(pt.partials))
 	for _, parts := range pt.partials {
 		responders = append(responders, parts)
 	}
+	plains := make([]*big.Int, len(pt.pendingCT))
 	for i := range pt.pendingCT {
 		parts := make([]Partial, len(responders))
 		for j, rp := range responders {
@@ -583,17 +647,61 @@ func (pt *participant) decodeAll() ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		plains[i] = m
+	}
+	if r.layout != nil {
+		return pt.decodePacked(plains, w, denom)
+	}
+	out := make([]float64, len(plains))
+	for i, m := range plains {
 		signed, err := fixedpoint.UnwrapSigned(m, r.plainMod)
 		if err != nil {
 			return nil, err
 		}
-		v := r.codec.Decode(signed) / denom
-		if math.Abs(v) > r.decodeBound || math.IsNaN(v) {
-			return nil, fmt.Errorf("core: decoded coordinate %d implausible (%g) — gossip invariant violated", i, v)
+		out[i], err = pt.decodeSigned(signed, denom, i)
+		if err != nil {
+			return nil, err
 		}
-		out[i] = v
 	}
 	return out, nil
+}
+
+// decodePacked unpacks the opened group plaintexts into sideLen
+// coordinates. After the step-2c addition each slot holds
+// trueSum + 2·bias·w: the means and noise halves travelled under the
+// same push-sum coefficients (one fused state), each carrying one bias,
+// so Unbias with bias weight 2w recovers exactly the signed aggregate
+// the unpacked run would have decoded — which is why packed and unpacked
+// accounted runs disclose bit-identical centroids.
+func (pt *participant) decodePacked(plains []*big.Int, w, denom float64) ([]float64, error) {
+	r := pt.run
+	raw, err := r.layout.Unpack(plains, r.sideLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, r.sideLen)
+	for i, f := range raw {
+		signed, err := r.layout.Unbias(f, 2*w)
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = pt.decodeSigned(signed, denom, i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeSigned converts an exact signed aggregate to its float64 mean
+// estimate and applies the plausibility bound.
+func (pt *participant) decodeSigned(signed *big.Int, denom float64, i int) (float64, error) {
+	r := pt.run
+	v := r.codec.Decode(signed) / denom
+	if math.Abs(v) > r.decodeBound || math.IsNaN(v) {
+		return 0, fmt.Errorf("core: decoded coordinate %d implausible (%g) — gossip invariant violated", i, v)
+	}
+	return v, nil
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -5,11 +5,49 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"chiaroscuro/internal/dp"
 	"chiaroscuro/internal/fixedpoint"
 	"chiaroscuro/internal/p2p"
 )
+
+// poolSizer is the optional CipherSuite extension for backends that keep
+// a precomputed-randomizer pool: prepareRun resizes it to the run's real
+// burst before any participant touches the suite.
+type poolSizer interface {
+	SizePool(capacity int)
+}
+
+// poolBurst sizes the randomizer pool from the run's concurrency and the
+// fused encrypted-vector length: each in-flight activation consumes up to
+// vectorLen randomizers (one rerandomization per halved ciphertext), and
+// up to the effective worker count of activations run concurrently in
+// the sharded engine (the sequential and async engines are bounded by
+// GOMAXPROCS). The requested Workers is clamped by the same rule the
+// p2p scheduler applies — population size and max(64, 4·GOMAXPROCS) —
+// so an oversized Workers request cannot balloon the pool past the true
+// concurrency. Doubled so the background refill has a cycle of slack.
+// Even the sequential engine warrants the full buffer: all n
+// participants share the suite, so the single-threaded consumer drains
+// vectorLen randomizers per activation while the filler pipelines ahead.
+func poolBurst(p Params, population, vectorLen int) int {
+	workers := p.Workers
+	if workers <= 0 || p.asyncEngine {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lim := 4 * runtime.GOMAXPROCS(0)
+	if lim < 64 {
+		lim = 64
+	}
+	if workers > lim {
+		workers = lim
+	}
+	if workers > population {
+		workers = population
+	}
+	return 2 * workers * vectorLen
+}
 
 // TraceIteration is the per-iteration record of a run, pairing what was
 // actually disclosed (perturbed centroids/counts) with oracle quantities
@@ -171,44 +209,57 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	if err != nil {
 		return nil, err
 	}
-	ring, err := newCipherRing(suite)
-	if err != nil {
-		return nil, err
-	}
+	// From here on the suite owns background resources (the DJ
+	// randomizer pool); release them on every failed setup path —
+	// notably the recoverable ErrPackingInfeasible return, after which
+	// callers are expected to retry unpacked.
+	setupOK := false
+	defer func() {
+		if !setupOK {
+			if c, ok := suite.(interface{ Close() }); ok {
+				c.Close()
+			}
+		}
+	}()
 
 	// Fixed-point layout and headroom.
 	codec, err := fixedpoint.New(p.FracBits)
 	if err != nil {
 		return nil, err
 	}
-	preScale := uint(p.GossipRounds + 2)
-	if p.asyncEngine {
-		// Peers drift in the asynchronous engine, so a contribution can
-		// be halved at several holders: budget generously (decode-time
-		// bound checks catch the pathological residue anyway).
-		preScale = uint(4*p.GossipRounds + 16)
-	}
-	minEps := epsSched[0]
-	for _, e := range epsSched {
-		if e < minEps {
-			minEps = e
-		}
-	}
-	// Clamp noise shares at 64 Laplace scales: P(|share| > 64b) < 2e-28
-	// per the Laplace tail bound, so clamping is statistically invisible
-	// while making the headroom finite.
-	sens := dp.SumSensitivity(dim, p.MaxValue)
-	coordBound := p.MaxValue
-	if p.TrackInertia {
-		inertiaBound := float64(dim) * p.MaxValue * p.MaxValue
-		sens += inertiaBound
-		if inertiaBound > coordBound {
-			coordBound = inertiaBound
-		}
-	}
-	noiseBound := 64 * sens / minEps
+	preScale := p.preScaleBits()
+	coordBound, noiseBound := p.noiseEnvelope(dim, epsSched)
 	plainMod := suite.PlainModulus()
 	if err := checkHeadroom(plainMod, n, dim, coordBound, noiseBound, p.FracBits, preScale); err != nil {
+		return nil, err
+	}
+
+	sideLen := p.K * (dim + 1)
+	if p.TrackInertia {
+		sideLen++
+	}
+	// Slot packing: the encrypted side carries ⌈sideLen/slots⌉ packed
+	// ciphertexts per side instead of sideLen, with the layout derived
+	// from the same magnitude budget checkHeadroom just validated.
+	sideCiphers := sideLen
+	var layout *fixedpoint.SlotLayout
+	if p.Packed {
+		layout, err = packedLayout(plainMod.BitLen()-1, n, coordBound+noiseBound, p.FracBits, preScale)
+		if err != nil {
+			return nil, err
+		}
+		sideCiphers = layout.Groups(sideLen)
+	}
+	// Size the Damgård–Jurik randomizer pool for the run's actual burst
+	// before the suite performs its first encryption: every activation in
+	// the gossip phase halves-and-rerandomizes the full fused vector,
+	// concurrently across shard workers, so the default capacity starves
+	// wide runs and over-provisions packed ones.
+	if ps, ok := suite.(poolSizer); ok {
+		ps.SizePool(poolBurst(p, n, 2*sideCiphers))
+	}
+	ring, err := newCipherRing(suite)
+	if err != nil {
 		return nil, err
 	}
 
@@ -224,11 +275,6 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 			}
 			initial[j] = c
 		}
-	}
-
-	sideLen := p.K * (dim + 1)
-	if p.TrackInertia {
-		sideLen++
 	}
 	// Decoded per-coordinate magnitudes are relative aggregates: bounded
 	// by the largest coordinate bound plus noise, with slack. Anything
@@ -247,10 +293,13 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		noiseBound:    noiseBound,
 		vecLen:        p.K * (dim + 1),
 		sideLen:       sideLen,
+		sideCiphers:   sideCiphers,
+		layout:        layout,
 		decodeBound:   decodeBound,
 		centroidBytes: p.K * dim * 8,
 	}
 
+	setupOK = true
 	return &runSetup{
 		p:          p,
 		epsSched:   epsSched,

@@ -25,11 +25,12 @@ import (
 // package, keeping workers contention-free. Close releases the pool's
 // background refill (Run/RunSharded/RunAsync call it on completion).
 type djSuite struct {
-	tk     *damgardjurik.ThresholdKey
-	shares []damgardjurik.KeyShare
-	inv2   *big.Int
-	enc    *damgardjurik.EncContext
-	pool   *damgardjurik.RandomizerPool
+	tk      *damgardjurik.ThresholdKey
+	shares  []damgardjurik.KeyShare
+	inv2    *big.Int
+	enc     *damgardjurik.EncContext
+	pool    *damgardjurik.RandomizerPool
+	poolCap int
 
 	encrypts        atomic.Int64
 	adds            atomic.Int64
@@ -38,10 +39,17 @@ type djSuite struct {
 	combines        atomic.Int64
 }
 
-// djPoolCapacity sizes the shared randomizer pool: large enough to cover
-// a cycle's burst of halvings across workers, small enough that the
-// background fill finishes in milliseconds at demo key sizes.
+// djPoolCapacity is the default randomizer-pool size for standalone
+// suite construction. It is only a starting point: prepareRun resizes
+// the pool via SizePool to the run's actual burst — shard workers times
+// the fused-vector length — so wide sharded runs don't starve the pool
+// and packed runs don't over-provision it.
 const djPoolCapacity = 256
+
+// djPoolCapacityMax caps SizePool requests: beyond this the background
+// refill stops paying for itself (memory plus fill latency) and misses
+// degrade gracefully to synchronous randomizers anyway.
+const djPoolCapacityMax = 8192
 
 // NewDamgardJurikSuite deals a fresh threshold key over fixture safe
 // primes of the given modulus size and wraps it as a CipherSuite for a
@@ -75,7 +83,27 @@ func newDJSuite(tk *damgardjurik.ThresholdKey, shares []damgardjurik.KeyShare) (
 		return nil, err
 	}
 	pool := damgardjurik.NewRandomizerPool(enc, djPoolCapacity, nil)
-	return &djSuite{tk: tk, shares: shares, inv2: inv2, enc: enc, pool: pool}, nil
+	return &djSuite{tk: tk, shares: shares, inv2: inv2, enc: enc, pool: pool, poolCap: djPoolCapacity}, nil
+}
+
+// SizePool implements the poolSizer extension: it replaces the
+// randomizer pool with one sized for the caller's burst (clamped to
+// [djPoolCapacity, djPoolCapacityMax]). Only safe before the suite is
+// shared across goroutines — prepareRun calls it during construction,
+// before any participant exists.
+func (s *djSuite) SizePool(capacity int) {
+	if capacity < djPoolCapacity {
+		capacity = djPoolCapacity
+	}
+	if capacity > djPoolCapacityMax {
+		capacity = djPoolCapacityMax
+	}
+	if capacity == s.poolCap {
+		return
+	}
+	s.pool.Close()
+	s.pool = damgardjurik.NewRandomizerPool(s.enc, capacity, nil)
+	s.poolCap = capacity
 }
 
 // Close stops the randomizer pool's background refill. The suite remains

@@ -232,19 +232,40 @@ type Workload struct {
 	Iterations       int
 	GossipRounds     int // exchanges per participant per gossip phase
 	DecryptThreshold int // partial decryptions needed
+
+	// Slots is the number of coordinates packed per ciphertext on the
+	// encrypted side (core.PackedSlots derives it from the key size and
+	// the headroom budget); 0 or 1 projects the unpacked protocol.
+	Slots int
 }
 
 func (w Workload) validate() error {
-	if w.Participants < 2 || w.K < 1 || w.Dim < 1 || w.Iterations < 1 || w.GossipRounds < 1 || w.DecryptThreshold < 1 {
+	if w.Participants < 2 || w.K < 1 || w.Dim < 1 || w.Iterations < 1 || w.GossipRounds < 1 || w.DecryptThreshold < 1 || w.Slots < 0 {
 		return fmt.Errorf("costmodel: invalid workload %+v", w)
 	}
 	return nil
 }
 
-// VectorLen is the number of ciphertexts gossiped per message: per
-// cluster, the d-dimensional sum plus the count, twice (means and noise).
+// SideLen is the number of coordinates per side of the fused vector: per
+// cluster, the d-dimensional sum plus the count.
+func (w Workload) SideLen() int {
+	return w.K * (w.Dim + 1)
+}
+
+// SideCiphers is the number of ciphertexts actually carrying one side:
+// SideLen unpacked, ⌈SideLen/Slots⌉ packed.
+func (w Workload) SideCiphers() int {
+	side := w.SideLen()
+	if w.Slots > 1 {
+		return (side + w.Slots - 1) / w.Slots
+	}
+	return side
+}
+
+// VectorLen is the number of ciphertexts gossiped per message: the means
+// side and the noise side of the fused vector.
 func (w Workload) VectorLen() int {
-	return 2 * w.K * (w.Dim + 1)
+	return 2 * w.SideCiphers()
 }
 
 // Report is the projected per-participant cost of a full run — the
@@ -283,18 +304,23 @@ type Report struct {
 // Project derives the per-participant cost report of the workload under
 // the measured profile. Counting (per participant, per iteration):
 //
-//   - assignment: encrypt K·(Dim+1) mean entries + K·(Dim+1) noise
-//     shares;
+//   - assignment: encrypt the K·(Dim+1) mean entries + K·(Dim+1) noise
+//     shares — one ciphertext per coordinate, or per Slots-coordinate
+//     group when the workload is packed;
 //   - gossip: GossipRounds rounds; each round halves the full vector
 //     (VectorLen scalar multiplications, each followed by a
 //     rerandomization so the half cannot be traced across hops), sends
 //     it (1 message of VectorLen ciphertexts), and absorbs an expected
 //     1 incoming message (VectorLen additions);
 //   - collaborative decryption: the participant asks DecryptThreshold
-//     peers (request carries the K·(Dim+1) perturbed-mean ciphertexts,
-//     response the same volume), serves on average DecryptThreshold
-//     requests from others (each costing K·(Dim+1) partial
-//     decryptions), and combines its own (K·(Dim+1) combine ops).
+//     peers (request carries the SideCiphers perturbed-mean
+//     ciphertexts, response the same volume), serves on average
+//     DecryptThreshold requests from others (each costing SideCiphers
+//     partial decryptions), and combines its own (SideCiphers combine
+//     ops).
+//
+// Every per-ciphertext count scales down by the packing factor, which is
+// how slot packing compounds across the whole projection.
 func Project(p *CryptoProfile, w Workload) (*Report, error) {
 	if err := w.validate(); err != nil {
 		return nil, err
@@ -302,8 +328,7 @@ func Project(p *CryptoProfile, w Workload) (*Report, error) {
 	if p == nil {
 		return nil, fmt.Errorf("costmodel: nil profile")
 	}
-	perCluster := w.Dim + 1
-	meanLen := w.K * perCluster // ciphertexts holding means (or noise)
+	meanLen := w.SideCiphers() // ciphertexts holding means (or noise)
 	vecLen := w.VectorLen()
 
 	r := &Report{Workload: w}

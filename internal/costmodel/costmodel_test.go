@@ -131,6 +131,56 @@ func TestProjectOperationCounts(t *testing.T) {
 	}
 }
 
+// TestProjectPackedWorkload checks the slot-packed projection: every
+// per-ciphertext operation and byte count divides by the packing factor
+// (here an exact divisor of the side length, so ratios are exact), and
+// Slots 0/1 are the unpacked projection.
+func TestProjectPackedWorkload(t *testing.T) {
+	p := measureSmall(t)
+	w := baseWorkload()
+	base, err := Project(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := w
+	pw.Slots = 5 // divides SideLen = 125 exactly
+	if got := pw.SideCiphers(); got != 25 {
+		t.Fatalf("SideCiphers = %d, want 25", got)
+	}
+	packed, err := Project(p, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.EncryptOps*5 != base.EncryptOps ||
+		packed.ScalarOps*5 != base.ScalarOps ||
+		packed.PartialDecryptOps*5 != base.PartialDecryptOps ||
+		packed.CombineOps*5 != base.CombineOps {
+		t.Fatalf("packed op counts not 1/5th of unpacked: %+v vs %+v", packed, base)
+	}
+	if packed.MessagesSent != base.MessagesSent {
+		t.Fatalf("packing must not change message counts: %d vs %d", packed.MessagesSent, base.MessagesSent)
+	}
+	if packed.BytesSent >= base.BytesSent {
+		t.Fatalf("packed bytes %d not below unpacked %d", packed.BytesSent, base.BytesSent)
+	}
+	for _, slots := range []int{0, 1} {
+		uw := w
+		uw.Slots = slots
+		r, err := Project(p, uw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EncryptOps != base.EncryptOps || r.BytesSent != base.BytesSent {
+			t.Fatalf("Slots=%d must project the unpacked protocol", slots)
+		}
+	}
+	bad := w
+	bad.Slots = -1
+	if _, err := Project(p, bad); err == nil {
+		t.Fatal("negative Slots must be rejected")
+	}
+}
+
 func TestProjectScalesLinearlyInIterations(t *testing.T) {
 	p := measureSmall(t)
 	w := baseWorkload()

@@ -38,6 +38,12 @@ var (
 	ErrBadVer    = errors.New("wire: unsupported version")
 )
 
+// maxDegree bounds the Damgård–Jurik degree accepted from the wire.
+// Building a public key materializes n^{s+1}, so an adversarial s would
+// otherwise turn a few input bytes into unbounded computation; no
+// supported protocol configuration comes near this bound.
+const maxDegree = 16
+
 // appendField appends a length-prefixed big-endian field.
 func appendField(buf []byte, payload []byte) []byte {
 	var l [4]byte
@@ -148,6 +154,9 @@ func UnmarshalPublicKey(buf []byte) (*damgardjurik.PublicKey, error) {
 	}
 	if err := r.done(); err != nil {
 		return nil, err
+	}
+	if s < 1 || s > maxDegree {
+		return nil, fmt.Errorf("wire: degree %d outside [1, %d]", s, maxDegree)
 	}
 	return damgardjurik.NewPublicKey(n, int(s))
 }
