@@ -45,6 +45,7 @@ import (
 	"chiaroscuro/internal/dp"
 	"chiaroscuro/internal/kmeans"
 	"chiaroscuro/internal/quality"
+	"chiaroscuro/internal/simnet"
 	"chiaroscuro/internal/timeseries"
 )
 
@@ -145,6 +146,21 @@ type Config struct {
 	// ChurnCrashProb / ChurnRejoinProb inject per-cycle node failures.
 	ChurnCrashProb  float64
 	ChurnRejoinProb float64
+	// Faults is a deterministic fault-injection scenario in the
+	// internal/simnet grammar — semicolon-separated clauses:
+	//
+	//	drop=P  dup=P  delay=PxD          per-message link faults
+	//	crash@C=ids                       crash-stop at cycle C
+	//	outage@C+D=ids[:reset]            down D cycles (optional state loss)
+	//	lag@C+D=ids                       laggards stalled D cycles
+	//	garble=ids  malform=ids  replay=ids  noise*F=ids   byzantine senders
+	//	seed=S                            pin the fault seed
+	//
+	// e.g. "drop=0.05;delay=0.2x3;outage@10+8=1,2:reset;garble=7". The
+	// same seed and scenario replay the identical fault trajectory on
+	// the cycles and sharded engines at any worker count, so a failing
+	// scenario is a replayable regression test. Empty injects nothing.
+	Faults string
 }
 
 // Iteration is one entry of the per-iteration trace.
@@ -190,6 +206,12 @@ type NetworkCost struct {
 	MessagesDropped int
 	BytesSent       int64
 	Cycles          int
+	// FaultDropped, Duplicated and Delayed count the messages the fault
+	// scenario (Config.Faults) dropped, duplicated and delayed
+	// (FaultDropped is included in MessagesDropped).
+	FaultDropped int
+	Duplicated   int
+	Delayed      int
 }
 
 // CryptoOps counts homomorphic operations across all participants.
@@ -220,8 +242,11 @@ type Result struct {
 	Crypto  CryptoOps
 
 	// DecryptFailures counts iterations where some participant could
-	// not assemble a decryption quorum (only under churn).
+	// not assemble a decryption quorum (only under churn or faults).
 	DecryptFailures int
+	// Completed counts participants that finished their full iteration
+	// schedule — the quorum-liveness measure of the fault experiments.
+	Completed int
 	// Elapsed is the wall-clock simulation time.
 	Elapsed time.Duration
 }
@@ -264,6 +289,9 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 			MessagesDropped: trace.NetStats.MessagesDropped,
 			BytesSent:       trace.NetStats.BytesSent,
 			Cycles:          trace.CyclesRun,
+			FaultDropped:    trace.NetStats.FaultDrops,
+			Duplicated:      trace.NetStats.Duplicates,
+			Delayed:         trace.NetStats.Delayed,
 		},
 		Crypto: CryptoOps{
 			Encrypts:        trace.Ops.Encrypts,
@@ -273,6 +301,7 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 			Combines:        trace.Ops.Combines,
 		},
 		DecryptFailures: trace.DecryptFailures,
+		Completed:       trace.Completed,
 		Elapsed:         time.Since(start),
 	}
 	for _, it := range trace.Iterations {
@@ -323,6 +352,13 @@ func (cfg Config) toParams() (core.Params, error) {
 	default:
 		return p, fmt.Errorf("chiaroscuro: unknown backend %q", cfg.Backend)
 	}
+	var faults *simnet.Plan
+	if cfg.Faults != "" {
+		faults, err = simnet.ParsePlan(cfg.Faults)
+		if err != nil {
+			return p, fmt.Errorf("chiaroscuro: Config.Faults: %w", err)
+		}
+	}
 	return core.Params{
 		K:                    cfg.K,
 		Epsilon:              cfg.Epsilon,
@@ -344,6 +380,7 @@ func (cfg Config) toParams() (core.Params, error) {
 		MaxValue:             1,
 		ChurnCrashProb:       cfg.ChurnCrashProb,
 		ChurnRejoinProb:      cfg.ChurnRejoinProb,
+		Faults:               faults,
 	}, nil
 }
 

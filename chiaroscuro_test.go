@@ -272,3 +272,57 @@ func TestTrackInertiaPublicAPI(t *testing.T) {
 		t.Fatal("no inertia estimate in public trace")
 	}
 }
+
+// TestClusterWithFaultScenario drives the public fault-injection
+// surface: a scenario spec conditions the network and schedules node
+// faults, the run survives, the fault counters surface in the result,
+// and an identical re-run reproduces the identical disclosure.
+func TestClusterWithFaultScenario(t *testing.T) {
+	series, _, _ := SyntheticCER(80, 12, 7)
+	if _, _, err := Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		K: 3, Epsilon: 20, Iterations: 3, Seed: 7,
+		Faults: "drop=0.1;dup=0.05;delay=0.2x3;outage@4+6=1,2:reset;lag@3+5=3;garble=4;malform=5",
+	}
+	res, err := Cluster(series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.FaultDropped == 0 || res.Network.Duplicated == 0 || res.Network.Delayed == 0 {
+		t.Fatalf("scenario injected nothing: %+v", res.Network)
+	}
+	if res.Completed == 0 || res.Completed > len(series) {
+		t.Fatalf("implausible liveness %d/%d", res.Completed, len(series))
+	}
+	// Same spec + seed on the sharded engine: identical disclosure.
+	cfg.Engine = "sharded"
+	cfg.Workers = 3
+	res2, err := Cluster(series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res.Centroids {
+		for tt := range res.Centroids[j] {
+			if res.Centroids[j][tt] != res2.Centroids[j][tt] {
+				t.Fatalf("faulted run not reproducible across engines at centroid %d[%d]", j, tt)
+			}
+		}
+	}
+}
+
+// TestClusterFaultSpecValidation: malformed or out-of-population specs
+// fail fast with a parse/validation error.
+func TestClusterFaultSpecValidation(t *testing.T) {
+	series, _, _ := SyntheticCER(20, 8, 1)
+	if _, _, err := Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"nonsense", "drop=2", "crash@1=999"} {
+		cfg := Config{K: 2, Epsilon: 5, Iterations: 2, Seed: 1, Faults: spec}
+		if _, err := Cluster(series, cfg); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		}
+	}
+}

@@ -27,6 +27,15 @@
 //
 //	go run ./cmd/chiaroscuro -bench-core
 //	go run ./cmd/chiaroscuro -bench-core -bench-core-out BENCH_core.json
+//
+// The -faults flag injects a deterministic fault scenario (simnet
+// grammar; see docs/ARCHITECTURE.md "The simnet fault layer") into a
+// normal run, and -bench-faults runs the E11 scenario table (CI uploads
+// BENCH_faults.json so fault-resilience regressions show up as row
+// diffs):
+//
+//	go run ./cmd/chiaroscuro -faults 'drop=0.1;outage@10+8=1,2:reset'
+//	go run ./cmd/chiaroscuro -bench-faults -bench-faults-out BENCH_faults.json
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"chiaroscuro"
 	"chiaroscuro/internal/costmodel"
+	"chiaroscuro/internal/experiments"
 )
 
 func main() {
@@ -60,6 +70,7 @@ func main() {
 		modulus   = flag.Int("modulus", 0, "key size in bits (0 = default)")
 		seed      = flag.Int64("seed", 2016, "random seed (whole run is deterministic)")
 		churn     = flag.Float64("churn", 0, "per-cycle crash probability")
+		faults    = flag.String("faults", "", "deterministic fault scenario, e.g. 'drop=0.05;delay=0.2x3;outage@10+8=1,2:reset;garble=7' (see docs/ARCHITECTURE.md)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-iteration log")
 
 		benchCrypto    = flag.Bool("bench-crypto", false, "measure Damgård–Jurik op timings (naive vs fast path) and exit")
@@ -67,6 +78,8 @@ func main() {
 		benchReps      = flag.Int("bench-reps", 8, "with -bench-crypto: repetitions per measured operation")
 		benchCore      = flag.Bool("bench-core", false, "time full protocol runs (engines, packed vs unpacked end-to-end) and exit")
 		benchCoreOut   = flag.String("bench-core-out", "", "with -bench-core: also write the results as JSON to this file")
+		benchFaults    = flag.Bool("bench-faults", false, "run the E11 fault-injection scenario table at quick scale and exit")
+		benchFaultsOut = flag.String("bench-faults-out", "", "with -bench-faults: also write the table as JSON to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +91,12 @@ func main() {
 	}
 	if *benchCore {
 		if err := runBenchCore(*benchCoreOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchFaults {
+		if err := runBenchFaults(*benchFaultsOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -102,6 +121,7 @@ func main() {
 
 	init := chiaroscuro.LevelInit(*k, dim)
 	cfg := chiaroscuro.Config{
+		Faults: *faults,
 		K:                *k,
 		Epsilon:          eps,
 		Iterations:       *iters,
@@ -162,6 +182,11 @@ func main() {
 	fmt.Printf("network:  %d messages (%.1f MB), %d dropped, %d cycles\n",
 		res.Network.MessagesSent, float64(res.Network.BytesSent)/1e6,
 		res.Network.MessagesDropped, res.Network.Cycles)
+	if *faults != "" {
+		fmt.Printf("faults:   %d dropped, %d duplicated, %d delayed by scenario; %d/%d participants completed\n",
+			res.Network.FaultDropped, res.Network.Duplicated, res.Network.Delayed,
+			res.Completed, *n)
+	}
 	fmt.Printf("crypto:   %d enc, %d add, %d halve, %d partial-dec, %d combine (%s)\n",
 		res.Crypto.Encrypts, res.Crypto.Adds, res.Crypto.Halvings,
 		res.Crypto.PartialDecrypts, res.Crypto.Combines, *backend)
@@ -372,6 +397,45 @@ func runBenchCore(out string) error {
 	}
 	if out == "" {
 		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// faultsBenchResult is the BENCH_faults.json schema: the E11 scenario
+// table verbatim (scenarios are deterministic, so successive CI
+// artifacts diff cleanly — a changed row is a behaviour change).
+type faultsBenchResult struct {
+	Schema    string     `json:"Schema"` // "chiaroscuro-bench-faults/v1"
+	Timestamp string     `json:"Timestamp"`
+	Header    []string   `json:"Header"`
+	Rows      [][]string `json:"Rows"`
+}
+
+// runBenchFaults runs the E11 fault-injection experiment at quick scale
+// and prints the table; with a non-empty out path it also writes the
+// JSON artifact CI uploads next to the other bench artifacts.
+func runBenchFaults(out string) error {
+	tab, err := experiments.E11FaultInjection(experiments.Quick)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab.Markdown())
+	if out == "" {
+		return nil
+	}
+	res := faultsBenchResult{
+		Schema:    "chiaroscuro-bench-faults/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Header:    tab.Header,
+		Rows:      tab.Rows,
 	}
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -50,6 +50,17 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 	net := &asyncNet{
 		inboxes: make([]chan p2p.Message, n),
 	}
+	// Bind the fault plan. The async engine has no global clock, so the
+	// Conditioner and scheduler run against each participant's private
+	// activation counter: link faults drop/duplicate probabilistically
+	// (delays are meaningless here — channel scheduling already reorders)
+	// and lifecycle faults trigger on the node's own step count.
+	// Byzantine behaviours live in the participant and need no wiring.
+	cond, sched, err := bindFaults(p, n)
+	if err != nil {
+		return nil, err
+	}
+	net.cond = cond
 	for i := range net.inboxes {
 		// Generous buffering: a full iteration's worth of traffic per
 		// node. Overflow is dropped and counted, like a saturated link.
@@ -75,6 +86,8 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 				rng: rand.New(rand.NewSource(p.Seed ^ (int64(pt.id)+7)*0x2545F4914F6CDD1D)),
 			}
 			notified := false
+			wasDown := false
+			pendingReset := false
 			for step := 0; ; step++ {
 				select {
 				case <-stop:
@@ -82,13 +95,44 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 				default:
 				}
 				env.step = step
-				pt.step(env)
+				activate := true
+				if sched != nil {
+					d := sched.Directive(pt.id, step)
+					if d.Down {
+						// Crashed: discard whatever arrives, initiate
+						// nothing. The activation cadence keeps ticking so
+						// outage windows measured in activations elapse.
+						wasDown = true
+						if d.Reset {
+							pendingReset = true // latched until revival
+						}
+						for range env.Inbox() {
+						}
+						activate = false
+					} else {
+						if wasDown {
+							wasDown = false
+							if d.Reset || pendingReset {
+								pt.Reset()
+							}
+							pendingReset = false
+						}
+						if d.Stall {
+							// Laggard: the inbox accumulates in the channel.
+							activate = false
+						}
+					}
+				}
+				if activate {
+					pt.step(env)
+				}
 				if pt.phase == phaseDone && !notified {
 					notified = true
 					done.Add(1)
 				}
 				if step >= maxSteps && !notified {
-					// Hostile stall: give up initiating, keep serving.
+					// Hostile stall (or a scheduled permanent crash): give
+					// up initiating, keep serving what the plan allows.
 					notified = true
 					done.Add(1)
 				}
@@ -125,6 +169,8 @@ waitLoop:
 		MessagesSent:    int(net.sent.Load()),
 		MessagesDropped: int(net.dropped.Load()),
 		BytesSent:       net.bytes.Load(),
+		FaultDrops:      int(net.fdrops.Load()),
+		Duplicates:      int(net.dups.Load()),
 	}
 	// "Cycles" in the async engine: the maximum number of activations any
 	// participant performed is not tracked per-node; report the protocol
@@ -136,9 +182,12 @@ waitLoop:
 // asyncNet is the channel-based message fabric.
 type asyncNet struct {
 	inboxes []chan p2p.Message
+	cond    p2p.Conditioner // nil unless the fault plan conditions links
 	sent    atomic.Int64
 	dropped atomic.Int64
 	bytes   atomic.Int64
+	fdrops  atomic.Int64
+	dups    atomic.Int64
 }
 
 // asyncEnv implements Env for one participant goroutine.
@@ -176,17 +225,34 @@ func (e *asyncEnv) Inbox() []p2p.Message {
 }
 
 // Send implements Env: non-blocking delivery; a full inbox drops the
-// message (a saturated peer), which push-sum absorbs as mass loss.
+// message (a saturated peer), which push-sum absorbs as mass loss. A
+// bound fault plan additionally drops or duplicates messages (delays
+// are left to the channel scheduling this engine already has).
 func (e *asyncEnv) Send(to p2p.NodeID, payload any, bytes int) error {
 	if to < 0 || int(to) >= len(e.net.inboxes) {
 		return errors.New("core: async send out of range")
 	}
 	e.net.sent.Add(1)
 	e.net.bytes.Add(int64(bytes))
-	select {
-	case e.net.inboxes[to] <- p2p.Message{From: e.id, Payload: payload, Bytes: bytes}:
-	default:
-		e.net.dropped.Add(1)
+	copies := 1
+	if e.net.cond != nil {
+		v := e.net.cond.Condition(e.id, to, e.step, bytes)
+		if v.Drop {
+			e.net.fdrops.Add(1)
+			e.net.dropped.Add(1)
+			return nil
+		}
+		if v.Duplicate {
+			e.net.dups.Add(1)
+			copies = 2
+		}
+	}
+	for c := 0; c < copies; c++ {
+		select {
+		case e.net.inboxes[to] <- p2p.Message{From: e.id, Payload: payload, Bytes: bytes}:
+		default:
+			e.net.dropped.Add(1)
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/simnet"
 )
 
 // engine.go is the per-cycle step API shared by the execution engines.
@@ -40,7 +41,7 @@ func newCycleDriver(data [][]float64, rs *runSetup, workers int) (*cycleDriver, 
 		participants[id] = pt
 		return pt
 	}
-	nw, err := p2p.New(n, factory, p2p.Options{
+	opts := p2p.Options{
 		Seed:    rs.p.Seed + 1,
 		Workers: workers,
 		Churn: p2p.ChurnModel{
@@ -48,11 +49,45 @@ func newCycleDriver(data [][]float64, rs *runSetup, workers int) (*cycleDriver, 
 			RejoinProb:    rs.p.ChurnRejoinProb,
 			ResetOnRejoin: rs.p.ChurnResetOnRejoin,
 		},
-	})
+	}
+	var err error
+	opts.Conditioner, opts.Faults, err = bindFaults(rs.p, n)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := p2p.New(n, factory, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &cycleDriver{rs: rs, data: data, nw: nw, participants: participants}, nil
+}
+
+// faultSeedOffset derives the fault-hash seed from the run seed (the
+// p2p simulation uses Seed+1; the plan may override with its own Seed).
+const faultSeedOffset = 2
+
+// bindFaults binds the run's fault plan for a population of n,
+// returning the message-path and lifecycle hooks (shared by the
+// cycle-driven drivers and RunAsync). Hooks stay nil — and the hot
+// paths untouched — for the fault classes the plan does not use; an
+// empty plan binds nothing at all.
+func bindFaults(p Params, n int) (p2p.Conditioner, p2p.FaultScheduler, error) {
+	if p.Faults.Empty() {
+		return nil, nil, nil
+	}
+	net, err := simnet.NewNet(p.Faults, n, p.Seed+faultSeedOffset)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cond p2p.Conditioner
+	var sched p2p.FaultScheduler
+	if net.HasLinkFaults() {
+		cond = net
+	}
+	if net.HasSchedule() {
+		sched = net
+	}
+	return cond, sched, nil
 }
 
 // maxCycles bounds the simulation: the protocol schedule length per

@@ -10,6 +10,7 @@ import (
 	"chiaroscuro/internal/dp"
 	"chiaroscuro/internal/fixedpoint"
 	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/simnet"
 )
 
 // SmoothingMethod selects the perturbed-mean smoothing heuristic.
@@ -149,6 +150,19 @@ type Params struct {
 	// outage, state kept.
 	ChurnResetOnRejoin bool
 
+	// Faults is the deterministic fault-injection plan (see
+	// internal/simnet): per-link drop/duplicate/delay probabilities plus
+	// scheduled participant faults — crash-stop, crash-recovery with
+	// optional state loss, laggards, and byzantine senders (garbled,
+	// malformed or replayed ciphertexts, skewed noise shares). All three
+	// engines accept it; the cycle-driven engines replay the identical
+	// fault trajectory for the same (Seed, Faults) pair at any worker
+	// count, while RunAsync applies link and lifecycle faults against
+	// its own per-participant activation clocks (byzantine behaviours
+	// are engine-independent). A byzantine plan additionally enables
+	// wire validation of incoming gossip messages. Nil injects nothing.
+	Faults *simnet.Plan
+
 	// asyncEngine is set internally by RunAsync: the asynchronous engine
 	// cannot bound a contribution's halving count by the round budget
 	// (peers drift), so it gets a much larger pre-scaling allowance plus
@@ -256,6 +270,9 @@ func (p Params) validate(n, dim int) error {
 	}
 	if p.ChurnCrashProb < 0 || p.ChurnCrashProb > 1 || p.ChurnRejoinProb < 0 || p.ChurnRejoinProb > 1 {
 		return errors.New("core: churn probabilities outside [0,1]")
+	}
+	if err := p.Faults.Validate(n); err != nil {
+		return fmt.Errorf("core: fault plan: %w", err)
 	}
 	if p.InertiaStopThreshold < 0 {
 		return fmt.Errorf("core: inertia stop threshold %v negative", p.InertiaStopThreshold)

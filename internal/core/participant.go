@@ -10,6 +10,7 @@ import (
 	"chiaroscuro/internal/fixedpoint"
 	"chiaroscuro/internal/gossip"
 	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/simnet"
 	"chiaroscuro/internal/timeseries"
 )
 
@@ -120,6 +121,12 @@ type participant struct {
 	staleDrops  int
 	decryptFail int
 
+	// byz, when non-nil, makes this participant a byzantine sender of
+	// the planned kind (internal/simnet); replayPayload caches the first
+	// gossip emission of a FaultReplay sender.
+	byz           *simnet.NodeFault
+	replayPayload *gossipPayload
+
 	// absorbBatch is the reusable scratch for the batched gossip
 	// exchange: same-iteration messages drained from one inbox are
 	// absorbed in a single AbsorbAll pass.
@@ -145,6 +152,10 @@ type runShared struct {
 	layout        *fixedpoint.SlotLayout // slot packing of the encrypted side (nil = unpacked)
 	decodeBound   float64                // max plausible |decoded| per coordinate
 	centroidBytes int
+	// validator is non-nil only when the fault plan contains byzantine
+	// senders: incoming gossip messages are then validated cipher by
+	// cipher before absorption (the wire-hardening path).
+	validator cipherValidator
 }
 
 // NextCycle implements p2p.Protocol — the entry point Peersim (here
@@ -240,6 +251,13 @@ func (pt *participant) stepAssign(ctx Env) {
 	fill := func(idx int, x float64) {
 		vals[idx] = x
 		noise := dp.NoiseShare(pt.rng, nShares, scale)
+		if pt.byz != nil && pt.byz.Kind == simnet.FaultSkewNoise {
+			// Byzantine noise skew: the share is scaled before the clamp,
+			// so it stays wire-plausible (honest receivers cannot tell) —
+			// factor 0 freerides on everyone else's noise, large factors
+			// poison the disclosed aggregate.
+			noise *= pt.byz.Factor
+		}
 		if noise > r.noiseBound {
 			noise = r.noiseBound
 		} else if noise < -r.noiseBound {
@@ -376,10 +394,13 @@ func (pt *participant) stepGossip(ctx Env) {
 			Centroids: pt.diptych.Centroids,
 			Msg:       msg,
 		}
+		if pt.byz != nil {
+			payload = pt.byzantinePayload(payload)
+		}
 		// Byte accounting from the actual ciphertext count of the
 		// emitted message — not a recomputed 2·sideLen — so packed and
 		// inertia-tracking runs report true wire bytes.
-		bytes := len(msg.V)*r.suite.CipherBytes() + r.centroidBytes + 16
+		bytes := len(payload.Msg.V)*r.suite.CipherBytes() + r.centroidBytes + 16
 		_ = ctx.Send(peer, payload, bytes)
 	}
 	pt.roundsDone++
@@ -390,6 +411,95 @@ func (pt *participant) stepGossip(ctx Env) {
 		pt.asked = make(map[p2p.NodeID]bool)
 		pt.pendingCT = nil
 	}
+}
+
+// byzantinePayload corrupts an outgoing gossip payload according to the
+// participant's planned byzantine behaviour. The honest Emit already
+// happened (the sender's own state halves either way), so a byzantine
+// sender injects corruption into the network without gaining a
+// privileged view of anyone else's state.
+func (pt *participant) byzantinePayload(honest *gossipPayload) *gossipPayload {
+	r := pt.run
+	switch pt.byz.Kind {
+	case simnet.FaultGarble:
+		// Structurally valid ciphertexts of random residues under the
+		// true weight: passes every wire check, poisons the aggregate —
+		// receivers survive via the decode plausibility bound.
+		fake := make([]Cipher, len(honest.Msg.V))
+		for i := range fake {
+			v := new(big.Int).Rand(pt.rng, r.plainMod)
+			ct, err := r.suite.Encrypt(v)
+			if err != nil {
+				ct = honest.Msg.V[i]
+			}
+			fake[i] = ct
+		}
+		return &gossipPayload{
+			Iter:      honest.Iter,
+			Centroids: honest.Centroids,
+			Msg:       &gossip.Message[Cipher]{V: fake, W: honest.Msg.W},
+		}
+	case simnet.FaultMalform:
+		// Malformed messages, alternating the failure mode per round:
+		// wrong vector lengths (rejected by the dimension check), and
+		// right-length vectors of invalid values under a non-finite
+		// weight (rejected by the wire validation).
+		if pt.roundsDone%2 == 0 {
+			return &gossipPayload{
+				Iter:      honest.Iter,
+				Centroids: honest.Centroids,
+				Msg:       &gossip.Message[Cipher]{V: honest.Msg.V[:len(honest.Msg.V)-1], W: honest.Msg.W},
+			}
+		}
+		bad := make([]Cipher, len(honest.Msg.V))
+		for i := range bad {
+			if i%2 == 0 {
+				bad[i] = byzForeignCipher{} // foreign type for every suite
+			} else {
+				bad[i] = big.NewInt(0) // out of range for DJ, foreign for plain
+			}
+		}
+		return &gossipPayload{
+			Iter:      honest.Iter,
+			Centroids: honest.Centroids,
+			Msg:       &gossip.Message[Cipher]{V: bad, W: math.NaN()},
+		}
+	case simnet.FaultReplay:
+		// Capture the first emission, then replay it verbatim forever:
+		// same-iteration replays inflate push-sum mass, later ones hit
+		// the stale-iteration drop path.
+		if pt.replayPayload == nil {
+			pt.replayPayload = &gossipPayload{
+				Iter:      honest.Iter,
+				Centroids: deepCopyMatrix(honest.Centroids),
+				Msg:       &gossip.Message[Cipher]{V: append([]Cipher(nil), honest.Msg.V...), W: honest.Msg.W},
+			}
+			return honest
+		}
+		return pt.replayPayload
+	default: // FaultSkewNoise corrupts at assignment time, not here.
+		return honest
+	}
+}
+
+// byzForeignCipher is a value no cipher suite recognizes — the
+// malformed-sender probe for the type-validation path.
+type byzForeignCipher struct{}
+
+// wireValid is the byzantine-hardening gate on incoming gossip: the
+// push-sum weight must be finite, non-negative and population-bounded,
+// and every cipher must validate under the suite. Only runs when the
+// fault plan declares byzantine senders (runShared.validator non-nil).
+func (pt *participant) wireValid(m *gossip.Message[Cipher]) bool {
+	if math.IsNaN(m.W) || math.IsInf(m.W, 0) || m.W < 0 || m.W > float64(pt.run.population) {
+		return false
+	}
+	for _, c := range m.V {
+		if pt.run.validator.ValidateCipher(c) != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // handleGossips processes one activation's gossip inflow as a batched
@@ -403,6 +513,7 @@ func (pt *participant) handleGossips(ctx Env, gs []*gossipPayload) {
 	if len(gs) == 0 || pt.phase == phaseDone {
 		return
 	}
+	r := pt.run
 	batch := pt.absorbBatch[:0]
 	flush := func() {
 		if len(batch) == 0 {
@@ -431,12 +542,30 @@ func (pt *participant) handleGossips(ctx Env, gs []*gossipPayload) {
 				pt.staleDrops++ // what Absorb would have rejected
 				continue
 			}
+			if r.validator != nil && !pt.wireValid(g.Msg) {
+				pt.staleDrops++ // byzantine wire input: rejected
+				continue
+			}
 			batch = append(batch, g.Msg)
 		case g.Iter > pt.iter:
 			// Late synchronization: adopt the newer iteration's
 			// centroids, redo the local assignment step, then absorb the
-			// message. Anything batched so far belongs to the abandoned
-			// iteration's state and is folded in before it is replaced.
+			// message. The payload is validated first — a malformed
+			// iteration tag or centroid matrix must not be able to desync
+			// (or panic) an honest node. Anything batched so far belongs
+			// to the abandoned iteration's state and is folded in before
+			// it is replaced.
+			if g.Iter >= len(r.epsSched) || g.Msg == nil ||
+				len(g.Msg.V) != 2*r.sideCiphers ||
+				!validShape(g.Centroids, r.params.K, r.dim) ||
+				(r.validator != nil && !pt.wireValid(g.Msg)) {
+				// Malformed sync payloads (wrong-length vectors included)
+				// must not be able to force the iteration jump — the
+				// same-iteration path length-checks before absorbing, so
+				// this path does too.
+				pt.staleDrops++
+				continue
+			}
 			flush()
 			pt.iter = g.Iter
 			pt.diptych.Centroids = deepCopyMatrix(g.Centroids)
@@ -734,6 +863,21 @@ func maxDisplacement(a, b [][]float64) float64 {
 		}
 	}
 	return max
+}
+
+// validShape checks a received centroid matrix is exactly k×dim — the
+// guard that keeps a corrupted late-sync payload from panicking the
+// assignment step.
+func validShape(m [][]float64, k, dim int) bool {
+	if len(m) != k {
+		return false
+	}
+	for _, row := range m {
+		if len(row) != dim {
+			return false
+		}
+	}
+	return true
 }
 
 func deepCopyMatrix(m [][]float64) [][]float64 {

@@ -97,6 +97,10 @@ type Trace struct {
 	CyclesRun       int
 	DecryptFailures int
 	StaleDrops      int
+	// Completed counts participants that finished their full iteration
+	// schedule — the quorum-liveness measure of the fault experiments
+	// (E11): faults can only lower it from the population size.
+	Completed int
 }
 
 // runSetup bundles everything prepareRun validates and constructs; both
@@ -120,13 +124,15 @@ func (rs *runSetup) close() {
 	}
 }
 
-// newParticipant builds one participant over the shared run state.
+// newParticipant builds one participant over the shared run state. A
+// node the fault plan marks byzantine carries its corruption behaviour.
 func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant {
 	return &participant{
 		id:     id,
 		series: series,
 		run:    rs.shared,
 		rng:    rand.New(rand.NewSource(rs.p.Seed ^ (int64(id)+1)*0x5851F42D4C957F2D)),
+		byz:    rs.p.Faults.ByzantineOf(int(id)),
 		diptych: Diptych{
 			Centroids: deepCopyMatrix(rs.initial),
 		},
@@ -280,6 +286,14 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	// by the largest coordinate bound plus noise, with slack. Anything
 	// beyond signals a broken gossip invariant and fails the decode.
 	decodeBound := 4 * (coordBound + noiseBound)
+	// Byzantine fault plans turn on wire validation of incoming gossip:
+	// every absorbed message's weight and ciphertexts are checked before
+	// they can touch the push-sum state. The honest-run hot path stays
+	// validation-free (trajectory and cost unchanged).
+	var validator cipherValidator
+	if p.Faults.HasByzantine() {
+		validator, _ = suite.(cipherValidator)
+	}
 	shared := &runShared{
 		params:        p,
 		dim:           dim,
@@ -297,6 +311,7 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		layout:        layout,
 		decodeBound:   decodeBound,
 		centroidBytes: p.K * dim * 8,
+		validator:     validator,
 	}
 
 	setupOK = true
@@ -428,6 +443,9 @@ func buildTrace(data [][]float64, p Params, participants []*participant, cycles 
 	for _, pt := range participants {
 		tr.DecryptFailures += pt.decryptFail
 		tr.StaleDrops += pt.staleDrops
+		if pt.phase == phaseDone {
+			tr.Completed++
+		}
 	}
 	return tr, nil
 }

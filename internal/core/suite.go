@@ -44,6 +44,16 @@ type OpCounts struct {
 	Combines        int64
 }
 
+// cipherValidator is the optional CipherSuite extension behind the wire
+// hardening: ValidateCipher rejects values that are not well-formed
+// ciphertexts of the suite (foreign types, out-of-ring residues,
+// out-of-range group elements) without touching any homomorphic state.
+// Byzantine fault plans (internal/simnet) enable per-message validation
+// of incoming gossip through it.
+type cipherValidator interface {
+	ValidateCipher(c Cipher) error
+}
+
 // CipherSuite is the encryption abstraction Chiaroscuro needs
 // (Sec. II.A): semantic security is the backend's concern; additive
 // homomorphism and collaborative decryption by any sufficiently large

@@ -28,6 +28,7 @@ type djSuite struct {
 	tk      *damgardjurik.ThresholdKey
 	shares  []damgardjurik.KeyShare
 	inv2    *big.Int
+	ctMod   *big.Int // cached n^{s+1} for ValidateCipher range checks
 	enc     *damgardjurik.EncContext
 	pool    *damgardjurik.RandomizerPool
 	poolCap int
@@ -83,7 +84,25 @@ func newDJSuite(tk *damgardjurik.ThresholdKey, shares []damgardjurik.KeyShare) (
 		return nil, err
 	}
 	pool := damgardjurik.NewRandomizerPool(enc, djPoolCapacity, nil)
-	return &djSuite{tk: tk, shares: shares, inv2: inv2, enc: enc, pool: pool, poolCap: djPoolCapacity}, nil
+	return &djSuite{
+		tk: tk, shares: shares, inv2: inv2, ctMod: tk.CiphertextModulus(),
+		enc: enc, pool: pool, poolCap: djPoolCapacity,
+	}, nil
+}
+
+// ValidateCipher implements the cipherValidator extension: the value
+// must be a big.Int in the multiplicative ciphertext range (0, n^{s+1})
+// — the same bound the homomorphic operations enforce, checked here
+// without counting as an operation.
+func (s *djSuite) ValidateCipher(c Cipher) error {
+	cc, ok := c.(*big.Int)
+	if !ok {
+		return errors.New("core: foreign cipher type in damgard-jurik suite")
+	}
+	if cc == nil || cc.Sign() <= 0 || cc.Cmp(s.ctMod) >= 0 {
+		return errors.New("core: damgard-jurik ciphertext out of range")
+	}
+	return nil
 }
 
 // SizePool implements the poolSizer extension: it replaces the

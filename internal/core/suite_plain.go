@@ -155,6 +155,20 @@ func (s *plainSuite) Halve(c Cipher) (Cipher, error) {
 	return plainCipher{v: out}, nil
 }
 
+// ValidateCipher implements the cipherValidator extension: a plain
+// "ciphertext" is valid iff it is this suite's residue type, reduced
+// into the ring.
+func (s *plainSuite) ValidateCipher(c Cipher) error {
+	cc, ok := c.(plainCipher)
+	if !ok {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	if cc.v == nil || cc.v.Sign() < 0 || cc.v.Cmp(s.m) >= 0 {
+		return errors.New("core: plain cipher residue outside ring")
+	}
+	return nil
+}
+
 // Parties implements CipherSuite.
 func (s *plainSuite) Parties() int { return s.parties }
 

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment row of DESIGN.md §3 (E1–E10), each regenerating the
+// per experiment row of DESIGN.md §3 (E1–E11), each regenerating the
 // corresponding artefact of the demonstration paper — the Fig. 3 panels,
 // the quality-vs-centralized comparison, the cost measures, and the
 // gossip/churn/scaling behaviours the demo narrates.

@@ -211,7 +211,7 @@ func TestE10(t *testing.T) {
 
 func TestRegistryAndByID(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 11 {
+	if len(reg) != 12 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	seen := map[string]bool{}
@@ -258,5 +258,47 @@ func TestLevelInit(t *testing.T) {
 func TestScaledEps(t *testing.T) {
 	if got := scaledEps(1, 1000); got != 1000 {
 		t.Fatalf("scaledEps = %v", got)
+	}
+}
+
+func TestE11(t *testing.T) {
+	tab, err := E11FaultInjection(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("want 10 scenario rows, got %d", len(tab.Rows))
+	}
+	// The fault-free baseline must inject nothing and keep everyone live.
+	base := tab.Rows[0]
+	if base[1] != "0" || base[2] != "0" || base[3] != "0" || base[4] != "0" {
+		t.Fatalf("fault-free row injected faults: %v", base)
+	}
+	if base[7] != "1.00" {
+		t.Fatalf("fault-free liveness %q, want 1.00", base[7])
+	}
+	// Link-fault scenarios must actually drop messages, outages must
+	// crash nodes, and byzantine malform must be rejected on the wire.
+	if tab.Rows[1][1] == "0" {
+		t.Fatalf("loss scenario dropped nothing: %v", tab.Rows[1])
+	}
+	if tab.Rows[3][4] == "0" {
+		t.Fatalf("outage scenario crashed nobody: %v", tab.Rows[3])
+	}
+	if tab.Rows[7][6] == "0" {
+		t.Fatalf("malform scenario rejected nothing: %v", tab.Rows[7])
+	}
+	// Replaying E11 must reproduce the identical table (deterministic
+	// fault trajectories).
+	again, err := E11FaultInjection(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if tab.Rows[i][j] != again.Rows[i][j] {
+				t.Fatalf("row %d col %d not reproducible: %q vs %q", i, j, tab.Rows[i][j], again.Rows[i][j])
+			}
+		}
 	}
 }

@@ -25,6 +25,7 @@ func Registry() []struct {
 		{"E8", E8ChurnResilience},
 		{"E9", E9NoisePopulationScaling},
 		{"E10", E10GossipMessageBudget},
+		{"E11", E11FaultInjection},
 	}
 }
 

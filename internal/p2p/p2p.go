@@ -109,6 +109,45 @@ func (c ChurnModel) validate() error {
 	return nil
 }
 
+// Verdict is a Conditioner's decision about one message: whether it is
+// lost, how many extra cycles its delivery is delayed beyond the normal
+// next-cycle visibility, and whether the network delivers a second copy
+// (with its own delay). Reordering arises from unequal delays.
+type Verdict struct {
+	Drop      bool
+	Delay     int
+	Duplicate bool
+	DupDelay  int
+}
+
+// Conditioner is the programmable fault layer on the message path (see
+// internal/simnet). Condition is invoked on the sender's goroutine for
+// every message whose destination is alive; to preserve the engine's
+// determinism contract an implementation must derive its verdict only
+// from the arguments and from per-sender state (a node's sends are
+// serialized within its activation, like its RNG), never from state
+// shared across senders.
+type Conditioner interface {
+	Condition(from, to NodeID, cycle, bytes int) Verdict
+}
+
+// NodeDirective is a FaultScheduler's instruction for one node at one
+// cycle: Down takes (or keeps) the node crashed, Stall keeps it alive
+// but skips its activation (messages still accumulate in its inbox),
+// and Reset wipes protocol state when the node recovers from Down.
+type NodeDirective struct {
+	Down  bool
+	Reset bool
+	Stall bool
+}
+
+// FaultScheduler drives scheduled (non-probabilistic) node lifecycle
+// faults: crash-stop, crash-recovery and laggard stalls at fixed cycles.
+// Directive is called sequentially at cycle start, node-id order.
+type FaultScheduler interface {
+	Directive(id NodeID, cycle int) NodeDirective
+}
+
 // Topology restricts which peers a node may sample. A nil Topology means
 // the complete graph (Peersim's idealized oracle).
 type Topology interface {
@@ -126,6 +165,11 @@ type Stats struct {
 	BytesSent       int64
 	Crashes         int
 	Rejoins         int
+	// FaultDrops, Duplicates and Delayed count Conditioner-injected
+	// message faults (FaultDrops is also included in MessagesDropped).
+	FaultDrops int
+	Duplicates int
+	Delayed    int
 }
 
 // Options configures a Network.
@@ -143,6 +187,14 @@ type Options struct {
 	// buying parallelism (the 64 floor keeps many-shard configurations
 	// testable on small machines).
 	Workers int
+	// Conditioner, when non-nil, conditions every message to an alive
+	// destination (drop/duplicate/delay). Deterministic implementations
+	// keep the engine's bit-identity contract (see internal/simnet).
+	Conditioner Conditioner
+	// Faults, when non-nil, schedules node lifecycle faults at cycle
+	// start (applied before probabilistic churn; churn never rejoins a
+	// scheduler-downed node).
+	Faults FaultScheduler
 }
 
 // maxWorkers bounds the effective shard-worker count: beyond a few
@@ -173,6 +225,27 @@ type nodeSlot struct {
 	// reallocated, so a steady-state cycle performs no queue allocations.
 	inbox   []Message
 	pending []Message
+	// delayed holds Conditioner-delayed messages with their delivery
+	// cycle; deliver moves due entries into the inbox. Queue order is
+	// ascending sender id (same discipline as pending), which keeps
+	// sequential and sharded execution bit-identical.
+	delayed []delayedMessage
+	// stalled marks a laggard for the current cycle: alive, receiving,
+	// but not activated.
+	stalled bool
+	// schedDown records that the current crash was ordered by the
+	// FaultScheduler, so probabilistic churn does not rejoin the node
+	// mid-outage; schedReset latches a Reset directive seen while down,
+	// applied at the eventual revival.
+	schedDown  bool
+	schedReset bool
+}
+
+// delayedMessage is a conditioned message waiting for its delivery
+// cycle.
+type delayedMessage struct {
+	due int
+	msg Message
 }
 
 // Network is the simulation engine.
@@ -182,6 +255,8 @@ type Network struct {
 	churnRng *rand.Rand
 	churn    ChurnModel
 	topo     Topology
+	cond     Conditioner
+	sched    FaultScheduler
 	stats    Stats
 	alive    int // cached count, fixed between churn applications
 	workers  int
@@ -216,6 +291,8 @@ func New(n int, factory func(NodeID) Protocol, opts Options) (*Network, error) {
 		churnRng: rand.New(rand.NewSource(opts.Seed)),
 		churn:    opts.Churn,
 		topo:     opts.Topology,
+		cond:     opts.Conditioner,
+		sched:    opts.Faults,
 		alive:    n,
 		workers:  opts.Workers,
 	}
@@ -296,13 +373,14 @@ func (nw *Network) ForEachAlive(f func(NodeID, Protocol)) {
 // network was built with Options.Workers > 1 (bit-identical either way).
 func (nw *Network) RunCycle() {
 	nw.deliver()
+	nw.applyScheduledFaults()
 	nw.applyChurn()
 	if nw.workers > 1 {
 		nw.runCycleSharded()
 	} else {
 		for idx := range nw.nodes {
 			slot := &nw.nodes[idx]
-			if !slot.alive {
+			if !slot.alive || slot.stalled {
 				continue
 			}
 			ctx := Context{nw: nw, id: NodeID(idx)}
@@ -322,6 +400,22 @@ func (nw *Network) RunCycle() {
 func (nw *Network) deliver() {
 	for i := range nw.nodes {
 		slot := &nw.nodes[i]
+		if len(slot.delayed) > 0 {
+			// Due delayed messages land before this cycle's pending batch;
+			// the queue keeps ascending-sender order for the survivors.
+			keep := slot.delayed[:0]
+			for _, dm := range slot.delayed {
+				if dm.due <= nw.cycle {
+					slot.inbox = append(slot.inbox, dm.msg)
+				} else {
+					keep = append(keep, dm)
+				}
+			}
+			for j := len(keep); j < len(slot.delayed); j++ {
+				slot.delayed[j] = delayedMessage{}
+			}
+			slot.delayed = keep
+		}
 		if len(slot.pending) == 0 {
 			continue
 		}
@@ -341,6 +435,62 @@ func (nw *Network) Run(cycles int) {
 	}
 }
 
+// crashSlot takes a node down, dropping every queued and in-flight
+// message it holds (cleared before truncation so the recycled arrays do
+// not pin the dropped payloads for the rest of the run).
+func (nw *Network) crashSlot(slot *nodeSlot) {
+	slot.alive = false
+	slot.stalled = false
+	clearMessages(slot.inbox)
+	clearMessages(slot.pending)
+	slot.inbox = slot.inbox[:0]
+	slot.pending = slot.pending[:0]
+	for j := range slot.delayed {
+		slot.delayed[j] = delayedMessage{}
+	}
+	slot.delayed = slot.delayed[:0]
+	nw.stats.Crashes++
+	nw.alive--
+}
+
+// applyScheduledFaults executes the FaultScheduler's directives for the
+// cycle about to run: deterministic crash/outage transitions and laggard
+// stalls, sequentially in node-id order.
+func (nw *Network) applyScheduledFaults() {
+	if nw.sched == nil {
+		return
+	}
+	for i := range nw.nodes {
+		slot := &nw.nodes[i]
+		d := nw.sched.Directive(NodeID(i), nw.cycle)
+		if d.Down {
+			if slot.alive {
+				nw.crashSlot(slot)
+			}
+			slot.schedDown = true
+			if d.Reset {
+				slot.schedReset = true
+			}
+		} else if slot.schedDown {
+			slot.schedDown = false
+			if !slot.alive {
+				slot.alive = true
+				nw.stats.Rejoins++
+				nw.alive++
+				if d.Reset || slot.schedReset {
+					if r, ok := slot.proto.(Resetter); ok {
+						r.Reset()
+					}
+				}
+			}
+			slot.schedReset = false
+		}
+		// After the lifecycle transition, so a laggard window starting
+		// on the revival cycle is honored.
+		slot.stalled = slot.alive && d.Stall
+	}
+}
+
 func (nw *Network) applyChurn() {
 	if nw.churn.CrashProb == 0 && nw.churn.RejoinProb == 0 {
 		return
@@ -349,17 +499,11 @@ func (nw *Network) applyChurn() {
 		slot := &nw.nodes[i]
 		if slot.alive {
 			if nw.churnRng.Float64() < nw.churn.CrashProb {
-				slot.alive = false
-				// Clear before truncating so the recycled arrays do not
-				// pin the dropped payloads for the rest of the run.
-				clearMessages(slot.inbox)
-				clearMessages(slot.pending)
-				slot.inbox = slot.inbox[:0]
-				slot.pending = slot.pending[:0]
-				nw.stats.Crashes++
-				nw.alive--
+				nw.crashSlot(slot)
 			}
-		} else if nw.churnRng.Float64() < nw.churn.RejoinProb {
+		} else if nw.churnRng.Float64() < nw.churn.RejoinProb && !slot.schedDown {
+			// A scheduler-downed node still consumes its churn draw (the
+			// stream stays aligned) but only the scheduler may revive it.
 			slot.alive = true
 			nw.stats.Rejoins++
 			nw.alive++
@@ -393,8 +537,34 @@ func (nw *Network) send(sh *shardRunner, from, to NodeID, payload any, bytes int
 		nw.stats.MessagesDropped++
 		return nil
 	}
-	slot.pending = append(slot.pending, Message{From: from, Payload: payload, Bytes: bytes})
+	m := Message{From: from, Payload: payload, Bytes: bytes}
+	if nw.cond != nil {
+		v := nw.cond.Condition(from, to, nw.cycle, bytes)
+		if v.Drop {
+			nw.stats.FaultDrops++
+			nw.stats.MessagesDropped++
+			return nil
+		}
+		nw.enqueue(slot, m, v.Delay)
+		if v.Duplicate {
+			nw.stats.Duplicates++
+			nw.enqueue(slot, m, v.DupDelay)
+		}
+		return nil
+	}
+	slot.pending = append(slot.pending, m)
 	return nil
+}
+
+// enqueue places one delivered copy: the pending queue for next-cycle
+// visibility, or the delayed queue when the Conditioner added latency.
+func (nw *Network) enqueue(slot *nodeSlot, m Message, delay int) {
+	if delay <= 0 {
+		slot.pending = append(slot.pending, m)
+		return
+	}
+	nw.stats.Delayed++
+	slot.delayed = append(slot.delayed, delayedMessage{due: nw.cycle + 1 + delay, msg: m})
 }
 
 // randomPeer samples a uniform alive peer of id (excluding id itself),

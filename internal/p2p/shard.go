@@ -24,6 +24,14 @@ type routed struct {
 	msg Message
 }
 
+// delayedRouted is a Conditioner-delayed buffered message together with
+// its destination and delivery cycle.
+type delayedRouted struct {
+	to  NodeID
+	due int
+	msg Message
+}
+
 // shardRunner is one worker's slice of the population plus its private
 // outbox buckets and cost counters for the cycle in flight.
 type shardRunner struct {
@@ -31,10 +39,16 @@ type shardRunner struct {
 	// out[d] buffers the messages this shard's nodes sent to nodes of
 	// destination shard d during the current cycle, in send order.
 	out [][]routed
+	// delayedOut[d] buffers Conditioner-delayed messages the same way;
+	// merged into the destinations' delayed queues at the barrier.
+	delayedOut [][]delayedRouted
 	// Per-cycle cost counters, folded into Network.stats at the barrier.
-	sent    int
-	dropped int
-	bytes   int64
+	sent       int
+	dropped    int
+	bytes      int64
+	faultDrops int
+	duplicates int
+	delayed    int
 
 	// pad keeps hot per-shard counters on distinct cache lines so the
 	// workers do not false-share while counting.
@@ -55,7 +69,7 @@ func makeShards(n, p int) []shardRunner {
 		if lo > n {
 			lo = n
 		}
-		shards[s] = shardRunner{lo: lo, hi: hi, out: make([][]routed, p)}
+		shards[s] = shardRunner{lo: lo, hi: hi, out: make([][]routed, p), delayedOut: make([][]delayedRouted, p)}
 	}
 	return shards
 }
@@ -84,9 +98,38 @@ func (sh *shardRunner) send(nw *Network, from, to NodeID, payload any, bytes int
 		sh.dropped++
 		return nil
 	}
+	m := Message{From: from, Payload: payload, Bytes: bytes}
+	if nw.cond != nil {
+		// Safe from a worker: the Conditioner contract confines its
+		// mutable state to the sender, like the node RNGs.
+		v := nw.cond.Condition(from, to, nw.cycle, bytes)
+		if v.Drop {
+			sh.faultDrops++
+			sh.dropped++
+			return nil
+		}
+		sh.enqueue(nw, to, m, v.Delay)
+		if v.Duplicate {
+			sh.duplicates++
+			sh.enqueue(nw, to, m, v.DupDelay)
+		}
+		return nil
+	}
 	d := nw.shardOf(to)
-	sh.out[d] = append(sh.out[d], routed{to: to, msg: Message{From: from, Payload: payload, Bytes: bytes}})
+	sh.out[d] = append(sh.out[d], routed{to: to, msg: m})
 	return nil
+}
+
+// enqueue buffers one delivered copy in the regular or delayed bucket
+// for its destination shard.
+func (sh *shardRunner) enqueue(nw *Network, to NodeID, m Message, delay int) {
+	d := nw.shardOf(to)
+	if delay <= 0 {
+		sh.out[d] = append(sh.out[d], routed{to: to, msg: m})
+		return
+	}
+	sh.delayed++
+	sh.delayedOut[d] = append(sh.delayedOut[d], delayedRouted{to: to, due: nw.cycle + 1 + delay, msg: m})
 }
 
 // runCycleSharded activates all alive nodes across the shard workers and
@@ -100,7 +143,7 @@ func (nw *Network) runCycleSharded() {
 			defer wg.Done()
 			for id := sh.lo; id < sh.hi; id++ {
 				slot := &nw.nodes[id]
-				if !slot.alive {
+				if !slot.alive || slot.stalled {
 					continue
 				}
 				ctx := Context{nw: nw, id: NodeID(id), shard: sh}
@@ -135,13 +178,17 @@ func (nw *Network) runCycleSharded() {
 		nw.stats.MessagesSent += sh.sent
 		nw.stats.MessagesDropped += sh.dropped
 		nw.stats.BytesSent += sh.bytes
+		nw.stats.FaultDrops += sh.faultDrops
+		nw.stats.Duplicates += sh.duplicates
+		nw.stats.Delayed += sh.delayed
 		sh.sent, sh.dropped, sh.bytes = 0, 0, 0
+		sh.faultDrops, sh.duplicates, sh.delayed = 0, 0, 0
 	}
 }
 
 // mergeInto appends, in ascending source-shard order, every message
-// destined to shard d onto its destination's pending queue, then resets
-// the buckets for reuse.
+// destined to shard d onto its destination's pending (or delayed)
+// queue, then resets the buckets for reuse.
 func (nw *Network) mergeInto(d int) {
 	for s := range nw.shards {
 		bucket := nw.shards[s].out[d]
@@ -156,5 +203,16 @@ func (nw *Network) mergeInto(d int) {
 			bucket[i] = routed{}
 		}
 		nw.shards[s].out[d] = bucket[:0]
+
+		dBucket := nw.shards[s].delayedOut[d]
+		for i := range dBucket {
+			r := &dBucket[i]
+			slot := &nw.nodes[r.to]
+			slot.delayed = append(slot.delayed, delayedMessage{due: r.due, msg: r.msg})
+		}
+		for i := range dBucket {
+			dBucket[i] = delayedRouted{}
+		}
+		nw.shards[s].delayedOut[d] = dBucket[:0]
 	}
 }

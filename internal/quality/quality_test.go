@@ -274,3 +274,74 @@ func TestARISymmetryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPartitionMetricsSingletonAndDegenerate is the table-driven edge
+// battery over empty and singleton clusterings: one point, one cluster,
+// all-singletons — every metric must return a finite, well-defined
+// value (degenerate agreement is defined as perfect, matching the
+// standard convention) instead of NaN from a zero denominator.
+func TestPartitionMetricsSingletonAndDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		x, y    []int
+		wantARI float64
+		wantNMI float64
+	}{
+		{name: "single point", x: []int{0}, y: []int{0}, wantARI: 1, wantNMI: 1},
+		{name: "two points one cluster", x: []int{0, 0}, y: []int{0, 0}, wantARI: 1, wantNMI: 1},
+		{name: "all singletons agree", x: []int{0, 1, 2}, y: []int{2, 0, 1}, wantARI: 1, wantNMI: 1},
+		{name: "one cluster vs singletons", x: []int{0, 0, 0}, y: []int{0, 1, 2}, wantARI: 0, wantNMI: 0},
+		{name: "single point distinct labels", x: []int{0}, y: []int{3}, wantARI: 1, wantNMI: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ari, err := ARI(tc.x, tc.y)
+			if err != nil {
+				t.Fatalf("ARI: %v", err)
+			}
+			if math.IsNaN(ari) || math.Abs(ari-tc.wantARI) > 1e-12 {
+				t.Fatalf("ARI = %v, want %v", ari, tc.wantARI)
+			}
+			nmi, err := NMI(tc.x, tc.y)
+			if err != nil {
+				t.Fatalf("NMI: %v", err)
+			}
+			if math.IsNaN(nmi) || math.Abs(nmi-tc.wantNMI) > 1e-12 {
+				t.Fatalf("NMI = %v, want %v", nmi, tc.wantNMI)
+			}
+		})
+	}
+}
+
+// TestInertiaAndRMSEEmptySingletonClusters pins the empty/singleton
+// centroid-set behaviour of the distance metrics.
+func TestInertiaAndRMSEEmptySingletonClusters(t *testing.T) {
+	// Empty inputs are shape errors, not zeros.
+	if _, err := Inertia(nil, [][]float64{{0}}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("empty data: %v", err)
+	}
+	if _, err := Inertia([][]float64{{0}}, nil); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("empty centroids: %v", err)
+	}
+	// A singleton cluster set: inertia is the distance to that centroid.
+	got, err := Inertia([][]float64{{0, 0}, {2, 0}}, [][]float64{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("singleton-centroid inertia = %v, want 2", got)
+	}
+	// Singleton centroid sets through matching + RMSE.
+	rmse, err := CentroidRMSE([][]float64{{1, 2}}, [][]float64{{1, 2}})
+	if err != nil || rmse != 0 {
+		t.Fatalf("identical singleton RMSE = %v, %v", rmse, err)
+	}
+	// Zero-dimensional centroids are a shape error, not RMSE 0.
+	if _, err := CentroidRMSE([][]float64{{}}, [][]float64{{}}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("zero-dim: %v", err)
+	}
+	// Mismatched set sizes (one empty) stay errors.
+	if _, err := CentroidRMSE([][]float64{}, [][]float64{{1}}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("empty set: %v", err)
+	}
+}

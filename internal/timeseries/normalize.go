@@ -18,14 +18,23 @@ type Normalization struct {
 // NormalizeMinMax rescales all series jointly to [0, 1] using the global
 // min and max of the dataset, returning the transform used. The series are
 // modified in place. A constant dataset maps to all zeros with Scale 1.
+// Non-finite values (NaN, ±Inf) are rejected: a NaN would silently slip
+// past the min/max scan (every comparison with it is false) and poison
+// the normalized dataset, surfacing only later as a confusing
+// domain-violation error in the protocol.
 func NormalizeMinMax(set []Series) (Normalization, error) {
 	if len(set) == 0 {
 		return Normalization{}, ErrEmpty
 	}
 	min, max := math.Inf(1), math.Inf(-1)
-	for _, s := range set {
+	for i, s := range set {
 		if len(s) == 0 {
 			return Normalization{}, ErrEmpty
+		}
+		for j, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Normalization{}, fmt.Errorf("timeseries: series %d has non-finite value %v at %d", i, v, j)
+			}
 		}
 		if v := s.Min(); v < min {
 			min = v
