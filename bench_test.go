@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"chiaroscuro"
+	"chiaroscuro/internal/benchcfg"
 	"chiaroscuro/internal/crypto/damgardjurik"
 	"chiaroscuro/internal/experiments"
 )
@@ -311,6 +312,52 @@ func BenchmarkEngineSharded1k(b *testing.B) { benchClusterEngine(b, 1000, "shard
 //	go test -bench 'Engine.*10k' -benchtime=1x
 func BenchmarkEngineCycles10k(b *testing.B)  { benchClusterEngine(b, 10000, "cycles") }
 func BenchmarkEngineSharded10k(b *testing.B) { benchClusterEngine(b, 10000, "sharded") }
+
+// benchClusterScale is the large-population memory benchmark behind the
+// ISSUE 5 acceptance gate: one full accounted sharded run at population
+// n with flat-arena participant state and the zero-allocation gossip
+// hot path. Track B/op and allocs/op across commits (BENCH_scale.json
+// carries the committed baseline): the arena layout cut allocated
+// bytes/op by well over 2× versus the per-node object-graph layout.
+func benchClusterScale(b *testing.B, n int) {
+	b.Helper()
+	series, _, _ := chiaroscuro.SyntheticCER(n, benchcfg.ScaleDim, benchcfg.ScaleSeed)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		b.Fatal(err)
+	}
+	cfg := chiaroscuro.Config{
+		K: benchcfg.ScaleK, Epsilon: benchcfg.ScaleEpsilon,
+		Iterations: benchcfg.ScaleIterations, Seed: benchcfg.ScaleSeed,
+		GossipRounds: benchcfg.ScaleGossipRounds, DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+		Engine: benchcfg.ScaleEngine,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chiaroscuro.Cluster(series, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterScale100k is the headline scale benchmark (also run
+// by the CI -bench-scale smoke at this population):
+//
+//	go test -bench 'ClusterScale100k' -benchtime=1x
+func BenchmarkClusterScale100k(b *testing.B) { benchClusterScale(b, 100_000) }
+
+// BenchmarkClusterScale1M is the million-participant smoke — the
+// paper's target deployment scale in one accounted process. It needs
+// several GB of RAM and minutes of wall-clock, so it is skipped in
+// -short mode and not part of CI:
+//
+//	go test -bench 'ClusterScale1M' -benchtime=1x -timeout 60m
+func BenchmarkClusterScale1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("N=1M smoke skipped in short mode")
+	}
+	benchClusterScale(b, 1_000_000)
+}
 
 // BenchmarkClusterEndToEnd times one full protocol run through the
 // public API (accounted backend, demo-scale parameters).

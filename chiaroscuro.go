@@ -144,6 +144,11 @@ type Config struct {
 	// Seed makes the whole run deterministic.
 	Seed int64
 	// ChurnCrashProb / ChurnRejoinProb inject per-cycle node failures.
+	// Churn is a cycle-driven feature: it is supported by the "cycles"
+	// and "sharded" engines only, and rejected up front for "async"
+	// (the asynchronous runtime has no global cycle clock to apply the
+	// per-cycle probabilities against — model failures there with a
+	// Faults scenario's scheduled outages instead).
 	ChurnCrashProb  float64
 	ChurnRejoinProb float64
 	// Faults is a deterministic fault-injection scenario in the
@@ -326,6 +331,16 @@ func (cfg Config) toParams() (core.Params, error) {
 	if cfg.Epsilon <= 0 {
 		return p, errors.New("chiaroscuro: Config.Epsilon must be positive")
 	}
+	if cfg.Workers < 0 {
+		return p, fmt.Errorf("chiaroscuro: Config.Workers must be non-negative, got %d", cfg.Workers)
+	}
+	if cfg.Engine == "async" && (cfg.ChurnCrashProb != 0 || cfg.ChurnRejoinProb != 0) {
+		// Validated here, not deep inside core.RunAsync, so a bad
+		// configuration fails before any setup work with an error that
+		// names the fields: churn is cycles/sharded-only (see the Config
+		// field docs).
+		return p, errors.New("chiaroscuro: churn (Config.ChurnCrashProb/ChurnRejoinProb) is not supported by the async engine — use the cycles or sharded engine, or model failures with Config.Faults")
+	}
 	strategy, err := dp.StrategyByName(cfg.Strategy)
 	if err != nil {
 		return p, err
@@ -501,27 +516,52 @@ func Normalize01(series [][]float64) (offset, scale float64, err error) {
 	return n.Offset, n.Scale, nil
 }
 
-// SyntheticCER generates the CER-like electricity-consumption workload
-// (see internal/datasets for the substitution rationale): n households,
-// dim samples per day. Returns the series, ground-truth archetype labels
-// and archetype names.
-func SyntheticCER(n, dim int, seed int64) ([][]float64, []int, []string) {
+// SyntheticCERErr generates the CER-like electricity-consumption
+// workload (see internal/datasets for the substitution rationale): n
+// households, dim samples per day. Returns the series, ground-truth
+// archetype labels and archetype names, or an error for invalid options
+// (n < 1; a dim < 2 falls back to the generator's default of 48).
+func SyntheticCERErr(n, dim int, seed int64) ([][]float64, []int, []string, error) {
 	d, err := datasets.CER(datasets.CEROptions{N: n, Dim: dim, Seed: seed})
 	if err != nil {
-		panic(err) // only reachable with invalid n, guarded below
+		return nil, nil, nil, fmt.Errorf("chiaroscuro: %w", err)
 	}
-	return d.Series, d.Labels, d.ArchetypeNames
+	return d.Series, d.Labels, d.ArchetypeNames, nil
 }
 
-// SyntheticTumorGrowth generates the NUMED-like tumor-growth workload
-// from the Claret et al. model: n patients observed over the given number
-// of weeks.
-func SyntheticTumorGrowth(n, weeks int, seed int64) ([][]float64, []int, []string) {
-	d, err := datasets.TumorGrowth(datasets.TumorOptions{N: n, Weeks: weeks, Seed: seed})
+// SyntheticCER is SyntheticCERErr for known-good options: it panics on
+// invalid ones (n < 1) instead of returning an error — convenient in
+// examples and benchmarks, hostile in library code. Prefer
+// SyntheticCERErr when n comes from user input.
+func SyntheticCER(n, dim int, seed int64) ([][]float64, []int, []string) {
+	series, labels, names, err := SyntheticCERErr(n, dim, seed)
 	if err != nil {
 		panic(err)
 	}
-	return d.Series, d.Labels, d.ArchetypeNames
+	return series, labels, names
+}
+
+// SyntheticTumorGrowthErr generates the NUMED-like tumor-growth
+// workload from the Claret et al. model: n patients observed over the
+// given number of weeks. Returns an error for invalid options (n < 1; a
+// weeks < 2 falls back to the generator's default of 20).
+func SyntheticTumorGrowthErr(n, weeks int, seed int64) ([][]float64, []int, []string, error) {
+	d, err := datasets.TumorGrowth(datasets.TumorOptions{N: n, Weeks: weeks, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("chiaroscuro: %w", err)
+	}
+	return d.Series, d.Labels, d.ArchetypeNames, nil
+}
+
+// SyntheticTumorGrowth is SyntheticTumorGrowthErr for known-good
+// options: it panics on invalid ones (n < 1). Prefer the Err variant
+// when n comes from user input.
+func SyntheticTumorGrowth(n, weeks int, seed int64) ([][]float64, []int, []string) {
+	series, labels, names, err := SyntheticTumorGrowthErr(n, weeks, seed)
+	if err != nil {
+		panic(err)
+	}
+	return series, labels, names
 }
 
 // CompareToBaseline reports quality of a Chiaroscuro result against a

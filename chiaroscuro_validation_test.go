@@ -1,0 +1,171 @@
+package chiaroscuro_test
+
+import (
+	"testing"
+
+	"chiaroscuro"
+)
+
+// TestConfigValidationErrors pins the exact error text of every public
+// Config validation path — the messages are part of the API surface
+// users script against, so a wording change should be a conscious one.
+func TestConfigValidationErrors(t *testing.T) {
+	series, _, _, err := chiaroscuro.SyntheticCERErr(20, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  chiaroscuro.Config
+		want string
+	}{
+		{
+			name: "unknown engine",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Engine: "warp"},
+			want: `chiaroscuro: unknown engine "warp" (want cycles, sharded or async)`,
+		},
+		{
+			name: "malformed faults clause",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Faults: "bogus"},
+			want: `chiaroscuro: Config.Faults: simnet: clause "bogus" is not key=value`,
+		},
+		{
+			name: "fault probability out of range",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Faults: "drop=2"},
+			want: `chiaroscuro: Config.Faults: simnet: bad probability "2"`,
+		},
+		{
+			name: "missing K",
+			cfg:  chiaroscuro.Config{Epsilon: 1},
+			want: "chiaroscuro: Config.K is required",
+		},
+		{
+			name: "negative epsilon",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: -0.5},
+			want: "chiaroscuro: Config.Epsilon must be positive",
+		},
+		{
+			name: "zero epsilon",
+			cfg:  chiaroscuro.Config{K: 3},
+			want: "chiaroscuro: Config.Epsilon must be positive",
+		},
+		{
+			name: "initial centroid dimension mismatch",
+			cfg: chiaroscuro.Config{K: 3, Epsilon: 1,
+				InitialCentroids: [][]float64{{1, 2}, {3, 4}, {5, 6}}},
+			want: "core: initial centroid 0 has dim 2, want 8",
+		},
+		{
+			name: "initial centroid count mismatch",
+			cfg: chiaroscuro.Config{K: 3, Epsilon: 1,
+				InitialCentroids: [][]float64{{0.1, 0.2}}},
+			want: "core: 1 initial centroids, want 3",
+		},
+		{
+			name: "negative workers",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Workers: -2},
+			want: "chiaroscuro: Config.Workers must be non-negative, got -2",
+		},
+		{
+			name: "churn on the async engine",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Engine: "async", ChurnCrashProb: 0.1},
+			want: "chiaroscuro: churn (Config.ChurnCrashProb/ChurnRejoinProb) is not supported by the async engine — use the cycles or sharded engine, or model failures with Config.Faults",
+		},
+		{
+			name: "rejoin-only churn on the async engine",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Engine: "async", ChurnRejoinProb: 0.3},
+			want: "chiaroscuro: churn (Config.ChurnCrashProb/ChurnRejoinProb) is not supported by the async engine — use the cycles or sharded engine, or model failures with Config.Faults",
+		},
+		{
+			name: "unknown strategy",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Strategy: "nope"},
+			want: `dp: unknown budget strategy "nope"`,
+		},
+		{
+			name: "unknown smoothing method",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Smoothing: chiaroscuro.Smoothing{Method: "box"}},
+			want: `chiaroscuro: unknown smoothing method "box"`,
+		},
+		{
+			name: "unknown backend",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Backend: "rot13"},
+			want: `chiaroscuro: unknown backend "rot13"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := chiaroscuro.Cluster(series, tc.cfg)
+			if err == nil {
+				t.Fatalf("want error %q, got success", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error text:\n  got:  %s\n  want: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestChurnStillSupportedOnCycleEngines guards the flip side of the
+// async-churn rejection: the cycle-driven engines keep accepting churn.
+func TestChurnStillSupportedOnCycleEngines(t *testing.T) {
+	series, _, _, err := chiaroscuro.SyntheticCERErr(30, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"cycles", "sharded"} {
+		res, err := chiaroscuro.Cluster(series, chiaroscuro.Config{
+			K: 2, Epsilon: 20, Iterations: 2, Seed: 5, Engine: engine,
+			GossipRounds: 8, DecryptThreshold: 3,
+			ChurnCrashProb: 0.01, ChurnRejoinProb: 0.3,
+		})
+		if err != nil {
+			t.Fatalf("%s engine with churn: %v", engine, err)
+		}
+		if len(res.Centroids) != 2 {
+			t.Fatalf("%s engine: got %d centroids, want 2", engine, len(res.Centroids))
+		}
+	}
+}
+
+// TestSyntheticErrVariants covers the error-returning dataset
+// generators and their panicking wrappers.
+func TestSyntheticErrVariants(t *testing.T) {
+	if _, _, _, err := chiaroscuro.SyntheticCERErr(0, 24, 1); err == nil {
+		t.Fatal("SyntheticCERErr must reject n=0")
+	}
+	if _, _, _, err := chiaroscuro.SyntheticTumorGrowthErr(-3, 20, 1); err == nil {
+		t.Fatal("SyntheticTumorGrowthErr must reject n<1")
+	}
+	series, labels, names, err := chiaroscuro.SyntheticCERErr(5, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 || len(labels) != 5 || len(names) == 0 || len(series[0]) != 12 {
+		t.Fatalf("SyntheticCERErr shape: %d series, %d labels, %d names, dim %d",
+			len(series), len(labels), len(names), len(series[0]))
+	}
+	// The old signatures remain as thin wrappers: same data, panic on
+	// invalid options.
+	s2, l2, n2 := chiaroscuro.SyntheticCER(5, 12, 1)
+	if len(s2) != 5 || len(l2) != 5 || len(n2) != len(names) {
+		t.Fatal("SyntheticCER wrapper disagrees with SyntheticCERErr")
+	}
+	for i := range s2[0] {
+		if s2[0][i] != series[0][i] {
+			t.Fatal("wrapper and Err variant generated different data")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SyntheticCER(0, ...) must panic")
+		}
+	}()
+	chiaroscuro.SyntheticCER(0, 24, 1)
+}

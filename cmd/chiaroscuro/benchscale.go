@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"chiaroscuro"
+	"chiaroscuro/internal/benchcfg"
+	"chiaroscuro/internal/core"
+)
+
+// scaleHotPath is the steady-state gossip allocation measurement of the
+// BENCH_scale.json artifact: allocations and bytes per network cycle on
+// the accounted hot path, measured by internal/core.MeasureGossipAllocs
+// at a small fixed population (the property is population-independent —
+// the in-core AllocsPerRun tests prove the same zero).
+type scaleHotPath struct {
+	Population     int
+	WarmCycles     int
+	MeasuredCycles int
+	AllocsPerCycle float64
+	BytesPerCycle  float64
+}
+
+// scaleRunEntry is one timed large-population run in the artifact.
+type scaleRunEntry struct {
+	Name       string
+	Engine     string
+	N          int
+	Dim        int
+	K          int
+	Iterations int
+
+	Elapsed             time.Duration
+	AllocBytes          uint64 // total heap bytes allocated by the run
+	AllocObjects        uint64 // total heap objects allocated by the run
+	BytesPerParticipant float64
+	MessagesSent        int
+	BytesSent           int64
+	Cycles              int
+	Completed           int
+}
+
+// scaleBenchResult is the BENCH_scale.json schema ("chiaroscuro-bench-
+// scale/v1"): the committed copy at the repository root is the baseline
+// the CI allocation-regression gate compares against; per-push copies
+// are uploaded as artifacts for the perf trajectory.
+type scaleBenchResult struct {
+	Schema    string          `json:"Schema"`
+	Timestamp string          `json:"Timestamp"`
+	HotPath   scaleHotPath    `json:"HotPath"`
+	Runs      []scaleRunEntry `json:"Runs"`
+}
+
+// scaleHotPathPopulation is small on purpose: MeasureGossipAllocs
+// preallocates O(n²) queue hints to make the zero provable, and the
+// allocs-per-cycle property does not depend on n.
+const scaleHotPathPopulation = 512
+
+// runBenchScale measures the large-population memory profile: the
+// hot-path allocations-per-cycle figure and a full accounted sharded
+// run at population n. With a non-empty out path it writes the JSON
+// artifact; with a non-empty baseline path it compares the hot-path
+// allocation figure against the committed baseline and returns an error
+// (failing CI) on regression.
+func runBenchScale(n int, out, baseline string) error {
+	res := scaleBenchResult{
+		Schema:    "chiaroscuro-bench-scale/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// 1. Hot-path allocation measurement.
+	const warm, measure = 25, 25
+	hotSeries, _, _, err := chiaroscuro.SyntheticCERErr(scaleHotPathPopulation, 4, 3)
+	if err != nil {
+		return err
+	}
+	if _, _, err := chiaroscuro.Normalize01(hotSeries); err != nil {
+		return err
+	}
+	rep, err := core.MeasureGossipAllocs(hotSeries, core.Params{
+		K: 2, Epsilon: 50, Iterations: 1, Seed: 11,
+		GossipRounds: warm + measure + 8, DecryptThreshold: 3,
+	}, warm, measure)
+	if err != nil {
+		return err
+	}
+	res.HotPath = scaleHotPath{
+		Population:     rep.Population,
+		WarmCycles:     warm,
+		MeasuredCycles: rep.Cycles,
+		AllocsPerCycle: rep.AllocsPerCycle,
+		BytesPerCycle:  rep.BytesPerCycle,
+	}
+	fmt.Printf("hot path: %.2f allocs/cycle, %.1f B/cycle (n=%d, %d measured cycles, accounted backend)\n",
+		rep.AllocsPerCycle, rep.BytesPerCycle, rep.Population, rep.Cycles)
+
+	// 2. Full accounted sharded run at scale — the same workload as
+	// BenchmarkClusterScale* by construction (internal/benchcfg pins the
+	// shape for both, so the committed baseline and the Go benchmark
+	// stay comparable).
+	series, _, _, err := chiaroscuro.SyntheticCERErr(n, benchcfg.ScaleDim, benchcfg.ScaleSeed)
+	if err != nil {
+		return err
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		return err
+	}
+	cfg := chiaroscuro.Config{
+		K: benchcfg.ScaleK, Epsilon: benchcfg.ScaleEpsilon,
+		Iterations: benchcfg.ScaleIterations, Seed: benchcfg.ScaleSeed,
+		GossipRounds: benchcfg.ScaleGossipRounds, DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+		Engine: benchcfg.ScaleEngine,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	r, err := chiaroscuro.Cluster(series, cfg)
+	if err != nil {
+		return fmt.Errorf("bench-scale run at n=%d: %w", n, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	entry := scaleRunEntry{
+		Name:                fmt.Sprintf("accounted-sharded-%d", n),
+		Engine:              benchcfg.ScaleEngine,
+		N:                   n,
+		Dim:                 len(series[0]),
+		K:                   cfg.K,
+		Iterations:          cfg.Iterations,
+		Elapsed:             elapsed,
+		AllocBytes:          after.TotalAlloc - before.TotalAlloc,
+		AllocObjects:        after.Mallocs - before.Mallocs,
+		BytesPerParticipant: float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		MessagesSent:        r.Network.MessagesSent,
+		BytesSent:           r.Network.BytesSent,
+		Cycles:              r.Network.Cycles,
+		Completed:           r.Completed,
+	}
+	res.Runs = append(res.Runs, entry)
+	fmt.Printf("%s: %s wall, %.2f GB allocated (%.0f B/participant), %d objects, %d cycles, %d/%d completed\n",
+		entry.Name, entry.Elapsed.Round(time.Millisecond),
+		float64(entry.AllocBytes)/1e9, entry.BytesPerParticipant,
+		entry.AllocObjects, entry.Cycles, entry.Completed, n)
+
+	if out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if baseline != "" {
+		if err := checkScaleBaseline(res, baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaleAllocSlack absorbs measurement jitter in the regression gate: the
+// committed baseline is 0 allocs/cycle, so anything persistent shows up
+// far above this threshold.
+const scaleAllocSlack = 0.5
+
+// checkScaleBaseline fails when the measured hot-path allocations per
+// cycle exceed the committed baseline (BENCH_scale.json at the repo
+// root) beyond jitter — the CI gate that keeps the zero-allocation
+// gossip cycle from silently regressing.
+func checkScaleBaseline(res scaleBenchResult, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-scale baseline: %w", err)
+	}
+	var base scaleBenchResult
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("bench-scale baseline %s: %w", path, err)
+	}
+	if base.Schema != "chiaroscuro-bench-scale/v1" {
+		return fmt.Errorf("bench-scale baseline %s: unexpected schema %q", path, base.Schema)
+	}
+	if res.HotPath.AllocsPerCycle > base.HotPath.AllocsPerCycle+scaleAllocSlack {
+		return fmt.Errorf("allocation regression: hot path now allocates %.2f objects/cycle, committed baseline is %.2f (gate: baseline+%.1f) — the accounted gossip cycle must stay allocation-free",
+			res.HotPath.AllocsPerCycle, base.HotPath.AllocsPerCycle, scaleAllocSlack)
+	}
+	fmt.Printf("baseline check: %.2f allocs/cycle vs committed %.2f — ok\n",
+		res.HotPath.AllocsPerCycle, base.HotPath.AllocsPerCycle)
+	return nil
+}

@@ -36,6 +36,17 @@
 //
 //	go run ./cmd/chiaroscuro -faults 'drop=0.1;outage@10+8=1,2:reset'
 //	go run ./cmd/chiaroscuro -bench-faults -bench-faults-out BENCH_faults.json
+//
+// The -bench-scale mode measures the large-population memory profile:
+// the steady-state gossip hot path's allocations per cycle (zero on the
+// accounted backend — the arena layout of internal/vecpool) and one
+// full accounted sharded run at -bench-scale-n participants. CI runs it
+// at N=100k, uploads BENCH_scale.json, and fails the build if the
+// hot-path figure regresses past the committed baseline:
+//
+//	go run ./cmd/chiaroscuro -bench-scale
+//	go run ./cmd/chiaroscuro -bench-scale -bench-scale-n 100000 \
+//	    -bench-scale-out BENCH_scale_ci.json -bench-scale-baseline BENCH_scale.json
 package main
 
 import (
@@ -80,6 +91,11 @@ func main() {
 		benchCoreOut   = flag.String("bench-core-out", "", "with -bench-core: also write the results as JSON to this file")
 		benchFaults    = flag.Bool("bench-faults", false, "run the E11 fault-injection scenario table at quick scale and exit")
 		benchFaultsOut = flag.String("bench-faults-out", "", "with -bench-faults: also write the table as JSON to this file")
+
+		benchScale         = flag.Bool("bench-scale", false, "measure the large-population memory profile (hot-path allocs/cycle + full sharded run) and exit")
+		benchScaleN        = flag.Int("bench-scale-n", 100000, "with -bench-scale: population of the timed sharded run")
+		benchScaleOut      = flag.String("bench-scale-out", "", "with -bench-scale: also write the results as JSON to this file")
+		benchScaleBaseline = flag.String("bench-scale-baseline", "", "with -bench-scale: fail if hot-path allocs/cycle regress past this committed BENCH_scale.json")
 	)
 	flag.Parse()
 
@@ -97,6 +113,12 @@ func main() {
 	}
 	if *benchFaults {
 		if err := runBenchFaults(*benchFaultsOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchScale {
+		if err := runBenchScale(*benchScaleN, *benchScaleOut, *benchScaleBaseline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -121,7 +143,7 @@ func main() {
 
 	init := chiaroscuro.LevelInit(*k, dim)
 	cfg := chiaroscuro.Config{
-		Faults: *faults,
+		Faults:           *faults,
 		K:                *k,
 		Epsilon:          eps,
 		Iterations:       *iters,

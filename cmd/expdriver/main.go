@@ -14,13 +14,24 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"chiaroscuro/internal/experiments"
 )
 
+// experimentIDs derives the -exp usage string from the registry, so the
+// flag help can never go stale when an experiment is added.
+func experimentIDs() string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ", ")
+}
+
 func main() {
-	exp := flag.String("exp", "", "run a single experiment by id (E1, E2, E3, E4, E5a, E5b, E6, E7, E8, E9, E10)")
+	exp := flag.String("exp", "", "run a single experiment by id ("+experimentIDs()+")")
 	quick := flag.Bool("quick", false, "reduced population/iterations for a fast smoke run")
 	pop := flag.Int("population", 0, "override the simulated population")
 	flag.Parse()

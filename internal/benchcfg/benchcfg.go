@@ -1,0 +1,24 @@
+// Package benchcfg pins the canonical scale-benchmark workload in one
+// place. BenchmarkClusterScale* (bench_test.go) and the CLI's
+// -bench-scale mode (cmd/chiaroscuro) must time the *same* protocol
+// shape — the committed BENCH_scale.json baseline and the Go benchmark
+// are two views of one perf trajectory, and a drift between their
+// configurations would silently make the recorded numbers
+// non-comparable. Only the population N varies per call site.
+package benchcfg
+
+// The scale workload: accounted backend, sharded engine, CER-like
+// series of ScaleDim samples. Chosen small in K and dim so a 100k-
+// participant run fits CI comfortably while still exercising the full
+// protocol (assignment, fused gossip, threshold decryption) each
+// iteration.
+const (
+	ScaleK                = 2
+	ScaleEpsilon          = 50
+	ScaleIterations       = 2
+	ScaleSeed             = 1
+	ScaleGossipRounds     = 12
+	ScaleDecryptThreshold = 8
+	ScaleDim              = 4
+	ScaleEngine           = "sharded"
+)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/simnet"
+)
+
+// allocTestParams is a configuration whose first iteration holds every
+// participant in the gossip phase long enough to warm all amortized
+// buffers and then measure pure steady-state cycles.
+func allocTestParams(rounds int) Params {
+	return Params{
+		K: 2, Epsilon: 50, Iterations: 1, Seed: 11,
+		GossipRounds: rounds, DecryptThreshold: 3,
+	}
+}
+
+func allocTestData(t testing.TB, n int) [][]float64 {
+	t.Helper()
+	d, err := datasets.CER(datasets.CEROptions{N: n, Dim: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Series {
+		for i, v := range s {
+			s[i] = v / 8 // generator kW values into [0,1]
+			if s[i] > 1 {
+				s[i] = 1
+			}
+		}
+	}
+	return d.Series
+}
+
+// TestGossipCycleZeroAlloc is the ISSUE 5 acceptance gate: on the
+// accounted backend, a warmed steady-state gossip cycle — all
+// participants' halve-and-emit plus batched absorbs, across the whole
+// simulated network — performs zero heap allocations, proven with
+// testing.AllocsPerRun. The run is deterministic (fixed seed), so the
+// buffer capacities the warm-up grows are the ones the measured window
+// needs.
+func TestGossipCycleZeroAlloc(t *testing.T) {
+	const n, warm, measure = 48, 40, 40
+	data := allocTestData(t, n)
+	p := allocTestParams(warm + measure + 8)
+	rs, err := prepareRun(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.close()
+	if rs.shared.mut == nil {
+		t.Fatal("accounted fault-free run must qualify for the in-place hot path")
+	}
+	rs.shared.batchHint = n
+	d, err := newCycleDriver(data, rs, 1, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm+1; i++ { // cycle 0 = assignment, then gossip
+		d.nw.RunCycle()
+	}
+	for _, pt := range d.participants {
+		if pt.phase != phaseGossip {
+			t.Fatalf("participant %d not in gossip phase after warm-up", pt.id)
+		}
+	}
+	allocs := testing.AllocsPerRun(measure, func() {
+		d.nw.RunCycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state gossip cycle allocates %.2f heap objects (network-wide, n=%d), want 0", allocs, n)
+	}
+	for _, pt := range d.participants {
+		if pt.phase != phaseGossip {
+			t.Fatalf("participant %d left the gossip phase during measurement", pt.id)
+		}
+	}
+}
+
+// TestGossipCycleZeroAllocPacked re-proves the property with slot
+// packing on: the packed hot path shares the same arena machinery.
+func TestGossipCycleZeroAllocPacked(t *testing.T) {
+	const n, warm, measure = 48, 40, 40
+	data := allocTestData(t, n)
+	p := allocTestParams(warm + measure + 8)
+	p.Packed = true
+	rs, err := prepareRun(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.close()
+	rs.shared.batchHint = n
+	d, err := newCycleDriver(data, rs, 1, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm+1; i++ {
+		d.nw.RunCycle()
+	}
+	allocs := testing.AllocsPerRun(measure, func() {
+		d.nw.RunCycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state packed gossip cycle allocates %.2f heap objects, want 0", allocs)
+	}
+}
+
+// TestMeasureGossipAllocs exercises the CLI/CI measurement helper and
+// requires it to agree with the AllocsPerRun proof (zero on the hot
+// path) and to reject windows that would leak out of the gossip phase.
+func TestMeasureGossipAllocs(t *testing.T) {
+	data := allocTestData(t, 32)
+	rep, err := MeasureGossipAllocs(data, allocTestParams(64), 25, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllocsPerCycle != 0 {
+		t.Fatalf("MeasureGossipAllocs reports %.2f allocs/cycle on the hot path, want 0", rep.AllocsPerCycle)
+	}
+	if rep.Population != 32 || rep.Cycles != 25 {
+		t.Fatalf("report shape = %+v", rep)
+	}
+	if _, err := MeasureGossipAllocs(data, allocTestParams(10), 25, 25); err == nil {
+		t.Fatal("window longer than the gossip phase must be rejected")
+	}
+	if _, err := MeasureGossipAllocs(data, allocTestParams(64), 0, 5); err == nil {
+		t.Fatal("empty warm-up must be rejected")
+	}
+}
+
+// TestHotPathGateMatrix pins when the in-place hot path may engage:
+// never with a fault plan (delays and stalls break the message-
+// consumption bound the emit double-buffering relies on), never on the
+// async engine, never on the real backend.
+func TestHotPathGateMatrix(t *testing.T) {
+	data := allocTestData(t, 16)
+	base := allocTestParams(12)
+	base.DecryptThreshold = 3
+
+	check := func(name string, mutate func(*Params), want bool) {
+		t.Helper()
+		p := base
+		mutate(&p)
+		rs, err := prepareRun(data, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer rs.close()
+		if got := rs.shared.mut != nil; got != want {
+			t.Errorf("%s: hot path enabled = %v, want %v", name, got, want)
+		}
+	}
+	check("plain fault-free", func(p *Params) {}, true)
+	check("plain with churn", func(p *Params) { p.ChurnCrashProb = 0.01; p.ChurnRejoinProb = 0.2 }, true)
+	check("async engine", func(p *Params) { p.asyncEngine = true }, false)
+	check("fault plan", func(p *Params) {
+		pl, err := simnet.ParsePlan("drop=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Faults = pl
+	}, false)
+	check("damgard-jurik", func(p *Params) {
+		p.Backend = BackendDamgardJurik
+		p.ModulusBits = 256
+	}, false)
+}

@@ -69,7 +69,7 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 
 	participants := make([]*participant, n)
 	for i := 0; i < n; i++ {
-		participants[i] = rs.newParticipant(p2p.NodeID(i), data[i])
+		participants[i] = rs.newParticipant(p2p.NodeID(i))
 	}
 
 	maxSteps := 4*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 400

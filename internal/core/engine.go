@@ -32,18 +32,21 @@ type cycleDriver struct {
 
 // newCycleDriver builds the simulated network around one participant per
 // series. workers selects the p2p scheduler: 1 for the sequential
-// engine, >1 for the sharded engine.
-func newCycleDriver(data [][]float64, rs *runSetup, workers int) (*cycleDriver, error) {
+// engine, >1 for the sharded engine. queueHint, when positive,
+// preallocates the per-node message queues (allocation-measurement
+// harnesses only; ordinary runs pass 0).
+func newCycleDriver(data [][]float64, rs *runSetup, workers, queueHint int) (*cycleDriver, error) {
 	n := len(data)
 	participants := make([]*participant, n)
 	factory := func(id p2p.NodeID) p2p.Protocol {
-		pt := rs.newParticipant(id, data[id])
+		pt := rs.newParticipant(id)
 		participants[id] = pt
 		return pt
 	}
 	opts := p2p.Options{
-		Seed:    rs.p.Seed + 1,
-		Workers: workers,
+		Seed:      rs.p.Seed + 1,
+		Workers:   workers,
+		QueueHint: queueHint,
 		Churn: p2p.ChurnModel{
 			CrashProb:     rs.p.ChurnCrashProb,
 			RejoinProb:    rs.p.ChurnRejoinProb,
@@ -111,12 +114,14 @@ func (d *cycleDriver) run() (*Trace, error) {
 	return buildTrace(d.data, d.rs.p, d.participants, d.nw.Cycle(), d.nw.Stats(), d.rs.suite, d.rs.accountant)
 }
 
+// allAliveDone reports whether every alive participant has terminated.
+// A direct loop (no ForEachAlive closure) keeps the per-cycle
+// termination check allocation-free.
 func (d *cycleDriver) allAliveDone() bool {
-	done := true
-	d.nw.ForEachAlive(func(id p2p.NodeID, _ p2p.Protocol) {
-		if d.participants[id].phase != phaseDone {
-			done = false
+	for i := range d.participants {
+		if d.nw.Alive(p2p.NodeID(i)) && d.participants[i].phase != phaseDone {
+			return false
 		}
-	})
-	return done
+	}
+	return true
 }

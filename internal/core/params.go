@@ -398,12 +398,22 @@ type cipherRing struct {
 	zero  Cipher
 }
 
-func newCipherRing(s CipherSuite) (*cipherRing, error) {
+// newCipherRing builds the ring adapter. Suites that implement the
+// mutCipherSuite extension (the accounted backend) get a ring that also
+// satisfies gossip.MutRing, unlocking the in-place hot path; the
+// returned static type stays gossip.Ring so the capability is carried
+// by the dynamic type alone — gossip.State only enables mutation when
+// the caller opts in via SetMutable.
+func newCipherRing(s CipherSuite) (gossip.Ring[Cipher], error) {
 	z, err := s.Encrypt(big.NewInt(0))
 	if err != nil {
 		return nil, err
 	}
-	return &cipherRing{suite: s, zero: z}, nil
+	base := &cipherRing{suite: s, zero: z}
+	if ms, ok := s.(mutCipherSuite); ok {
+		return &mutCipherRing{cipherRing: base, ms: ms}, nil
+	}
+	return base, nil
 }
 
 // Zero implements gossip.Ring. Note: reusing one encryption of zero is
@@ -458,3 +468,63 @@ func (r *cipherRing) AddAll(acc Cipher, vs []Cipher) Cipher {
 }
 
 var _ gossip.BatchRing[Cipher] = (*cipherRing)(nil)
+
+// mutCipherSuite is the optional CipherSuite extension behind the
+// zero-allocation gossip hot path: in-place variants of the ring
+// operations over caller-owned scratch ciphers, value-identical and
+// identically accounted to their immutable counterparts. Only the
+// accounted plain suite implements it (real ciphertexts mint fresh
+// group elements on every operation).
+type mutCipherSuite interface {
+	// NewScratchVector returns n mutable zero ciphers backed by one
+	// contiguous residue arena (see internal/vecpool).
+	NewScratchVector(n int) ([]Cipher, error)
+	// EncryptInto is Encrypt writing into dst's storage.
+	EncryptInto(dst Cipher, m *big.Int) error
+	// HalveCipherInPlace is Halve mutating c.
+	HalveCipherInPlace(c Cipher) error
+	// AddCipherInPlace sets acc += v, mutating only acc.
+	AddCipherInPlace(acc, v Cipher) error
+	// AddAllCipherInPlace left-folds vs into acc, mutating only acc.
+	AddAllCipherInPlace(acc Cipher, vs []Cipher) error
+	// SetCipher copies src's value into dst's storage.
+	SetCipher(dst, src Cipher) error
+}
+
+// mutCipherRing extends cipherRing with gossip.MutRing, delegating to
+// the suite's in-place extension. Errors are programmer errors (mixed
+// suites), handled like the immutable adapter's: panic.
+type mutCipherRing struct {
+	*cipherRing
+	ms mutCipherSuite
+}
+
+// HalveInPlace implements gossip.MutRing.
+func (r *mutCipherRing) HalveInPlace(a Cipher) {
+	if err := r.ms.HalveCipherInPlace(a); err != nil {
+		panic(fmt.Sprintf("core: cipher halve in place: %v", err))
+	}
+}
+
+// AddInPlace implements gossip.MutRing.
+func (r *mutCipherRing) AddInPlace(acc, v Cipher) {
+	if err := r.ms.AddCipherInPlace(acc, v); err != nil {
+		panic(fmt.Sprintf("core: cipher add in place: %v", err))
+	}
+}
+
+// AddAllInPlace implements gossip.MutRing.
+func (r *mutCipherRing) AddAllInPlace(acc Cipher, vs []Cipher) {
+	if err := r.ms.AddAllCipherInPlace(acc, vs); err != nil {
+		panic(fmt.Sprintf("core: cipher batch add in place: %v", err))
+	}
+}
+
+// SetInPlace implements gossip.MutRing.
+func (r *mutCipherRing) SetInPlace(dst, src Cipher) {
+	if err := r.ms.SetCipher(dst, src); err != nil {
+		panic(fmt.Sprintf("core: cipher set in place: %v", err))
+	}
+}
+
+var _ gossip.MutRing[Cipher] = (*mutCipherRing)(nil)

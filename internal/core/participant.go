@@ -12,6 +12,7 @@ import (
 	"chiaroscuro/internal/p2p"
 	"chiaroscuro/internal/simnet"
 	"chiaroscuro/internal/timeseries"
+	"chiaroscuro/internal/vecpool"
 )
 
 // phase is the participant's position inside one iteration of the
@@ -131,6 +132,29 @@ type participant struct {
 	// exchange: same-iteration messages drained from one inbox are
 	// absorbed in a single AbsorbAll pass.
 	absorbBatch []*gossip.Message[Cipher]
+
+	// gossipScratch/respScratch are the inbox classification buffers,
+	// reused across activations so a steady-state cycle sorts its inbox
+	// without allocating (references are cleared before the activation
+	// returns, so recycled capacity never pins dead payloads).
+	gossipScratch []*gossipPayload
+	respScratch   []*decryptResponse
+
+	// The remaining fields exist only on the zero-allocation hot path
+	// (runShared.mut non-nil). vals/noises are the per-iteration
+	// cleartext fused-contribution buffers; contrib is the arena-backed
+	// cipher vector each iteration's push-sum state is rebuilt over;
+	// emitMsgs/emitPayloads double-buffer the outgoing gossip message by
+	// cycle parity — sound because the engine is bulk-synchronous: a
+	// message emitted at cycle c is consumed (absorbed, dropped and
+	// counted, or cleared by a crash) by the end of cycle c+1, and the
+	// same-parity buffer is not written again before cycle c+2. The
+	// fault-plan features that would break that bound (delays, laggard
+	// stalls, replaying byzantines) disable the hot path in prepareRun.
+	vals, noises []float64
+	contrib      []Cipher
+	emitMsgs     [2]gossip.Message[Cipher]
+	emitPayloads [2]gossipPayload
 }
 
 // runShared is configuration and services shared by all participants of
@@ -140,9 +164,10 @@ type runShared struct {
 	dim           int
 	population    int
 	suite         CipherSuite
-	ring          *cipherRing
+	ring          gossip.Ring[Cipher]
 	codec         *fixedpoint.Codec
 	plainMod      *big.Int
+	halfMod       *big.Int // plainMod >> 1, cached for sign wrap/unwrap
 	preScale      uint
 	epsSched      []float64
 	noiseBound    float64
@@ -156,6 +181,19 @@ type runShared struct {
 	// senders: incoming gossip messages are then validated cipher by
 	// cipher before absorption (the wire-hardening path).
 	validator cipherValidator
+	// mut is the suite's in-place extension when the run qualifies for
+	// the zero-allocation gossip hot path (accounted backend,
+	// cycle-driven engine, no fault plan — see prepareRun); nil keeps
+	// every participant on the classic allocating path.
+	mut mutCipherSuite
+	// batchHint, when positive, pre-sizes every participant's inbox
+	// classification and absorb-batch scratch (and the push-sum batch
+	// column) for that many messages, so no in-degree spike can ever
+	// grow a buffer. Zero (all ordinary runs) lets the scratch converge
+	// to its working capacity instead; only the allocation-measurement
+	// harnesses pay the O(population·hint) to make "zero allocations"
+	// provable rather than amortized.
+	batchHint int
 }
 
 // NextCycle implements p2p.Protocol — the entry point Peersim (here
@@ -167,9 +205,11 @@ func (pt *participant) NextCycle(ctx *p2p.Context) {
 // step runs one activation against any execution environment.
 func (pt *participant) step(ctx Env) {
 	// Serve and sort the inbox first: decryption service is stateless
-	// and always on; gossip drives the state machine.
-	var gossips []*gossipPayload
-	var responses []*decryptResponse
+	// and always on; gossip drives the state machine. The classification
+	// buffers are participant-owned scratch, valid for this activation
+	// only.
+	gossips := pt.gossipScratch[:0]
+	responses := pt.respScratch[:0]
 	for _, m := range ctx.Inbox() {
 		switch pl := m.Payload.(type) {
 		case *gossipPayload:
@@ -181,9 +221,6 @@ func (pt *participant) step(ctx Env) {
 		}
 	}
 	pt.handleGossips(ctx, gossips)
-	if pt.phase == phaseDone {
-		return
-	}
 	switch pt.phase {
 	case phaseAssign:
 		pt.stepAssign(ctx)
@@ -191,7 +228,17 @@ func (pt *participant) step(ctx Env) {
 		pt.stepGossip(ctx)
 	case phaseDecrypt:
 		pt.stepDecrypt(ctx, responses)
+	case phaseDone:
 	}
+	// Retain the grown capacity, release the payload references.
+	for i := range gossips {
+		gossips[i] = nil
+	}
+	for i := range responses {
+		responses[i] = nil
+	}
+	pt.gossipScratch = gossips[:0]
+	pt.respScratch = responses[:0]
 }
 
 // Reset implements p2p.Resetter: a node rejoining after a permanent
@@ -241,8 +288,14 @@ func (pt *participant) stepAssign(ctx Env) {
 	r := pt.run
 	k := r.params.K
 	per := r.dim + 1
-	vals := make([]float64, r.sideLen)
-	noises := make([]float64, r.sideLen)
+	// The cleartext buffers are reusable scratch: fill() writes every
+	// index (all k·per coordinates plus the optional inertia aggregate),
+	// so stale values can never leak between iterations.
+	if pt.vals == nil {
+		pt.vals = make([]float64, r.sideLen)
+		pt.noises = make([]float64, r.sideLen)
+	}
+	vals, noises := pt.vals, pt.noises
 	scale := pt.noiseScale()
 	nShares := ctx.AliveCount()
 	if nShares < 2 {
@@ -291,6 +344,15 @@ func (pt *participant) stepAssign(ctx Env) {
 	if err != nil {
 		panic(err)
 	}
+	if r.mut != nil {
+		// The state's values are this participant's own arena residues
+		// (encryptSides wrote them in place), so the in-place hot path
+		// is sound.
+		st.SetMutable()
+	}
+	if r.batchHint > 0 {
+		st.ReserveBatch(r.batchHint)
+	}
 	pt.diptych.Means = st
 	pt.diptych.Iteration = pt.iter
 	pt.roundsDone = 0
@@ -314,9 +376,15 @@ func (pt *participant) noiseScale() float64 {
 // encryptSides encrypts the fused contribution [values | noise shares]:
 // one ciphertext per coordinate, or — when the run is packed — one per
 // slot group, with the two sides packed under the same layout so the
-// step-2c noise addition stays a slot-aligned homomorphic Add.
+// step-2c noise addition stays a slot-aligned homomorphic Add. On the
+// hot path the residues are written into the participant's own arena
+// vector (same values, same encryption order and count — only the
+// allocation profile differs).
 func (pt *participant) encryptSides(vals, noises []float64) ([]Cipher, error) {
 	r := pt.run
+	if r.mut != nil {
+		return pt.encryptSidesInPlace(vals, noises)
+	}
 	out := make([]Cipher, 2*r.sideCiphers)
 	if r.layout == nil {
 		for i := range vals {
@@ -349,6 +417,54 @@ func (pt *participant) encryptSides(vals, noises []float64) ([]Cipher, error) {
 	return out, nil
 }
 
+// encryptSidesInPlace is encryptSides writing into the participant's
+// arena-backed contribution vector: the previous iteration's state
+// shared these residues, but it is dropped in the same activation, and
+// every in-flight message carries copies (EmitInto's anti-aliasing
+// contract), so overwriting is safe.
+func (pt *participant) encryptSidesInPlace(vals, noises []float64) ([]Cipher, error) {
+	r := pt.run
+	if pt.contrib == nil {
+		v, err := r.mut.NewScratchVector(2 * r.sideCiphers)
+		if err != nil {
+			return nil, err
+		}
+		pt.contrib = v
+	}
+	out := pt.contrib
+	if r.layout == nil {
+		for i := range vals {
+			m, err := pt.encodeValue(vals[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := r.mut.EncryptInto(out[i], m); err != nil {
+				return nil, err
+			}
+			m, err = pt.encodeValue(noises[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := r.mut.EncryptInto(out[r.sideCiphers+i], m); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for side, xs := range [2][]float64{vals, noises} {
+		packed, err := pt.packSide(xs)
+		if err != nil {
+			return nil, err
+		}
+		for g, m := range packed {
+			if err := r.mut.EncryptInto(out[side*r.sideCiphers+g], m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
 // packSide fixed-point-encodes one side of the contribution (with
 // pre-scaling) and packs it into biased slot groups. Unlike the unpacked
 // path no modular sign wrap is needed: the per-slot bias keeps every
@@ -366,20 +482,30 @@ func (pt *participant) packSide(xs []float64) ([]*big.Int, error) {
 	return r.layout.Pack(enc)
 }
 
-// encryptValue fixed-point-encodes x (with pre-scaling) into the
-// plaintext ring and encrypts it.
-func (pt *participant) encryptValue(x float64) (Cipher, error) {
+// encodeValue fixed-point-encodes x (with pre-scaling) into the
+// plaintext ring. The sign wrap runs in place against the cached M/2
+// (the per-coordinate hot form of fixedpoint.WrapSigned).
+func (pt *participant) encodeValue(x float64) (*big.Int, error) {
 	r := pt.run
 	v, err := r.codec.Encode(x)
 	if err != nil {
 		return nil, err
 	}
 	v.Lsh(v, r.preScale)
-	w, err := fixedpoint.WrapSigned(v, r.plainMod)
+	if err := fixedpoint.WrapSignedInPlace(v, r.plainMod, r.halfMod); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// encryptValue fixed-point-encodes x (with pre-scaling) into the
+// plaintext ring and encrypts it.
+func (pt *participant) encryptValue(x float64) (Cipher, error) {
+	w, err := pt.encodeValue(x)
 	if err != nil {
 		return nil, err
 	}
-	return r.suite.Encrypt(w)
+	return pt.run.suite.Encrypt(w)
 }
 
 // --- Step 2a/2b: gossip (distributed) --------------------------------------
@@ -388,13 +514,20 @@ func (pt *participant) stepGossip(ctx Env) {
 	r := pt.run
 	peer, ok := ctx.RandomPeer()
 	if ok {
-		msg := pt.diptych.Means.Emit()
-		payload := &gossipPayload{
-			Iter:      pt.iter,
-			Centroids: pt.diptych.Centroids,
-			Msg:       msg,
+		var payload *gossipPayload
+		if r.mut != nil {
+			payload = pt.emitReused(ctx)
+		} else {
+			payload = &gossipPayload{
+				Iter:      pt.iter,
+				Centroids: pt.diptych.Centroids,
+				Msg:       pt.diptych.Means.Emit(),
+			}
 		}
 		if pt.byz != nil {
+			// Byzantine senders only exist under a fault plan, which
+			// forces the classic path — the corrupted payload may be
+			// retained (replay) and must not live in a reused buffer.
 			payload = pt.byzantinePayload(payload)
 		}
 		// Byte accounting from the actual ciphertext count of the
@@ -411,6 +544,30 @@ func (pt *participant) stepGossip(ctx Env) {
 		pt.asked = make(map[p2p.NodeID]bool)
 		pt.pendingCT = nil
 	}
+}
+
+// emitReused emits the push-sum half-share into the double-buffered
+// outgoing message selected by cycle parity — the allocation-free emit
+// of the hot path. The buffer written at cycle c was last written at
+// cycle c-2; its previous occupant was consumed by the end of cycle c-1
+// (the BSP bound documented on the participant fields), so the
+// overwrite can never race an in-flight read.
+func (pt *participant) emitReused(ctx Env) *gossipPayload {
+	idx := ctx.Cycle() & 1
+	msg := &pt.emitMsgs[idx]
+	if msg.V == nil {
+		v, err := pt.run.mut.NewScratchVector(len(pt.diptych.Means.V))
+		if err != nil {
+			panic(err) // arena sizing is validated at prepareRun time
+		}
+		msg.V = v
+	}
+	pt.diptych.Means.EmitInto(msg)
+	pl := &pt.emitPayloads[idx]
+	pl.Iter = pt.iter
+	pl.Centroids = pt.diptych.Centroids
+	pl.Msg = msg
+	return pl
 }
 
 // byzantinePayload corrupts an outgoing gossip payload according to the
@@ -762,13 +919,15 @@ func (pt *participant) decodeAll() ([]float64, error) {
 	w := pt.diptych.Means.Weight()
 	denom := w * math.Ldexp(1, int(r.preScale))
 	// Assemble the per-cipher partial sets and open every pending cipher.
+	// The column is one reused scratch across all pending ciphers —
+	// Combine never retains it.
 	responders := make([][]Partial, 0, len(pt.partials))
 	for _, parts := range pt.partials {
 		responders = append(responders, parts)
 	}
 	plains := make([]*big.Int, len(pt.pendingCT))
+	parts := make([]Partial, len(responders))
 	for i := range pt.pendingCT {
-		parts := make([]Partial, len(responders))
 		for j, rp := range responders {
 			parts[j] = rp[i]
 		}
@@ -783,14 +942,16 @@ func (pt *participant) decodeAll() ([]float64, error) {
 	}
 	out := make([]float64, len(plains))
 	for i, m := range plains {
-		signed, err := fixedpoint.UnwrapSigned(m, r.plainMod)
+		// In-place sign unwrap against the cached M/2 (m is this call's
+		// fresh Combine output, so mutating it is safe).
+		if err := fixedpoint.UnwrapSignedInPlace(m, r.plainMod, r.halfMod); err != nil {
+			return nil, err
+		}
+		v, err := pt.decodeSigned(m, denom, i)
 		if err != nil {
 			return nil, err
 		}
-		out[i], err = pt.decodeSigned(signed, denom, i)
-		if err != nil {
-			return nil, err
-		}
+		out[i] = v
 	}
 	return out, nil
 }
@@ -880,10 +1041,11 @@ func validShape(m [][]float64, k, dim int) bool {
 	return true
 }
 
+// deepCopyMatrix copies a centroid matrix into flat-backed row views:
+// two allocations regardless of k (see internal/vecpool), down from
+// k+1 with per-row copies — it runs once per iteration per participant
+// (history entries, centroid adoption), which at large populations made
+// it the dominant small-object source after the gossip hot path.
 func deepCopyMatrix(m [][]float64) [][]float64 {
-	out := make([][]float64, len(m))
-	for i := range m {
-		out[i] = append([]float64(nil), m[i]...)
-	}
-	return out
+	return vecpool.CloneRows(m)
 }

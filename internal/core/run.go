@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"math/rand"
 	"runtime"
 
 	"chiaroscuro/internal/dp"
 	"chiaroscuro/internal/fixedpoint"
+	"chiaroscuro/internal/gossip"
 	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/vecpool"
 )
 
 // poolSizer is the optional CipherSuite extension for backends that keep
@@ -113,6 +116,11 @@ type runSetup struct {
 	suite      CipherSuite
 	shared     *runShared
 	initial    [][]float64
+	// series is the population's data in one flat arena (row i is
+	// participant i's series): at large N the contiguous layout replaces
+	// N separate slice objects with two slabs, which both the garbage
+	// collector and the assignment step's linear scans prefer.
+	series *vecpool.Matrix
 }
 
 // close releases suite-held resources — today the Damgård–Jurik
@@ -124,12 +132,13 @@ func (rs *runSetup) close() {
 	}
 }
 
-// newParticipant builds one participant over the shared run state. A
-// node the fault plan marks byzantine carries its corruption behaviour.
-func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant {
-	return &participant{
+// newParticipant builds one participant over the shared run state (its
+// series is the participant's row of the flat series arena). A node the
+// fault plan marks byzantine carries its corruption behaviour.
+func (rs *runSetup) newParticipant(id p2p.NodeID) *participant {
+	pt := &participant{
 		id:     id,
-		series: series,
+		series: rs.series.Row(int(id)),
 		run:    rs.shared,
 		rng:    rand.New(rand.NewSource(rs.p.Seed ^ (int64(id)+1)*0x5851F42D4C957F2D)),
 		byz:    rs.p.Faults.ByzantineOf(int(id)),
@@ -137,6 +146,15 @@ func (rs *runSetup) newParticipant(id p2p.NodeID, series []float64) *participant
 			Centroids: deepCopyMatrix(rs.initial),
 		},
 	}
+	if h := rs.shared.batchHint; h > 0 {
+		// Allocation-measurement mode: pre-size the per-activation
+		// scratch so no in-degree spike can ever grow it (the per-
+		// iteration push-sum column is reserved in stepAssign).
+		pt.absorbBatch = make([]*gossip.Message[Cipher], 0, h)
+		pt.gossipScratch = make([]*gossipPayload, 0, h)
+		pt.respScratch = make([]*decryptResponse, 0, h)
+	}
+	return pt
 }
 
 // Run executes the full Chiaroscuro protocol over the given cleartext
@@ -151,7 +169,7 @@ func Run(data [][]float64, params Params) (*Trace, error) {
 		return nil, err
 	}
 	defer rs.close()
-	d, err := newCycleDriver(data, rs, 1)
+	d, err := newCycleDriver(data, rs, 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +312,20 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	if p.Faults.HasByzantine() {
 		validator, _ = suite.(cipherValidator)
 	}
+	// The zero-allocation gossip hot path (arena residues mutated in
+	// place, double-buffered emit messages) requires the bulk-synchronous
+	// delivery guarantee that every message is consumed within one cycle
+	// of delivery: true for the cycle-driven engines with no fault plan
+	// (no delayed queues, no laggard stalls, no replaying byzantines;
+	// churn is fine — crashes clear queues). The async engine's channel
+	// fabric holds messages arbitrarily long, and only the accounted
+	// suite can mutate ciphers, so everything else keeps the classic
+	// allocating path. Either path computes bit-identical trajectories
+	// and operation counts.
+	var mut mutCipherSuite
+	if ms, ok := suite.(mutCipherSuite); ok && !p.asyncEngine && p.Faults.Empty() {
+		mut = ms
+	}
 	shared := &runShared{
 		params:        p,
 		dim:           dim,
@@ -302,6 +334,7 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		ring:          ring,
 		codec:         codec,
 		plainMod:      plainMod,
+		halfMod:       new(big.Int).Rsh(plainMod, 1),
 		preScale:      preScale,
 		epsSched:      epsSched,
 		noiseBound:    noiseBound,
@@ -312,6 +345,15 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		decodeBound:   decodeBound,
 		centroidBytes: p.K * dim * 8,
 		validator:     validator,
+		mut:           mut,
+	}
+
+	// Flatten the population's series into one contiguous arena; every
+	// participant gets a row view (values unchanged, so trajectories
+	// are too).
+	seriesMat, err := vecpool.FromRows(data)
+	if err != nil {
+		return nil, err
 	}
 
 	setupOK = true
@@ -322,6 +364,7 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		suite:      suite,
 		shared:     shared,
 		initial:    initial,
+		series:     seriesMat,
 	}, nil
 }
 

@@ -41,7 +41,7 @@ func RunSharded(data [][]float64, params Params) (*Trace, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("core: invalid worker count %d", workers)
 	}
-	d, err := newCycleDriver(data, rs, workers)
+	d, err := newCycleDriver(data, rs, workers, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/big"
 	"sync/atomic"
+
+	"chiaroscuro/internal/vecpool"
 )
 
 // plainSuite is the accounted backend: values are plaintext residues of
@@ -192,21 +194,42 @@ func (s *plainSuite) PartialDecrypt(party int, c Cipher) (Partial, error) {
 
 // Combine implements CipherSuite. It enforces the same threshold
 // semantics as the real backend (count and distinctness of partials).
+// Distinctness runs as a quadratic scan for the common partial-set
+// sizes (the defaulted threshold caps at 16) — a map per Combine was
+// one of the dominant allocation sources of large-population decrypt
+// phases — and falls back to a map above the cutoff, since
+// DecryptThreshold is an uncapped public knob and O(k²) would bite a
+// deliberately huge quorum.
 func (s *plainSuite) Combine(parts []Partial) (*big.Int, error) {
 	if len(parts) < s.threshold {
 		return nil, fmt.Errorf("core: have %d partial decryptions, need %d", len(parts), s.threshold)
 	}
-	seen := make(map[int]bool, len(parts))
+	const scanCutoff = 64
+	var seen map[int]bool
+	if len(parts) > scanCutoff {
+		seen = make(map[int]bool, len(parts))
+	}
 	distinct := 0
-	for _, p := range parts {
+	for i, p := range parts {
 		if p.Index < 1 || p.Index > s.parties {
 			return nil, fmt.Errorf("core: partial with invalid index %d", p.Index)
 		}
 		if p.Value == nil {
 			return nil, errors.New("core: partial with nil value")
 		}
-		if !seen[p.Index] {
+		dup := false
+		if seen != nil {
+			dup = seen[p.Index]
 			seen[p.Index] = true
+		} else {
+			for j := 0; j < i; j++ {
+				if parts[j].Index == p.Index {
+					dup = true
+					break
+				}
+			}
+		}
+		if !dup {
 			distinct++
 		}
 	}
@@ -231,4 +254,114 @@ func (s *plainSuite) Counts() OpCounts {
 		PartialDecrypts: s.partialDecrypts.Load(),
 		Combines:        s.combines.Load(),
 	}
+}
+
+// --- In-place extension (the zero-allocation gossip hot path) --------------
+//
+// The methods below implement mutCipherSuite: value-identical variants
+// of Encrypt/Add/AddAll/Halve that write into caller-owned scratch
+// ciphers from NewScratchVector instead of allocating results. They
+// count operations exactly like their immutable counterparts, so
+// OpCounts (and every trajectory) is unchanged whichever path runs.
+// Only this suite implements the extension — real ciphertexts cannot be
+// mutated in place (rerandomization mints fresh group elements) — which
+// is what confines the in-place gossip path to the accounted backend.
+
+// NewScratchVector implements mutCipherSuite: n mutable zero ciphers
+// whose residues live in one vecpool arena slab, pre-sized for the
+// ring's reduced values plus the carry of an in-place modular add.
+func (s *plainSuite) NewScratchVector(n int) ([]Cipher, error) {
+	arena, err := vecpool.NewResidueArena(n, s.m.BitLen())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cipher, n)
+	for i := range out {
+		out[i] = plainCipher{v: arena.Int(i)}
+	}
+	return out, nil
+}
+
+// EncryptInto implements mutCipherSuite: Encrypt writing its residue
+// into dst's storage.
+func (s *plainSuite) EncryptInto(dst Cipher, m *big.Int) error {
+	cd, ok := dst.(plainCipher)
+	if !ok {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	if m == nil {
+		return errors.New("core: nil plaintext")
+	}
+	s.encrypts.Add(1)
+	if m.Sign() >= 0 && m.Cmp(s.m) < 0 {
+		cd.v.Set(m)
+		return nil
+	}
+	cd.v.Mod(m, s.m)
+	return nil
+}
+
+// HalveCipherInPlace implements mutCipherSuite: Halve's division-free
+// form mutating c's residue.
+func (s *plainSuite) HalveCipherInPlace(c Cipher) error {
+	cc, ok := c.(plainCipher)
+	if !ok {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	s.halvings.Add(1)
+	if cc.v.Bit(0) != 0 {
+		cc.v.Add(cc.v, s.m)
+	}
+	cc.v.Rsh(cc.v, 1)
+	return nil
+}
+
+// AddCipherInPlace implements mutCipherSuite: acc += v with the reduced-
+// residue conditional subtraction, mutating only acc.
+func (s *plainSuite) AddCipherInPlace(acc, v Cipher) error {
+	ca, ok1 := acc.(plainCipher)
+	cv, ok2 := v.(plainCipher)
+	if !ok1 || !ok2 {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	s.adds.Add(1)
+	ca.v.Add(ca.v, cv.v)
+	if ca.v.Cmp(s.m) >= 0 {
+		ca.v.Sub(ca.v, s.m)
+	}
+	return nil
+}
+
+// AddAllCipherInPlace implements mutCipherSuite: AddAll folded into
+// acc's storage.
+func (s *plainSuite) AddAllCipherInPlace(acc Cipher, vs []Cipher) error {
+	ca, ok := acc.(plainCipher)
+	if !ok {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	for _, v := range vs {
+		cv, ok := v.(plainCipher)
+		if !ok {
+			return errors.New("core: foreign cipher type in plain suite")
+		}
+		ca.v.Add(ca.v, cv.v)
+		if ca.v.Cmp(s.m) >= 0 {
+			ca.v.Sub(ca.v, s.m)
+		}
+	}
+	s.adds.Add(int64(len(vs)))
+	return nil
+}
+
+// SetCipher implements mutCipherSuite: dst's residue becomes a copy of
+// src's, reusing dst's storage. Not an accounted operation (the
+// immutable path's Clone shares, which costs nothing either).
+func (s *plainSuite) SetCipher(dst, src Cipher) error {
+	cd, ok1 := dst.(plainCipher)
+	cs, ok2 := src.(plainCipher)
+	if !ok1 || !ok2 {
+		return errors.New("core: foreign cipher type in plain suite")
+	}
+	cd.v.Set(cs.v)
+	return nil
 }

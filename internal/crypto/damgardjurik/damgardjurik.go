@@ -121,6 +121,8 @@ func (pk *PublicKey) EncryptInt64(rnd io.Reader, m int64) (*big.Int, error) {
 }
 
 // Add homomorphically adds two ciphertexts: E(a)·E(b) = E(a+b mod n^s).
+// The double-width product lives in pooled scratch; only the reduced
+// result is freshly allocated (callers retain it).
 func (pk *PublicKey) Add(c1, c2 *big.Int) (*big.Int, error) {
 	if err := pk.checkCiphertext(c1); err != nil {
 		return nil, err
@@ -128,8 +130,11 @@ func (pk *PublicKey) Add(c1, c2 *big.Int) (*big.Int, error) {
 	if err := pk.checkCiphertext(c2); err != nil {
 		return nil, err
 	}
-	out := new(big.Int).Mul(c1, c2)
-	return out.Mod(out, pk.ns1), nil
+	prod := getInt()
+	prod.Mul(c1, c2)
+	out := new(big.Int).Mod(prod, pk.ns1)
+	putInt(prod)
+	return out, nil
 }
 
 // ScalarMul homomorphically multiplies the plaintext by integer k:
@@ -139,8 +144,11 @@ func (pk *PublicKey) ScalarMul(c, k *big.Int) (*big.Int, error) {
 	if err := pk.checkCiphertext(c); err != nil {
 		return nil, err
 	}
-	kk := new(big.Int).Mod(k, pk.ns) // exponent arithmetic is mod n^s on plaintexts
-	return new(big.Int).Exp(c, kk, pk.ns1), nil
+	kk := getInt()
+	kk.Mod(k, pk.ns) // exponent arithmetic is mod n^s on plaintexts
+	out := new(big.Int).Exp(c, kk, pk.ns1)
+	putInt(kk)
+	return out, nil
 }
 
 // Sub homomorphically subtracts: E(a)·E(b)^{-1} = E(a-b mod n^s).
@@ -205,18 +213,32 @@ func (pk *PublicKey) randomUnit(rnd io.Reader) (*big.Int, error) {
 
 // powOnePlusN computes (1+n)^m mod n^{s+1} via the binomial expansion
 // (1+n)^m = Σ_{k=0}^{s} C(m,k)·n^k mod n^{s+1}, which is much faster than
-// modular exponentiation because all higher terms vanish.
+// modular exponentiation because all higher terms vanish. The returned
+// value is always fresh; loop temporaries come from the scratch pool.
 func (pk *PublicKey) powOnePlusN(m *big.Int) *big.Int {
 	out := big.NewInt(1)
 	if m.Sign() == 0 {
 		return out
 	}
+	if pk.S == 1 {
+		// Paillier (s=1, the default degree): the expansion collapses to
+		// 1 + m·n mod n², one pooled product instead of the general
+		// binomial loop with its factorial inverses.
+		term := getInt()
+		term.Mul(m, pk.N)
+		term.Add(term, one)
+		out.Mod(term, pk.ns1)
+		putInt(term)
+		return out
+	}
 	// term_k = C(m,k)·n^k mod n^{s+1}, computed incrementally:
 	// C(m,k) = C(m,k-1)·(m-k+1)/k.
-	num := big.NewInt(1)  // running product m(m-1)...(m-k+1)
-	nk := big.NewInt(1)   // n^k
-	fact := big.NewInt(1) // k!
-	tmp := new(big.Int)
+	num := getInt().SetInt64(1)  // running product m(m-1)...(m-k+1)
+	nk := getInt().SetInt64(1)   // n^k
+	fact := getInt().SetInt64(1) // k!
+	tmp := getInt()
+	term := getInt()
+	invFact := getInt()
 	for k := 1; k <= pk.S; k++ {
 		tmp.SetInt64(int64(k - 1))
 		tmp.Sub(m, tmp)
@@ -224,14 +246,24 @@ func (pk *PublicKey) powOnePlusN(m *big.Int) *big.Int {
 		num.Mod(num, pk.ns1)
 		nk.Mul(nk, pk.N)
 		fact.MulRange(1, int64(k))
-		invFact := new(big.Int).ModInverse(fact, pk.ns1)
-		term := new(big.Int).Mul(num, invFact)
+		if invFact.ModInverse(fact, pk.ns1) == nil {
+			// Unreachable for k ≤ s < the prime factors of n; guarded so
+			// a misuse cannot silently corrupt the expansion.
+			panic("damgardjurik: k! not invertible mod n^{s+1}")
+		}
+		term.Mul(num, invFact)
 		term.Mod(term, pk.ns1)
 		term.Mul(term, nk)
 		term.Mod(term, pk.ns1)
 		out.Add(out, term)
 		out.Mod(out, pk.ns1)
 	}
+	putInt(num)
+	putInt(nk)
+	putInt(fact)
+	putInt(tmp)
+	putInt(term)
+	putInt(invFact)
 	return out
 }
 

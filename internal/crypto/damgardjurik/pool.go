@@ -101,6 +101,8 @@ func (p *RandomizerPool) Rerandomize(c *big.Int) (*big.Int, error) {
 }
 
 // Encrypt is pooled fast-path encryption: (1+n)^m · pooled randomizer.
+// The exponent reduction lives in pooled scratch; the ciphertext is
+// fresh (callers retain it).
 func (p *RandomizerPool) Encrypt(m *big.Int) (*big.Int, error) {
 	if m == nil {
 		return nil, ErrInvalidPlaintext
@@ -110,8 +112,10 @@ func (p *RandomizerPool) Encrypt(m *big.Int) (*big.Int, error) {
 		return nil, err
 	}
 	pk := p.ctx.pk
-	mm := new(big.Int).Mod(m, pk.ns)
+	mm := getInt()
+	mm.Mod(m, pk.ns)
 	c := pk.powOnePlusN(mm)
+	putInt(mm)
 	c.Mul(c, rz)
 	return c.Mod(c, pk.ns1), nil
 }

@@ -1,0 +1,34 @@
+package damgardjurik
+
+import (
+	"math/big"
+	"sync"
+)
+
+// scratch.go pools the short-lived big.Int temporaries of the
+// homomorphic hot path (Add products, exponent reductions, binomial
+// terms). A packed protocol run performs millions of these operations;
+// without pooling, every Add and Halve leaves one or two dead
+// multi-limb integers behind and the garbage collector ends up
+// dominating real-crypto wall-clock. The pool follows the same pattern
+// as the fixed-base table's accumulator pool (fixedbase.go): values
+// handed out retain their grown limb storage, so steady-state
+// operations recycle warm buffers instead of allocating fresh ones.
+//
+// Discipline: pooled integers are strictly call-local — anything
+// returned to a caller (ciphertexts, plaintexts, partials) is always a
+// fresh big.Int, never a pooled one, because callers retain results
+// indefinitely.
+
+// intPool recycles big.Int temporaries across operations and
+// goroutines (shard workers share it contention-free via sync.Pool's
+// per-P caches).
+var intPool = sync.Pool{New: func() any { return new(big.Int) }}
+
+// getInt fetches a scratch integer (arbitrary prior value).
+func getInt() *big.Int { return intPool.Get().(*big.Int) }
+
+// putInt returns a scratch integer to the pool. The value is kept as-is
+// (its limb storage is the point of recycling); callers must not retain
+// the pointer after putting it.
+func putInt(v *big.Int) { intPool.Put(v) }

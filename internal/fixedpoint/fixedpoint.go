@@ -116,12 +116,10 @@ func WrapSigned(v, M *big.Int) (*big.Int, error) {
 	if M.Sign() <= 0 {
 		return nil, errors.New("fixedpoint: modulus must be positive")
 	}
-	half := new(big.Int).Rsh(M, 1)
-	abs := new(big.Int).Abs(v)
-	if abs.Cmp(half) >= 0 {
-		return nil, fmt.Errorf("%w: |%s| >= M/2", ErrOverflow, abs.String())
+	out := new(big.Int).Set(v)
+	if err := WrapSignedInPlace(out, M, new(big.Int).Rsh(M, 1)); err != nil {
+		return nil, err
 	}
-	out := new(big.Int).Mod(v, M)
 	return out, nil
 }
 
@@ -131,15 +129,40 @@ func UnwrapSigned(v, M *big.Int) (*big.Int, error) {
 	if M.Sign() <= 0 {
 		return nil, errors.New("fixedpoint: modulus must be positive")
 	}
-	if v.Sign() < 0 || v.Cmp(M) >= 0 {
-		return nil, fmt.Errorf("fixedpoint: %s not reduced mod M", v.String())
-	}
-	half := new(big.Int).Rsh(M, 1)
 	out := new(big.Int).Set(v)
-	if out.Cmp(half) > 0 {
-		out.Sub(out, M)
+	if err := UnwrapSignedInPlace(out, M, new(big.Int).Rsh(M, 1)); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// WrapSignedInPlace is WrapSigned mutating v with a caller-cached
+// half = M >> 1: the allocation-light form the protocol hot path uses
+// (one sign wrap per encoded coordinate). The sign convention — reject
+// |v| >= M/2, map negatives to M-|v| — is defined here, next to
+// WrapSigned, so the two can never diverge.
+func WrapSignedInPlace(v, M, half *big.Int) error {
+	if v.CmpAbs(half) >= 0 {
+		// The error path may allocate: report the magnitude without a
+		// stray sign inside the absolute-value bars.
+		return fmt.Errorf("%w: |%s| >= M/2", ErrOverflow, new(big.Int).Abs(v).String())
+	}
+	if v.Sign() < 0 {
+		v.Add(v, M)
+	}
+	return nil
+}
+
+// UnwrapSignedInPlace is UnwrapSigned mutating v with a caller-cached
+// half = M >> 1 (residues strictly above M/2 become negative).
+func UnwrapSignedInPlace(v, M, half *big.Int) error {
+	if v.Sign() < 0 || v.Cmp(M) >= 0 {
+		return fmt.Errorf("fixedpoint: %s not reduced mod M", v.String())
+	}
+	if v.Cmp(half) > 0 {
+		v.Sub(v, M)
+	}
+	return nil
 }
 
 // EncodeSeries encodes each element of xs (signed representation).

@@ -130,6 +130,50 @@ func TestUnwrapSignedValidation(t *testing.T) {
 	}
 }
 
+// TestWrapUnwrapInPlaceAgreement pins the in-place cached-half variants
+// to the allocating originals across the sign boundaries — the
+// single-convention guarantee the protocol hot path relies on.
+func TestWrapUnwrapInPlaceAgreement(t *testing.T) {
+	M := big.NewInt(1001) // odd, like the protocol rings
+	half := new(big.Int).Rsh(M, 1)
+	for v := int64(-520); v <= 520; v++ {
+		want, wantErr := WrapSigned(big.NewInt(v), M)
+		got := big.NewInt(v)
+		gotErr := WrapSignedInPlace(got, M, half)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("wrap(%d): error disagreement: %v vs %v", v, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrOverflow) {
+				t.Fatalf("wrap(%d): in-place error %v is not ErrOverflow", v, gotErr)
+			}
+			continue
+		}
+		if want.Cmp(got) != 0 {
+			t.Fatalf("wrap(%d): %v vs %v", v, want, got)
+		}
+	}
+	for r := int64(0); r < 1001; r++ {
+		want, err := UnwrapSigned(big.NewInt(r), M)
+		if err != nil {
+			t.Fatalf("unwrap(%d): %v", r, err)
+		}
+		got := big.NewInt(r)
+		if err := UnwrapSignedInPlace(got, M, half); err != nil {
+			t.Fatalf("unwrap in place(%d): %v", r, err)
+		}
+		if want.Cmp(got) != 0 {
+			t.Fatalf("unwrap(%d): %v vs %v", r, want, got)
+		}
+	}
+	if err := UnwrapSignedInPlace(big.NewInt(-1), M, half); err == nil {
+		t.Fatal("in-place unwrap must reject unreduced input")
+	}
+	if err := UnwrapSignedInPlace(big.NewInt(1001), M, half); err == nil {
+		t.Fatal("in-place unwrap must reject residue >= M")
+	}
+}
+
 func TestModRoundTripProperty(t *testing.T) {
 	c := MustNew(20)
 	M := new(big.Int).Lsh(big.NewInt(1), 64)

@@ -54,6 +54,32 @@ type BatchRing[T any] interface {
 	AddAll(acc T, vs []T) T
 }
 
+// MutRing is an optional Ring extension for rings whose values are
+// mutable handles (e.g. preallocated big.Int residues from
+// internal/vecpool): the push-sum state can then run its per-cycle hot
+// loops — halve-and-emit, absorb — entirely in place, allocating
+// nothing in steady state. Every operation must be value-identical to
+// its immutable counterpart (HalveInPlace to Halve, AddInPlace to Add,
+// AddAllInPlace to a left fold of Add), so enabling the in-place path
+// never changes a trajectory, only its allocation profile.
+//
+// The path is opt-in per State (see State.SetMutable) because it
+// changes the aliasing contract: an in-place state mutates its own
+// values, so they must be exclusively owned — never shared with callers
+// the way Ring.Clone-style sharing otherwise allows.
+type MutRing[T any] interface {
+	Ring[T]
+	// HalveInPlace replaces a's value with its exact half.
+	HalveInPlace(a T)
+	// AddInPlace sets acc = acc + v. Only acc is mutated.
+	AddInPlace(acc, v T)
+	// AddAllInPlace sets acc = acc + vs[0] + vs[1] + ..., evaluated left
+	// to right. Only acc is mutated.
+	AddAllInPlace(acc T, vs []T)
+	// SetInPlace copies src's value into dst, reusing dst's storage.
+	SetInPlace(dst, src T)
+}
+
 // Message is the half-share a node pushes to a peer: the value vector and
 // the accompanying push-sum weight.
 type Message[T any] struct {
@@ -69,6 +95,12 @@ type State[T any] struct {
 	ring Ring[T]
 	V    []T
 	W    float64
+	// mut, when non-nil, routes the hot loops through the ring's
+	// in-place operations (see SetMutable).
+	mut MutRing[T]
+	// col is the AbsorbAll column scratch, retained across batches so a
+	// steady-state cycle reuses it instead of allocating.
+	col []T
 }
 
 // NewState initializes a node's state with its own contribution and
@@ -92,6 +124,20 @@ func NewState[T any](ring Ring[T], values []T, weight float64) (*State[T], error
 	return &State[T]{ring: ring, V: v, W: weight}, nil
 }
 
+// SetMutable enables the in-place hot path when the ring implements
+// MutRing, and reports whether it did. The caller thereby asserts the
+// state's values are exclusively owned (NewState's Clone did not share
+// them with anyone who will observe later mutations) — internal/core
+// arranges this by building each participant's contribution in its own
+// arena. Has no effect on rings without MutRing.
+func (s *State[T]) SetMutable() bool {
+	if mr, ok := s.ring.(MutRing[T]); ok {
+		s.mut = mr
+		return true
+	}
+	return false
+}
+
 // Emit halves the node's state and returns the outgoing half as a
 // message. The remaining half stays in the state. Push-sum's mass
 // conservation invariant: state + message = previous state.
@@ -104,9 +150,48 @@ func (s *State[T]) Emit() *Message[T] {
 // is only sound once the previous occupant of dst has been absorbed —
 // e.g. the synchronous-round pattern of SimulatePushSum, or any schedule
 // where a message is consumed before its sender emits again.
+//
+// On a mutable state (SetMutable) whose dst arrives fully prepared —
+// value vector already the state's length, every slot holding a
+// caller-owned mutable value — the emission is allocation-free: the
+// state's values are halved in place and copied into dst's existing
+// storage. The emitted values are then equal to, but never aliased
+// with, the state's (each side mutates only its own storage
+// afterwards).
 func (s *State[T]) EmitInto(dst *Message[T]) *Message[T] {
 	if dst == nil {
 		dst = &Message[T]{}
+	}
+	if s.mut != nil {
+		if len(dst.V) == len(s.V) {
+			dst.W = s.W / 2
+			for i := range s.V {
+				s.mut.HalveInPlace(s.V[i])
+				s.mut.SetInPlace(dst.V[i], s.V[i])
+			}
+			s.W /= 2
+			return dst
+		}
+		// Unprepared destination on a mutable state: the immutable
+		// fallthrough below would be unsound here, because a sharing
+		// Clone (the cipher rings') would alias the emitted message
+		// with state values that later in-place operations mutate.
+		// Instead, halve into a fresh value for the message and copy it
+		// back into the state's own storage — allocating, never
+		// aliasing, value- and accounting-identical either way.
+		if cap(dst.V) >= len(s.V) {
+			dst.V = dst.V[:len(s.V)]
+		} else {
+			dst.V = make([]T, len(s.V))
+		}
+		dst.W = s.W / 2
+		for i := range s.V {
+			h := s.ring.Halve(s.V[i])
+			s.mut.SetInPlace(s.V[i], h)
+			dst.V[i] = h
+		}
+		s.W /= 2
+		return dst
 	}
 	if cap(dst.V) >= len(s.V) {
 		dst.V = dst.V[:len(s.V)]
@@ -123,13 +208,21 @@ func (s *State[T]) EmitInto(dst *Message[T]) *Message[T] {
 	return dst
 }
 
-// Absorb merges a received message into the state.
+// Absorb merges a received message into the state. On a mutable state
+// the fold happens in place (the message values are only read).
 func (s *State[T]) Absorb(m *Message[T]) error {
 	if m == nil {
 		return errors.New("gossip: nil message")
 	}
 	if len(m.V) != len(s.V) {
 		return fmt.Errorf("gossip: message dimension %d != state dimension %d", len(m.V), len(s.V))
+	}
+	if s.mut != nil {
+		for i := range s.V {
+			s.mut.AddInPlace(s.V[i], m.V[i])
+		}
+		s.W += m.W
+		return nil
 	}
 	for i := range s.V {
 		s.V[i] = s.ring.Add(s.V[i], m.V[i])
@@ -161,18 +254,31 @@ func (s *State[T]) AbsorbAll(ms []*Message[T]) error {
 	case 1:
 		return s.Absorb(ms[0])
 	}
-	if br, ok := s.ring.(BatchRing[T]); ok {
-		col := make([]T, len(ms))
+	switch {
+	case s.mut != nil:
+		col := s.column(ms)
 		for i := range s.V {
 			for j, m := range ms {
 				col[j] = m.V[i]
 			}
-			s.V[i] = br.AddAll(s.V[i], col)
+			s.mut.AddAllInPlace(s.V[i], col)
 		}
-	} else {
-		for _, m := range ms {
+		s.releaseColumn(col)
+	default:
+		if br, ok := s.ring.(BatchRing[T]); ok {
+			col := s.column(ms)
 			for i := range s.V {
-				s.V[i] = s.ring.Add(s.V[i], m.V[i])
+				for j, m := range ms {
+					col[j] = m.V[i]
+				}
+				s.V[i] = br.AddAll(s.V[i], col)
+			}
+			s.releaseColumn(col)
+		} else {
+			for _, m := range ms {
+				for i := range s.V {
+					s.V[i] = s.ring.Add(s.V[i], m.V[i])
+				}
 			}
 		}
 	}
@@ -180,6 +286,35 @@ func (s *State[T]) AbsorbAll(ms []*Message[T]) error {
 		s.W += m.W
 	}
 	return nil
+}
+
+// ReserveBatch grows the batch scratch to hold n-message columns, so an
+// allocation-measurement harness can rule out scratch growth entirely
+// (ordinary runs let the scratch converge to its working capacity).
+func (s *State[T]) ReserveBatch(n int) {
+	if cap(s.col) < n {
+		s.col = make([]T, 0, n)
+	}
+}
+
+// column hands out the batch scratch sized for ms, reusing the retained
+// buffer when its capacity allows (a steady-state cycle then performs no
+// scratch allocation at all).
+func (s *State[T]) column(ms []*Message[T]) []T {
+	if cap(s.col) >= len(ms) {
+		return s.col[:len(ms)]
+	}
+	s.col = make([]T, len(ms))
+	return s.col
+}
+
+// releaseColumn zeroes the scratch's value references so the retained
+// buffer does not pin absorbed message values until the next batch.
+func (s *State[T]) releaseColumn(col []T) {
+	var zero T
+	for i := range col {
+		col[i] = zero
+	}
 }
 
 // Weight returns the current push-sum weight.

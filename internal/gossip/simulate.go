@@ -204,4 +204,39 @@ func (r *ModRing) AddAll(acc *big.Int, vs []*big.Int) *big.Int {
 	return out
 }
 
-var _ BatchRing[*big.Int] = (*ModRing)(nil)
+// HalveInPlace implements MutRing: the same division-free halving as
+// Halve, written into a's own storage.
+func (r *ModRing) HalveInPlace(a *big.Int) {
+	if a.Bit(0) != 0 {
+		a.Add(a, r.M)
+	}
+	a.Rsh(a, 1)
+}
+
+// AddInPlace implements MutRing. Operands must be reduced residues (the
+// State invariant), so the conditional subtraction is value-identical
+// to Add's full reduction.
+func (r *ModRing) AddInPlace(acc, v *big.Int) {
+	acc.Add(acc, v)
+	if acc.Cmp(r.M) >= 0 {
+		acc.Sub(acc, r.M)
+	}
+}
+
+// AddAllInPlace implements MutRing: AddAll folded into acc's storage.
+func (r *ModRing) AddAllInPlace(acc *big.Int, vs []*big.Int) {
+	for _, v := range vs {
+		acc.Add(acc, v)
+		if acc.Cmp(r.M) >= 0 {
+			acc.Sub(acc, r.M)
+		}
+	}
+}
+
+// SetInPlace implements MutRing.
+func (r *ModRing) SetInPlace(dst, src *big.Int) { dst.Set(src) }
+
+var (
+	_ BatchRing[*big.Int] = (*ModRing)(nil)
+	_ MutRing[*big.Int]   = (*ModRing)(nil)
+)

@@ -195,6 +195,15 @@ type Options struct {
 	// start (applied before probabilistic churn; churn never rejoins a
 	// scheduler-downed node).
 	Faults FaultScheduler
+	// QueueHint preallocates every node's inbox and pending queues for
+	// this many messages (0 grows them on demand). Ordinary runs leave
+	// it 0 — queues converge to their working capacity within a few
+	// cycles and stay there. Allocation-measurement harnesses set it to
+	// the population size so that no in-degree spike can ever grow a
+	// queue, making steady-state cycles provably allocation-free rather
+	// than amortized-allocation-free. The preallocation is O(n·hint),
+	// which is why it is opt-in.
+	QueueHint int
 }
 
 // maxWorkers bounds the effective shard-worker count: beyond a few
@@ -239,6 +248,15 @@ type nodeSlot struct {
 	// applied at the eventual revival.
 	schedDown  bool
 	schedReset bool
+	// ctx is the node's reusable activation context. Handing the
+	// protocol a pointer into the slot instead of a stack value keeps
+	// the per-activation context off the heap (the pointer escapes
+	// through the Protocol interface, which would otherwise cost one
+	// allocation per activation per cycle — the last allocator touch on
+	// the steady-state path). It is re-armed before and invalidated
+	// after every NextCycle call, preserving the "only valid during the
+	// call" contract for escaped contexts.
+	ctx Context
 }
 
 // delayedMessage is a conditioned message waiting for its delivery
@@ -296,6 +314,9 @@ func New(n int, factory func(NodeID) Protocol, opts Options) (*Network, error) {
 		alive:    n,
 		workers:  opts.Workers,
 	}
+	if opts.QueueHint < 0 {
+		return nil, fmt.Errorf("p2p: negative queue hint %d", opts.QueueHint)
+	}
 	for i := range nw.nodes {
 		p := factory(NodeID(i))
 		if p == nil {
@@ -305,6 +326,10 @@ func New(n int, factory func(NodeID) Protocol, opts Options) (*Network, error) {
 			proto: p,
 			alive: true,
 			rng:   rand.New(rand.NewSource(nodeSeed(opts.Seed, i))),
+		}
+		if opts.QueueHint > 0 {
+			nw.nodes[i].inbox = make([]Message, 0, opts.QueueHint)
+			nw.nodes[i].pending = make([]Message, 0, opts.QueueHint)
 		}
 	}
 	if nw.workers > n {
@@ -383,9 +408,9 @@ func (nw *Network) RunCycle() {
 			if !slot.alive || slot.stalled {
 				continue
 			}
-			ctx := Context{nw: nw, id: NodeID(idx)}
-			slot.proto.NextCycle(&ctx)
-			ctx.nw = nil // invalidate escaped contexts
+			slot.ctx = Context{nw: nw, id: NodeID(idx)}
+			slot.proto.NextCycle(&slot.ctx)
+			slot.ctx = Context{} // invalidate escaped contexts
 		}
 	}
 	nw.cycle++

@@ -146,9 +146,12 @@ func (nw *Network) runCycleSharded() {
 				if !slot.alive || slot.stalled {
 					continue
 				}
-				ctx := Context{nw: nw, id: NodeID(id), shard: sh}
-				slot.proto.NextCycle(&ctx)
-				ctx.nw = nil
+				// The slot's reusable context (see nodeSlot.ctx): each
+				// node belongs to exactly one shard, so no other worker
+				// touches it.
+				slot.ctx = Context{nw: nw, id: NodeID(id), shard: sh}
+				slot.proto.NextCycle(&slot.ctx)
+				slot.ctx = Context{}
 			}
 		}(&nw.shards[s])
 	}

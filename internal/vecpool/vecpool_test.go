@@ -1,0 +1,145 @@
+package vecpool
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestMatrixShapeAndViews(t *testing.T) {
+	m, err := NewMatrix(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %d×%d, want 3×4", m.NumRows(), m.Cols())
+	}
+	m.Row(1)[2] = 42
+	if m.Rows()[1][2] != 42 {
+		t.Fatal("Row and Rows must alias the same slab")
+	}
+	// Rows are capped at their stride: appending must not spill.
+	r := m.Row(0)
+	r = append(r, 99)
+	if m.Row(1)[0] == 99 {
+		t.Fatal("append on a row view spilled into the next row")
+	}
+	if _, err := NewMatrix(-1, 2); err == nil {
+		t.Fatal("want error for negative shape")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	src := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m, err := FromRows(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		for j := range src[i] {
+			if m.Row(i)[j] != src[i][j] {
+				t.Fatalf("m[%d][%d] = %v, want %v", i, j, m.Row(i)[j], src[i][j])
+			}
+		}
+	}
+	// The copy is deep: mutating the source must not leak through.
+	src[0][0] = -1
+	if m.Row(0)[0] == -1 {
+		t.Fatal("FromRows aliased the source")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged source")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("want error for empty source")
+	}
+}
+
+func TestCloneRows(t *testing.T) {
+	src := [][]float64{{1, 2, 3}, {}, {4}}
+	got := CloneRows(src)
+	if len(got) != len(src) {
+		t.Fatalf("len = %d, want %d", len(got), len(src))
+	}
+	for i := range src {
+		if len(got[i]) != len(src[i]) {
+			t.Fatalf("row %d len = %d, want %d", i, len(got[i]), len(src[i]))
+		}
+		for j := range src[i] {
+			if got[i][j] != src[i][j] {
+				t.Fatalf("got[%d][%d] = %v, want %v", i, j, got[i][j], src[i][j])
+			}
+		}
+	}
+	src[0][0] = -7
+	if got[0][0] == -7 {
+		t.Fatal("CloneRows aliased the source")
+	}
+	// Appending to one cloned row must not clobber the next (capped views).
+	_ = append(got[0], 99)
+	if got[2][0] == 99 {
+		t.Fatal("append on a cloned row spilled into the next row")
+	}
+}
+
+func TestResidueArenaIndependence(t *testing.T) {
+	a, err := NewResidueArena(4, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Int(i).Sign() != 0 {
+			t.Fatalf("arena value %d not zero", i)
+		}
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), 320)
+	m.Sub(m, big.NewInt(1))
+	a.Int(0).Sub(m, big.NewInt(17))
+	a.Int(1).Sub(m, big.NewInt(5))
+	// In-place modular-style arithmetic on one slot must not disturb its
+	// neighbours (the slots' limb slabs are capped, never overlapping).
+	a.Int(0).Add(a.Int(0), a.Int(1))
+	a.Int(0).Sub(a.Int(0), m)
+	want := new(big.Int).Sub(m, big.NewInt(22))
+	if a.Int(0).Cmp(want) != 0 {
+		t.Fatalf("slot 0 = %v, want %v", a.Int(0), want)
+	}
+	if got := new(big.Int).Sub(m, big.NewInt(5)); a.Int(1).Cmp(got) != 0 {
+		t.Fatal("slot 1 was disturbed by in-place arithmetic on slot 0")
+	}
+}
+
+// TestResidueArenaNoAllocSteadyState is the property the gossip hot path
+// rests on: once warmed, in-place Add/conditional-subtract/Rsh/Set on
+// arena values of ring width never touch the allocator.
+func TestResidueArenaNoAllocSteadyState(t *testing.T) {
+	const bits = 320
+	a, err := NewResidueArena(3, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), bits)
+	m.Sub(m, big.NewInt(1))
+	acc, v, dst := a.Int(0), a.Int(1), a.Int(2)
+	acc.Sub(m, big.NewInt(123456789))
+	v.Sub(m, big.NewInt(987654321))
+	step := func() {
+		acc.Add(acc, v)
+		if acc.Cmp(m) >= 0 {
+			acc.Sub(acc, m)
+		}
+		if acc.Bit(0) == 0 {
+			acc.Rsh(acc, 1)
+		} else {
+			acc.Add(acc, m)
+			acc.Rsh(acc, 1)
+		}
+		dst.Set(acc)
+	}
+	step() // warm: first ops size the slices into their slabs
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("steady-state arena arithmetic allocates %.1f objects per op, want 0", allocs)
+	}
+}
