@@ -1,0 +1,85 @@
+package compactrng
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	d := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 42 and 43 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	s := New(7)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(7)
+	if got := s.Uint64(); got != first {
+		t.Fatalf("reseed did not restart the stream: %d != %d", got, first)
+	}
+}
+
+// TestUniformity sanity-checks the draw quality the simulator depends
+// on: Float64 mean/variance and Intn bucket balance.
+func TestUniformity(t *testing.T) {
+	r := NewRand(2016)
+	const n = 200000
+	var sum, sumSq float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+		sumSq += f * f
+		buckets[r.Intn(10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Fatalf("Float64 variance %v too far from 1/12", variance)
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-n/10) > 4*math.Sqrt(n/10) {
+			t.Fatalf("Intn bucket %d count %d too far from %d", b, c, n/10)
+		}
+	}
+}
+
+// TestInt63NonNegative pins the rand.Source contract.
+func TestInt63NonNegative(t *testing.T) {
+	s := New(-12345)
+	for i := 0; i < 10000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+}
+
+// TestStateSize pins the point of the package: a source is one word.
+func TestStateSize(t *testing.T) {
+	if sz := unsafe.Sizeof(Source{}); sz != 8 {
+		t.Fatalf("Source is %d bytes, want 8", sz)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chiaroscuro/internal/compactrng"
 	"chiaroscuro/internal/p2p"
 )
 
@@ -83,7 +84,7 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 			env := &asyncEnv{
 				net: net,
 				id:  pt.id,
-				rng: rand.New(rand.NewSource(p.Seed ^ (int64(pt.id)+7)*0x2545F4914F6CDD1D)),
+				rng: compactrng.NewRand(p.Seed ^ (int64(pt.id)+7)*0x2545F4914F6CDD1D),
 			}
 			notified := false
 			wasDown := false
