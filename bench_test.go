@@ -341,10 +341,17 @@ func benchClusterScale(b *testing.B, n int) {
 }
 
 // BenchmarkClusterScale100k is the headline scale benchmark (also run
-// by the CI -bench-scale smoke at this population):
+// by the CI -bench-scale smoke at this population). A single pass
+// allocates hundreds of MB and takes tens of seconds, so like the 1M
+// smoke it is skipped in -short mode:
 //
 //	go test -bench 'ClusterScale100k' -benchtime=1x
-func BenchmarkClusterScale100k(b *testing.B) { benchClusterScale(b, 100_000) }
+func BenchmarkClusterScale100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("N=100k scale benchmark skipped in short mode")
+	}
+	benchClusterScale(b, 100_000)
+}
 
 // BenchmarkClusterScale1M is the million-participant smoke — the
 // paper's target deployment scale in one accounted process. It needs

@@ -1,0 +1,18 @@
+// Command chiaroscurod runs one Chiaroscuro participant as a networked
+// daemon process. A population of n daemons launched with identical
+// protocol flags (and -id 0..n-1) forms a full TCP mesh, runs the
+// clustering to completion under the coordinator-free epoch clock, and
+// discloses the exact centroid trajectory the in-process sequential
+// engine discloses at the same seed. See docs/ARCHITECTURE.md
+// ("Running as a daemon").
+package main
+
+import (
+	"os"
+
+	"chiaroscuro/internal/transport"
+)
+
+func main() {
+	os.Exit(transport.DaemonMain(os.Args[1:], os.Stdout, os.Stderr))
+}

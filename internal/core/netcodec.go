@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/wire"
+)
+
+// netcodec.go serializes the participant's message payloads for a real
+// network transport (internal/transport): the gossip exchange, the
+// decryption request and the decryption response. The in-process
+// engines pass these payloads by pointer; a daemon moves the identical
+// information as wire artifacts inside length-prefixed frames. Every
+// decode validates shape and range against the node's own run
+// configuration, so a malformed or hostile remote peer can be rejected
+// before its bytes touch the push-sum state.
+
+// Payload kind tags (first byte of an encoded payload).
+const (
+	netGossip          byte = 0x01
+	netDecryptRequest  byte = 0x02
+	netDecryptResponse byte = 0x03
+)
+
+// suiteWireCodec is the optional CipherSuite extension a networked run
+// requires: stable byte encodings for cipher vectors and for
+// partial-decryption values. The accounted plain suite implements it
+// over the wire residue-vector artifact. The Damgård–Jurik suite
+// deliberately does not yet: its key material is dealt per-suite, so
+// two daemon processes would hold different keys — networked DJ runs
+// need the distributed key generation of the roadmap first.
+type suiteWireCodec interface {
+	// MarshalCipherVector encodes a vector of this suite's ciphers.
+	MarshalCipherVector(cs []Cipher) ([]byte, error)
+	// UnmarshalCipherVector decodes and validates a cipher vector.
+	UnmarshalCipherVector(buf []byte) ([]Cipher, error)
+	// MarshalPartialValues encodes the values of a partial-decryption
+	// vector (the shared responder index travels separately).
+	MarshalPartialValues(ps []Partial) ([]byte, error)
+	// UnmarshalPartialValues decodes partial values, stamping each with
+	// the responder's key-share index.
+	UnmarshalPartialValues(index int, buf []byte) ([]Partial, error)
+}
+
+// MarshalCipherVector implements suiteWireCodec: accounted ciphers are
+// ring residues, encoded fixed-width against the plaintext modulus.
+func (s *plainSuite) MarshalCipherVector(cs []Cipher) ([]byte, error) {
+	vs := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		cc, ok := c.(plainCipher)
+		if !ok {
+			return nil, errors.New("core: foreign cipher type in plain suite")
+		}
+		vs[i] = cc.v
+	}
+	return wire.MarshalResidueVector(s.m, vs)
+}
+
+// UnmarshalCipherVector implements suiteWireCodec. Every decoded
+// residue is ring-validated by the wire layer; the returned ciphers are
+// freshly allocated, never aliasing arena scratch.
+func (s *plainSuite) UnmarshalCipherVector(buf []byte) ([]Cipher, error) {
+	vs, err := wire.UnmarshalResidueVector(s.m, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cipher, len(vs))
+	for i, v := range vs {
+		out[i] = plainCipher{v: v}
+	}
+	return out, nil
+}
+
+// MarshalPartialValues implements suiteWireCodec: accounted partials
+// are ring residues too (the shared plaintext under threshold
+// semantics).
+func (s *plainSuite) MarshalPartialValues(ps []Partial) ([]byte, error) {
+	vs := make([]*big.Int, len(ps))
+	for i, p := range ps {
+		if p.Value == nil {
+			return nil, errors.New("core: partial with nil value")
+		}
+		vs[i] = p.Value
+	}
+	return wire.MarshalResidueVector(s.m, vs)
+}
+
+// UnmarshalPartialValues implements suiteWireCodec.
+func (s *plainSuite) UnmarshalPartialValues(index int, buf []byte) ([]Partial, error) {
+	vs, err := wire.UnmarshalResidueVector(s.m, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Partial, len(vs))
+	for i, v := range vs {
+		out[i] = Partial{Index: index, Value: v}
+	}
+	return out, nil
+}
+
+// appendFloats appends one length-prefixed field of IEEE-754 bit
+// patterns (big-endian), one per coordinate, row-major.
+func appendFloats(buf []byte, rows [][]float64) []byte {
+	body := make([]byte, 0, 8*len(rows)*len(rows[0]))
+	for _, row := range rows {
+		for _, v := range row {
+			body = binary.BigEndian.AppendUint64(body, math.Float64bits(v))
+		}
+	}
+	return wire.AppendBytes(buf, body)
+}
+
+// readFloats reads one floats field of exactly rows×cols coordinates.
+func readFloats(fr *wire.FieldReader, rows, cols int) ([][]float64, error) {
+	body, err := fr.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != 8*rows*cols {
+		return nil, fmt.Errorf("core: centroid field %d bytes, want %d", len(body), 8*rows*cols)
+	}
+	out := make([][]float64, rows)
+	for j := range out {
+		row := make([]float64, cols)
+		for t := range row {
+			row[t] = math.Float64frombits(binary.BigEndian.Uint64(body))
+			body = body[8:]
+		}
+		out[j] = row
+	}
+	return out, nil
+}
+
+// EncodePayload serializes one protocol payload (as passed to
+// Env.Send) for the network transport. It accepts exactly the payload
+// types the participant emits.
+func (nd *Node) EncodePayload(payload any) ([]byte, error) {
+	switch pl := payload.(type) {
+	case *gossipPayload:
+		if pl.Msg == nil {
+			return nil, errors.New("core: gossip payload without message")
+		}
+		buf := []byte{netGossip}
+		buf = wire.AppendUint32(buf, uint32(pl.Iter))
+		buf = appendFloats(buf, pl.Centroids)
+		var wb [8]byte
+		binary.BigEndian.PutUint64(wb[:], math.Float64bits(pl.Msg.W))
+		buf = wire.AppendBytes(buf, wb[:])
+		cv, err := nd.codec.MarshalCipherVector(pl.Msg.V)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(buf, cv), nil
+	case *decryptRequest:
+		buf := []byte{netDecryptRequest}
+		buf = wire.AppendUint32(buf, uint32(pl.Iter))
+		cv, err := nd.codec.MarshalCipherVector(pl.Ciphers)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(buf, cv), nil
+	case *decryptResponse:
+		if len(pl.Partials) == 0 {
+			return nil, errors.New("core: empty decrypt response")
+		}
+		buf := []byte{netDecryptResponse}
+		buf = wire.AppendUint32(buf, uint32(pl.Iter))
+		buf = wire.AppendUint32(buf, uint32(pl.Partials[0].Index))
+		pv, err := nd.codec.MarshalPartialValues(pl.Partials)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(buf, pv), nil
+	default:
+		return nil, fmt.Errorf("core: unencodable payload type %T", payload)
+	}
+}
+
+// DecodePayload parses and validates one payload received from a peer.
+// Shape and range checks are strict against this node's run
+// configuration — iteration tags inside the schedule, centroid matrices
+// exactly K×dim of finite values, cipher vectors exactly the fused
+// length, push-sum weights finite and population-bounded — so a peer
+// that violates the protocol is rejected here with an error instead of
+// desynchronizing the participant state machine.
+func (nd *Node) DecodePayload(buf []byte) (any, error) {
+	if len(buf) < 1 {
+		return nil, errors.New("core: empty payload")
+	}
+	r := nd.pt.run
+	fr := wire.NewFieldReader(buf[1:])
+	iterU, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	iter := int(iterU)
+	if iter >= r.params.Iterations {
+		return nil, fmt.Errorf("core: payload iteration %d outside schedule of %d", iter, r.params.Iterations)
+	}
+	switch buf[0] {
+	case netGossip:
+		centroids, err := readFloats(fr, r.params.K, r.dim)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range centroids {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, errors.New("core: non-finite centroid coordinate")
+				}
+			}
+		}
+		wb, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(wb) != 8 {
+			return nil, fmt.Errorf("core: weight field %d bytes, want 8", len(wb))
+		}
+		w := math.Float64frombits(binary.BigEndian.Uint64(wb))
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > float64(r.population) {
+			return nil, fmt.Errorf("core: implausible push-sum weight %g", w)
+		}
+		cv, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.Done(); err != nil {
+			return nil, err
+		}
+		cs, err := nd.codec.UnmarshalCipherVector(cv)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) != 2*r.sideCiphers {
+			return nil, fmt.Errorf("core: gossip vector of %d ciphers, want %d", len(cs), 2*r.sideCiphers)
+		}
+		return &gossipPayload{
+			Iter:      iter,
+			Centroids: centroids,
+			Msg:       &gossip.Message[Cipher]{V: cs, W: w},
+		}, nil
+	case netDecryptRequest:
+		cv, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.Done(); err != nil {
+			return nil, err
+		}
+		cs, err := nd.codec.UnmarshalCipherVector(cv)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) != r.sideCiphers {
+			return nil, fmt.Errorf("core: decrypt request of %d ciphers, want %d", len(cs), r.sideCiphers)
+		}
+		return &decryptRequest{Iter: iter, Ciphers: cs}, nil
+	case netDecryptResponse:
+		idxU, err := fr.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		idx := int(idxU)
+		if idx < 1 || idx > r.suite.Parties() {
+			return nil, fmt.Errorf("core: partial index %d outside [1, %d]", idx, r.suite.Parties())
+		}
+		pv, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.Done(); err != nil {
+			return nil, err
+		}
+		ps, err := nd.codec.UnmarshalPartialValues(idx, pv)
+		if err != nil {
+			return nil, err
+		}
+		if len(ps) != r.sideCiphers {
+			return nil, fmt.Errorf("core: decrypt response of %d partials, want %d", len(ps), r.sideCiphers)
+		}
+		return &decryptResponse{Iter: iter, Partials: ps}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown payload kind 0x%02x", buf[0])
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"chiaroscuro/internal/p2p"
+)
+
+// Node is one Chiaroscuro participant packaged for an external
+// execution environment — the seam the networked daemon
+// (internal/transport) drives. Every daemon process constructs the
+// identical runSetup from the shared (data, params) configuration and
+// then steps only its own participant; the transport's epoch clock
+// supplies the Env. Because the participant logic, the RNG derivation
+// and the peer sampler are byte-for-byte the ones the in-process
+// engines use, a fault-free networked run discloses the exact
+// trajectory the sequential engine discloses at the same seed — the
+// property the conformance harness asserts.
+type Node struct {
+	rs    *runSetup
+	pt    *participant
+	codec suiteWireCodec
+}
+
+// NewNode builds the participant with the given id for a networked run
+// over the full population's data. All processes must pass identical
+// (data, params); Fingerprint lets the transport handshake detect when
+// they did not.
+//
+// Networked runs are the determinism-contract configuration: no churn
+// and no fault plan (fault injection lives in the simulation engines,
+// where a global scheduler exists to replay it), and a cipher suite
+// whose artifacts are wire-portable. Today that is the accounted plain
+// backend; the Damgård–Jurik backend deals private key shares inside
+// each process, so two daemons cannot hold matching keys until the
+// roadmap's distributed key generation lands.
+func NewNode(data [][]float64, params Params, id int) (*Node, error) {
+	if id < 0 || id >= len(data) {
+		return nil, fmt.Errorf("core: node id %d outside population [0, %d)", id, len(data))
+	}
+	if !params.Faults.Empty() {
+		return nil, errors.New("core: networked runs do not support fault plans")
+	}
+	if params.ChurnCrashProb != 0 || params.ChurnRejoinProb != 0 {
+		return nil, errors.New("core: networked runs do not support churn")
+	}
+	rs, err := prepareRun(data, params)
+	if err != nil {
+		return nil, err
+	}
+	codec, ok := rs.suite.(suiteWireCodec)
+	if !ok {
+		rs.close()
+		return nil, errors.New("core: backend has no wire codec: Damgård–Jurik daemons need distributed key generation (use BackendPlainAccounted)")
+	}
+	return &Node{rs: rs, pt: rs.newParticipant(p2p.NodeID(id)), codec: codec}, nil
+}
+
+// ID returns the node's participant id.
+func (nd *Node) ID() int { return int(nd.pt.id) }
+
+// Population returns the run's population size.
+func (nd *Node) Population() int { return nd.pt.run.population }
+
+// Step runs one protocol activation against the given environment.
+func (nd *Node) Step(env Env) { nd.pt.step(env) }
+
+// Done reports whether the participant has terminated (converged or
+// exhausted its iteration schedule). A done participant still answers
+// decryption requests when stepped, so the transport keeps stepping it
+// until every peer is done too.
+func (nd *Node) Done() bool { return nd.pt.phase == phaseDone }
+
+// History returns the participant's per-iteration disclosures — the
+// trajectory the conformance harness compares bit-for-bit against the
+// sequential engine's.
+func (nd *Node) History() []IterationResult { return nd.pt.history }
+
+// MaxCycles returns the engine's cycle bound for this configuration:
+// the networked run uses the same bound as the simulation, so a wedged
+// mesh terminates instead of spinning.
+func (nd *Node) MaxCycles() int {
+	p := nd.rs.p
+	return 2*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 100
+}
+
+// SamplingSeed returns the seed the peer sampler must use: the
+// simulation engine seeds its network at Params.Seed+1, so the
+// transport's p2p.NewSampler(SamplingSeed(), id, n) reproduces the
+// engine's per-node draw streams.
+func (nd *Node) SamplingSeed() int64 { return nd.rs.p.Seed + 1 }
+
+// Fingerprint digests the run configuration every process must agree
+// on — defaulted parameters, population and dimensionality — so the
+// transport handshake can reject a peer built from a different
+// configuration instead of silently diverging.
+func (nd *Node) Fingerprint() uint64 {
+	p := nd.rs.p
+	h := fnv.New64a()
+	fmt.Fprintf(h, "chiaroscuro|n=%d|dim=%d|k=%d|eps=%b|iters=%d|conv=%b|rounds=%d|thresh=%d|window=%d|backend=%d|modbits=%d|degree=%d|frac=%d|strategy=%T|smoothing=%+v|inertia=%t|istop=%b|seed=%d|packed=%t|max=%b",
+		nd.pt.run.population, nd.pt.run.dim, p.K, p.Epsilon, p.Iterations,
+		p.ConvergeThreshold, p.GossipRounds, p.DecryptThreshold, p.DecryptWindow,
+		p.Backend, p.ModulusBits, p.Degree, p.FracBits, p.Strategy, p.Smoothing,
+		p.TrackInertia, p.InertiaStopThreshold, p.Seed, p.Packed, p.MaxValue)
+	for _, row := range nd.rs.initial {
+		for _, v := range row {
+			fmt.Fprintf(h, "|%b", v)
+		}
+	}
+	return h.Sum64()
+}
+
+// Close releases suite-held resources.
+func (nd *Node) Close() { nd.rs.close() }
+
+// RunSequentialHistories runs the sequential reference engine and
+// returns, alongside the trace, every participant's private
+// per-iteration history. The conformance harness needs the
+// per-participant view (assignments, displacement readings and
+// completion cycles differ node by node) — the Trace only carries the
+// population-level disclosure.
+func RunSequentialHistories(data [][]float64, params Params) (*Trace, [][]IterationResult, error) {
+	rs, err := prepareRun(data, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rs.close()
+	d, err := newCycleDriver(data, rs, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace, err := d.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	histories := make([][]IterationResult, len(d.participants))
+	for i, pt := range d.participants {
+		histories[i] = pt.history
+	}
+	return trace, histories, nil
+}

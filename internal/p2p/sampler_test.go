@@ -1,0 +1,75 @@
+package p2p
+
+import (
+	"testing"
+)
+
+// samplerProbe is a protocol that records the peer draws the engine
+// hands it — the reference stream the Sampler must reproduce.
+type samplerProbe struct {
+	singles []NodeID
+	batches [][]NodeID
+}
+
+func (p *samplerProbe) NextCycle(ctx *Context) {
+	if peer, ok := ctx.RandomPeer(); ok {
+		p.singles = append(p.singles, peer)
+	}
+	p.batches = append(p.batches, ctx.RandomPeers(3))
+}
+
+// TestSamplerMatchesEngineStream pins the daemon-side determinism
+// contract: for a fault-free, churn-free population, NewSampler(seed,
+// id, n) draws exactly the peers the engine's node id draws, call for
+// call. The conformance harness (internal/transport) relies on this to
+// reproduce simulated trajectories over real connections.
+func TestSamplerMatchesEngineStream(t *testing.T) {
+	const (
+		n      = 17
+		seed   = int64(991)
+		cycles = 25
+	)
+	probes := make([]*samplerProbe, n)
+	nw, err := New(n, func(id NodeID) Protocol {
+		probes[id] = &samplerProbe{}
+		return probes[id]
+	}, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(cycles)
+
+	for id := 0; id < n; id++ {
+		s := NewSampler(seed, NodeID(id), n)
+		probe := probes[id]
+		var singles []NodeID
+		var batches [][]NodeID
+		for c := 0; c < cycles; c++ {
+			if peer, ok := s.RandomPeer(); ok {
+				singles = append(singles, peer)
+			}
+			batches = append(batches, s.RandomPeers(3))
+		}
+		if len(singles) != len(probe.singles) {
+			t.Fatalf("node %d: %d singles, engine drew %d", id, len(singles), len(probe.singles))
+		}
+		for i := range singles {
+			if singles[i] != probe.singles[i] {
+				t.Fatalf("node %d single draw %d: sampler %d, engine %d", id, i, singles[i], probe.singles[i])
+			}
+		}
+		if len(batches) != len(probe.batches) {
+			t.Fatalf("node %d: batch count mismatch", id)
+		}
+		for i := range batches {
+			if len(batches[i]) != len(probe.batches[i]) {
+				t.Fatalf("node %d batch %d: len %d vs engine %d", id, i, len(batches[i]), len(probe.batches[i]))
+			}
+			for j := range batches[i] {
+				if batches[i][j] != probe.batches[i][j] {
+					t.Fatalf("node %d batch %d draw %d: sampler %d, engine %d", id, i, j, batches[i][j], probe.batches[i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package transport runs Chiaroscuro participants as real networked
+// processes: TCP connections carrying the internal/wire artifact format
+// inside length-prefixed frames, a join/leave handshake, and a
+// coordinator-free epoch clock that reproduces the simulation engines'
+// message-visibility discipline. The participant logic itself is
+// internal/core's — the daemon and the in-process engines share one
+// protocol implementation, which is what lets the conformance harness
+// (internal/transport/conformance) demand bit-identical disclosed
+// trajectories across the process boundary.
+//
+// The epoch clock works without any coordinator: after stepping its
+// participant at epoch e, every node broadcasts a tick(e) to all peers
+// and enters epoch e+1 only once it holds a tick(e) from everyone.
+// Because each TCP connection delivers in order, a peer's tick(e)
+// guarantees all of that peer's epoch-e payloads have already arrived —
+// the barrier needs no payload counts and no retransmission. Epoch e of
+// the mesh corresponds exactly to cycle e of the simulation: messages
+// sent at e become visible at e+1, and each node's inbox is ordered by
+// ascending sender id with per-sender FIFO, the simulator's contract.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Config configures one transport node (one participant process).
+type Config struct {
+	// ID is this node's participant id, in [0, Population).
+	ID int
+	// Population is the total number of nodes in the run.
+	Population int
+	// Listen is the TCP listen address (host:0 picks a free port).
+	Listen string
+	// Peers, when non-empty, lists every node's dial address indexed by
+	// id (the entry at ID is ignored). Exactly one of Peers and AddrDir
+	// must be set.
+	Peers []string
+	// AddrDir, when non-empty, is a shared rendezvous directory: each
+	// node writes "<id>.addr" with its bound address and polls for the
+	// others — how the loopback harness wires a mesh of :0 listeners.
+	AddrDir string
+	// EpochTimeout bounds how long a node waits at one epoch barrier
+	// for the slowest peer tick before declaring the mesh wedged.
+	EpochTimeout time.Duration
+	// Logf, when non-nil, receives progress lines (epoch transitions,
+	// handshake results). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Validate checks the transport configuration, returning the first
+// problem found. Error texts are pinned by TestTransportConfigErrors.
+func (c *Config) Validate() error {
+	if c.Population < 2 {
+		return errors.New("transport: population must be at least 2")
+	}
+	if c.ID < 0 || c.ID >= c.Population {
+		return fmt.Errorf("transport: node id %d outside population [0, %d)", c.ID, c.Population)
+	}
+	if c.Listen == "" {
+		return errors.New("transport: listen address is required")
+	}
+	if (len(c.Peers) == 0) == (c.AddrDir == "") {
+		return errors.New("transport: exactly one of peer list and rendezvous dir is required")
+	}
+	if len(c.Peers) > 0 {
+		if len(c.Peers) != c.Population {
+			return fmt.Errorf("transport: peer list has %d addresses, want one per node (%d)", len(c.Peers), c.Population)
+		}
+		for i, addr := range c.Peers {
+			if i != c.ID && addr == "" {
+				return fmt.Errorf("transport: peer %d has an empty address", i)
+			}
+		}
+	}
+	if c.EpochTimeout <= 0 {
+		return errors.New("transport: epoch timeout must be positive")
+	}
+	return nil
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -1,0 +1,112 @@
+package conformance
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/transport"
+)
+
+// daemonEnv re-execs this test binary as a chiaroscurod daemon: when
+// the variable is set, TestMain diverts into transport.DaemonMain
+// before the testing framework starts. Spawning daemons from the test
+// binary itself (instead of `go build`-ing cmd/chiaroscurod first)
+// keeps the daemons under the same -race instrumentation as the test.
+const daemonEnv = "CHIAROSCURO_DAEMON"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(daemonEnv) == "1" {
+		os.Exit(transport.DaemonMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func assertConformance(t *testing.T, spec Spec, got, want [][]core.IterationResult) {
+	t.Helper()
+	if len(got) != spec.N {
+		t.Fatalf("mesh produced %d histories, want %d", len(got), spec.N)
+	}
+	for id := range got {
+		if err := EqualHistories(got[id], want[id]); err != nil {
+			t.Errorf("participant %d trajectory diverges from sequential reference: %v", id, err)
+		}
+	}
+}
+
+// TestLoopbackConformanceK5 is the headline check: five mesh members
+// cluster over loopback TCP and every one of them must disclose the
+// bit-identical trajectory the sequential engine computes at the same
+// seed. Under -short the mesh runs in-process (goroutine per node,
+// real listeners); otherwise each member is a separate re-execed
+// daemon process. CHIAROSCURO_LOG_DIR, when set, receives the daemon
+// logs (the CI failure artifact).
+func TestLoopbackConformanceK5(t *testing.T) {
+	spec := Spec{
+		N:            5,
+		Dataset:      "cer",
+		Seed:         77,
+		K:            3,
+		Iterations:   2,
+		EpochTimeout: 60 * time.Second,
+	}
+	want, err := spec.Reference()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(want) != spec.N {
+		t.Fatalf("reference produced %d histories, want %d", len(want), spec.N)
+	}
+	for i, h := range want {
+		if len(h) == 0 {
+			t.Fatalf("reference participant %d disclosed no iterations", i)
+		}
+	}
+
+	if testing.Short() {
+		got, err := RunInProcess(spec, t.TempDir())
+		if err != nil {
+			t.Fatalf("in-process mesh: %v", err)
+		}
+		assertConformance(t, spec, got, want)
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	logDir := os.Getenv("CHIAROSCURO_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	}
+	got, err := RunProcesses(spec, exe, []string{daemonEnv + "=1"}, t.TempDir(), logDir)
+	if err != nil {
+		t.Fatalf("multi-process mesh: %v", err)
+	}
+	assertConformance(t, spec, got, want)
+}
+
+// TestInProcessMeshMatchesReference exercises the in-process mesh even
+// outside -short, at a different seed, population and dataset, so the
+// plain `go test ./...` tier always covers the transport end to end.
+func TestInProcessMeshMatchesReference(t *testing.T) {
+	spec := Spec{
+		N:            4,
+		Dataset:      "tumor",
+		Seed:         1234,
+		K:            2,
+		Iterations:   2,
+		EpochTimeout: 60 * time.Second,
+	}
+	want, err := spec.Reference()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, err := RunInProcess(spec, t.TempDir())
+	if err != nil {
+		t.Fatalf("in-process mesh: %v", err)
+	}
+	assertConformance(t, spec, got, want)
+}

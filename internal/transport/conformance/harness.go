@@ -1,0 +1,231 @@
+// Package conformance checks the networked daemon against the
+// sequential reference engine: K daemon processes (or in-process mesh
+// members under -short) run a small clustering over loopback TCP, and
+// every participant's disclosed per-iteration history must be
+// bit-identical — Float64bits equality, NaN-safe — to the history the
+// sequential simulator produces for the same participant at the same
+// seed. This is the determinism contract of the transport layer: the
+// network moves the protocol without perturbing a single bit of it.
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/transport"
+)
+
+// Spec pins one conformance scenario: every daemon and the reference
+// run are built from exactly these values.
+type Spec struct {
+	N            int    // population (mesh size)
+	Dataset      string // synthetic dataset name
+	Seed         int64
+	K            int
+	Iterations   int
+	EpochTimeout time.Duration
+}
+
+// Params returns the run parameters every mesh member and the
+// reference engine must share.
+func (s Spec) Params() core.Params {
+	return core.Params{
+		K:          s.K,
+		Epsilon:    1.0,
+		Iterations: s.Iterations,
+		Seed:       s.Seed,
+		Backend:    core.BackendPlainAccounted,
+	}
+}
+
+// Data regenerates the population's series exactly as each daemon does.
+func (s Spec) Data() ([][]float64, error) {
+	return transport.SyntheticSeries(s.Dataset, s.N, s.Seed)
+}
+
+// Reference runs the sequential engine and returns every participant's
+// history — the trajectories the mesh must reproduce.
+func (s Spec) Reference() ([][]core.IterationResult, error) {
+	data, err := s.Data()
+	if err != nil {
+		return nil, err
+	}
+	_, histories, err := core.RunSequentialHistories(data, s.Params())
+	return histories, err
+}
+
+// DaemonArgs builds the chiaroscurod argument list for one mesh member,
+// with addresses discovered through the shared rendezvous directory and
+// the history written to outFile.
+func (s Spec) DaemonArgs(id int, addrDir, outFile string) []string {
+	return []string{
+		"-id", fmt.Sprint(id),
+		"-n", fmt.Sprint(s.N),
+		"-addr-dir", addrDir,
+		"-epoch-timeout", s.EpochTimeout.String(),
+		"-dataset", s.Dataset,
+		"-seed", fmt.Sprint(s.Seed),
+		"-k", fmt.Sprint(s.K),
+		"-iterations", fmt.Sprint(s.Iterations),
+		"-out", outFile,
+		"-v",
+	}
+}
+
+// RunInProcess runs the whole mesh inside the calling process: N
+// goroutines, each a full transport node with its own TCP listener on
+// loopback. Same wire traffic as the multi-process mode, minus the
+// process isolation — the -short configuration.
+func RunInProcess(s Spec, dir string) ([][]core.IterationResult, error) {
+	data, err := s.Data()
+	if err != nil {
+		return nil, err
+	}
+	histories := make([][]core.IterationResult, s.N)
+	errs := make([]error, s.N)
+	var wg sync.WaitGroup
+	for id := 0; id < s.N; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cfg := transport.Config{
+				ID:           id,
+				Population:   s.N,
+				Listen:       "127.0.0.1:0",
+				AddrDir:      dir,
+				EpochTimeout: s.EpochTimeout,
+			}
+			histories[id], errs[id] = transport.Run(cfg, data, s.Params())
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", id, err)
+		}
+	}
+	return histories, nil
+}
+
+// RunProcesses runs the mesh as N separate daemon processes launched
+// from the given executable (the re-execed test binary, or a built
+// chiaroscurod), with per-daemon logs written under logDir. It returns
+// every daemon's disclosed history.
+func RunProcesses(s Spec, exe string, extraEnv []string, workDir, logDir string) ([][]core.IterationResult, error) {
+	addrDir := filepath.Join(workDir, "rendezvous")
+	if err := os.MkdirAll(addrDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(logDir, 0o755); err != nil {
+		return nil, err
+	}
+	outFiles := make([]string, s.N)
+	cmds := make([]*exec.Cmd, s.N)
+	logs := make([]*os.File, s.N)
+	for id := 0; id < s.N; id++ {
+		outFiles[id] = filepath.Join(workDir, fmt.Sprintf("history-%d.gob", id))
+		logFile, err := os.Create(filepath.Join(logDir, fmt.Sprintf("daemon-%d.log", id)))
+		if err != nil {
+			return nil, err
+		}
+		logs[id] = logFile
+		cmd := exec.Command(exe, s.DaemonArgs(id, addrDir, outFiles[id])...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stdout = logFile
+		cmd.Stderr = logFile
+		if err := cmd.Start(); err != nil {
+			logFile.Close()
+			return nil, fmt.Errorf("start daemon %d: %w", id, err)
+		}
+		cmds[id] = cmd
+	}
+	var firstErr error
+	for id, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("daemon %d: %w (see %s)", id, err, filepath.Join(logDir, fmt.Sprintf("daemon-%d.log", id)))
+		}
+		logs[id].Close()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	histories := make([][]core.IterationResult, s.N)
+	for id := range histories {
+		h, err := transport.ReadHistory(outFiles[id])
+		if err != nil {
+			return nil, fmt.Errorf("daemon %d history: %w", id, err)
+		}
+		histories[id] = h
+	}
+	return histories, nil
+}
+
+// EqualHistories demands bit-identical disclosed trajectories: every
+// field of every iteration, floats compared by their IEEE-754 bit
+// patterns (so a NaN matches a NaN, and no epsilon hides a divergence).
+func EqualHistories(got, want []core.IterationResult) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d iterations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Iteration != w.Iteration {
+			return fmt.Errorf("iter %d: Iteration %d != %d", i, g.Iteration, w.Iteration)
+		}
+		if math.Float64bits(g.Epsilon) != math.Float64bits(w.Epsilon) {
+			return fmt.Errorf("iter %d: Epsilon bits differ", i)
+		}
+		if err := equalMatrix(g.PerturbedCentroids, w.PerturbedCentroids); err != nil {
+			return fmt.Errorf("iter %d: PerturbedCentroids: %w", i, err)
+		}
+		if err := equalVector(g.PerturbedCounts, w.PerturbedCounts); err != nil {
+			return fmt.Errorf("iter %d: PerturbedCounts: %w", i, err)
+		}
+		if math.Float64bits(g.PerturbedInertia) != math.Float64bits(w.PerturbedInertia) {
+			return fmt.Errorf("iter %d: PerturbedInertia bits differ (%v vs %v)", i, g.PerturbedInertia, w.PerturbedInertia)
+		}
+		if g.Assignment != w.Assignment {
+			return fmt.Errorf("iter %d: Assignment %d != %d", i, g.Assignment, w.Assignment)
+		}
+		if math.Float64bits(g.Displacement) != math.Float64bits(w.Displacement) {
+			return fmt.Errorf("iter %d: Displacement bits differ (%v vs %v)", i, g.Displacement, w.Displacement)
+		}
+		if g.DecryptFailed != w.DecryptFailed {
+			return fmt.Errorf("iter %d: DecryptFailed %t != %t", i, g.DecryptFailed, w.DecryptFailed)
+		}
+		if g.CompletedAtCycle != w.CompletedAtCycle {
+			return fmt.Errorf("iter %d: CompletedAtCycle %d != %d", i, g.CompletedAtCycle, w.CompletedAtCycle)
+		}
+	}
+	return nil
+}
+
+func equalVector(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			return fmt.Errorf("[%d] bits differ: %v vs %v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func equalMatrix(got, want [][]float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("rows %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if err := equalVector(got[i], want[i]); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,475 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/wire"
+)
+
+// node is one running mesh member: the core participant, its
+// deterministic peer sampler, and one TCP connection per peer.
+type node struct {
+	cfg     Config
+	core    *core.Node
+	sampler *p2p.Sampler
+	ln      net.Listener
+	conns   []net.Conn // indexed by peer id; nil at cfg.ID
+	in      chan inMsg
+	stop    chan struct{} // closed on Run exit; unblocks reader sends
+}
+
+// inMsg is one parsed message (or terminal condition) from a peer's
+// read loop.
+type inMsg struct {
+	from    int
+	kind    byte
+	epoch   int
+	done    bool
+	payload []byte
+	err     error
+}
+
+// Run executes one full networked clustering as participant cfg.ID and
+// returns that participant's per-iteration history. All processes must
+// pass identical (data, params); the handshake fingerprint rejects a
+// peer that did not. Run blocks until the whole population terminates,
+// an epoch barrier times out, or a peer violates the protocol.
+func Run(cfg Config, data [][]float64, params core.Params) ([]core.IterationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cn, err := core.NewNode(data, params, cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer cn.Close()
+	if cn.Population() != cfg.Population {
+		return nil, fmt.Errorf("transport: config population %d but %d series supplied", cfg.Population, cn.Population())
+	}
+
+	n := &node{
+		cfg:     cfg,
+		core:    cn,
+		sampler: p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population),
+		conns:   make([]net.Conn, cfg.Population),
+		// The buffer absorbs a full population's worth of barrier
+		// traffic without blocking readers mid-epoch.
+		in:   make(chan inMsg, 8*cfg.Population),
+		stop: make(chan struct{}),
+	}
+	defer close(n.stop)
+	defer n.closeConns()
+
+	if err := n.formMesh(); err != nil {
+		return nil, err
+	}
+	if err := n.runEpochs(); err != nil {
+		return nil, err
+	}
+	return cn.History(), nil
+}
+
+func (n *node) closeConns() {
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, c := range n.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// formMesh joins the full mesh: listen, publish/collect addresses, dial
+// every lower-id peer with a hello, and accept one connection from
+// every higher-id peer, verifying each hello against this node's own
+// run fingerprint.
+func (n *node) formMesh() error {
+	ln, err := net.Listen("tcp", n.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	n.ln = ln
+	deadline := time.Now().Add(n.cfg.EpochTimeout)
+
+	addrs := n.cfg.Peers
+	if n.cfg.AddrDir != "" {
+		addrs, err = n.rendezvous(ln.Addr().String(), deadline)
+		if err != nil {
+			return err
+		}
+	}
+	n.cfg.logf("node %d listening on %s", n.cfg.ID, ln.Addr())
+
+	// Accept from higher ids concurrently with dialing lower ids —
+	// every pair (i < j) connects exactly once, j dialing i.
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- n.acceptPeers(deadline) }()
+	for j := 0; j < n.cfg.ID; j++ {
+		if err := n.dialPeer(j, addrs[j], deadline); err != nil {
+			return err
+		}
+	}
+	if err := <-acceptErr; err != nil {
+		return err
+	}
+	n.cfg.logf("node %d mesh complete (%d peers)", n.cfg.ID, n.cfg.Population-1)
+
+	for id, c := range n.conns {
+		if c != nil {
+			go n.readLoop(id, c)
+		}
+	}
+	return nil
+}
+
+// rendezvous publishes this node's bound address in the shared
+// directory and polls for every other node's file.
+func (n *node) rendezvous(self string, deadline time.Time) ([]string, error) {
+	tmp := filepath.Join(n.cfg.AddrDir, fmt.Sprintf(".%d.addr.tmp", n.cfg.ID))
+	if err := os.WriteFile(tmp, []byte(self), 0o644); err != nil {
+		return nil, fmt.Errorf("transport: rendezvous publish: %w", err)
+	}
+	final := filepath.Join(n.cfg.AddrDir, fmt.Sprintf("%d.addr", n.cfg.ID))
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("transport: rendezvous publish: %w", err)
+	}
+	addrs := make([]string, n.cfg.Population)
+	addrs[n.cfg.ID] = self
+	for missing := n.cfg.Population - 1; missing > 0; {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: rendezvous: %d peers unpublished after %v", missing, n.cfg.EpochTimeout)
+		}
+		for id := range addrs {
+			if addrs[id] != "" {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(n.cfg.AddrDir, fmt.Sprintf("%d.addr", id)))
+			if err != nil {
+				continue
+			}
+			addrs[id] = string(b)
+			missing--
+		}
+		if missing > 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return addrs, nil
+}
+
+// dialPeer connects to a lower-id peer and runs the join handshake.
+func (n *node) dialPeer(id int, addr string, deadline time.Time) error {
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: dial peer %d (%s): %w", id, addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	conn.SetDeadline(deadline)
+	h := hello{ID: n.cfg.ID, Population: n.cfg.Population, Fingerprint: n.core.Fingerprint()}
+	if err := wire.WriteFrame(conn, marshalHello(h)); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: hello to peer %d: %w", id, err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: handshake with peer %d: %w", id, err)
+	}
+	switch {
+	case len(frame) > 0 && frame[0] == mtWelcome:
+		got, err := parseWelcome(frame[1:])
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if got != id {
+			conn.Close()
+			return fmt.Errorf("transport: dialed peer %d but %d answered", id, got)
+		}
+	case len(frame) > 0 && frame[0] == mtReject:
+		reason, _ := parseReject(frame[1:])
+		conn.Close()
+		return fmt.Errorf("transport: peer %d rejected join: %s", id, reason)
+	default:
+		conn.Close()
+		return fmt.Errorf("transport: peer %d sent unexpected handshake frame", id)
+	}
+	conn.SetDeadline(time.Time{})
+	n.conns[id] = conn
+	return nil
+}
+
+// acceptPeers accepts and verifies one connection from every higher-id
+// peer. A hello that does not match this node's run configuration is
+// answered with a reject frame and fails the mesh.
+func (n *node) acceptPeers(deadline time.Time) error {
+	want := n.cfg.Population - 1 - n.cfg.ID
+	type tcpListener interface{ SetDeadline(time.Time) error }
+	if d, ok := n.ln.(tcpListener); ok {
+		d.SetDeadline(deadline)
+	}
+	for got := 0; got < want; {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept (%d/%d peers joined): %w", got, want, err)
+		}
+		conn.SetDeadline(deadline)
+		frame, err := wire.ReadFrame(conn)
+		if err != nil || len(frame) == 0 || frame[0] != mtHello {
+			conn.Close()
+			continue // not a mesh dialer; ignore
+		}
+		h, err := parseHello(frame[1:])
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		reason := ""
+		switch {
+		case h.ID <= n.cfg.ID || h.ID >= n.cfg.Population:
+			reason = fmt.Sprintf("id %d out of dialer range", h.ID)
+		case n.conns[h.ID] != nil:
+			reason = fmt.Sprintf("id %d already joined", h.ID)
+		case h.Population != n.cfg.Population:
+			reason = fmt.Sprintf("population %d, want %d", h.Population, n.cfg.Population)
+		case h.Fingerprint != n.core.Fingerprint():
+			reason = "run configuration fingerprint mismatch"
+		}
+		if reason != "" {
+			wire.WriteFrame(conn, marshalReject(reason))
+			conn.Close()
+			return fmt.Errorf("transport: rejected join from %d: %s", h.ID, reason)
+		}
+		if err := wire.WriteFrame(conn, marshalWelcome(n.cfg.ID)); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: welcome to %d: %w", h.ID, err)
+		}
+		conn.SetDeadline(time.Time{})
+		n.conns[h.ID] = conn
+		got++
+	}
+	return nil
+}
+
+// readLoop parses frames from one peer for the life of the mesh.
+func (n *node) readLoop(from int, conn net.Conn) {
+	for {
+		frame, err := wire.ReadFrame(conn)
+		m := inMsg{from: from}
+		if err != nil {
+			m.err = err
+		} else if len(frame) == 0 {
+			m.err = errors.New("transport: empty frame")
+		} else {
+			m.kind = frame[0]
+			switch frame[0] {
+			case mtTick:
+				m.epoch, m.done, m.err = parseTick(frame[1:])
+			case mtData:
+				m.epoch, m.payload, m.err = parseData(frame[1:])
+			case mtBye:
+				// fall through with kind only
+			default:
+				m.err = fmt.Errorf("transport: unexpected frame kind 0x%02x", frame[0])
+			}
+		}
+		select {
+		case n.in <- m:
+		case <-n.stop:
+			return
+		}
+		if m.err != nil || m.kind == mtBye {
+			return
+		}
+	}
+}
+
+// epochEnv adapts one epoch of the mesh to core.Env: the inbox holds
+// the previous epoch's payloads (ascending sender id, per-sender FIFO —
+// the simulator's delivery order), sends go out tagged with the current
+// epoch, and peer sampling comes from the engine-equivalent Sampler.
+type epochEnv struct {
+	n       *node
+	epoch   int
+	inbox   []p2p.Message
+	sendErr error
+}
+
+func (e *epochEnv) ID() p2p.NodeID        { return p2p.NodeID(e.n.cfg.ID) }
+func (e *epochEnv) Cycle() int            { return e.epoch }
+func (e *epochEnv) PopulationSize() int   { return e.n.cfg.Population }
+func (e *epochEnv) AliveCount() int       { return e.n.cfg.Population }
+func (e *epochEnv) Inbox() []p2p.Message  { return e.inbox }
+func (e *epochEnv) RandomPeer() (p2p.NodeID, bool) {
+	return e.n.sampler.RandomPeer()
+}
+func (e *epochEnv) RandomPeers(k int) []p2p.NodeID {
+	return e.n.sampler.RandomPeers(k)
+}
+
+// Send marshals the payload immediately (the participant may reuse its
+// buffers after Send returns) and writes one data frame to the peer.
+func (e *epochEnv) Send(to p2p.NodeID, payload any, bytes int) error {
+	conn := e.n.conns[int(to)]
+	if conn == nil {
+		return fmt.Errorf("transport: send to unknown peer %d", to)
+	}
+	raw, err := e.n.core.EncodePayload(payload)
+	if err != nil {
+		e.sendErr = err
+		return err
+	}
+	if err := wire.WriteFrame(conn, marshalData(e.epoch, raw)); err != nil {
+		e.sendErr = fmt.Errorf("transport: send to peer %d: %w", to, err)
+		return e.sendErr
+	}
+	return nil
+}
+
+// runEpochs drives the coordinator-free epoch clock until the whole
+// population has terminated. Epoch e of the mesh is cycle e of the
+// simulation contract: payloads sent at e are stepped at e+1.
+func (n *node) runEpochs() error {
+	// Buffers for messages from peers running ahead of our barrier.
+	pendingData := map[int]map[int][][]byte{} // epoch -> sender -> payloads
+	ticks := map[int]map[int]bool{}           // epoch -> sender -> done flag
+	left := map[int]bool{}                    // peers that sent bye
+
+	limit := n.core.MaxCycles()
+	for epoch := 0; epoch < limit; epoch++ {
+		inbox, err := n.buildInbox(pendingData[epoch-1])
+		if err != nil {
+			return err
+		}
+		delete(pendingData, epoch-1)
+
+		env := &epochEnv{n: n, epoch: epoch, inbox: inbox}
+		n.core.Step(env)
+		if env.sendErr != nil {
+			return env.sendErr
+		}
+
+		done := n.core.Done()
+		for _, c := range n.conns {
+			if c == nil {
+				continue
+			}
+			if err := wire.WriteFrame(c, marshalTick(epoch, done)); err != nil {
+				return fmt.Errorf("transport: tick broadcast: %w", err)
+			}
+		}
+
+		allDone, err := n.awaitBarrier(epoch, done, pendingData, ticks, left)
+		if err != nil {
+			return err
+		}
+		delete(ticks, epoch)
+		if allDone {
+			n.cfg.logf("node %d terminated at epoch %d", n.cfg.ID, epoch)
+			for _, c := range n.conns {
+				if c != nil {
+					wire.WriteFrame(c, marshalBye())
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("transport: no termination within %d epochs", limit)
+}
+
+// awaitBarrier blocks until every peer's tick for the given epoch has
+// arrived, buffering any messages for later epochs. It reports whether
+// the entire population (peers and self) has terminated.
+func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[int][][]byte, ticks map[int]map[int]bool, left map[int]bool) (bool, error) {
+	timeout := time.NewTimer(n.cfg.EpochTimeout)
+	defer timeout.Stop()
+	for len(ticks[epoch]) < n.cfg.Population-1 {
+		select {
+		case m := <-n.in:
+			if m.err != nil {
+				return false, fmt.Errorf("transport: peer %d connection failed at epoch %d: %w", m.from, epoch, m.err)
+			}
+			switch m.kind {
+			case mtTick:
+				if m.epoch < epoch {
+					return false, fmt.Errorf("transport: peer %d re-ticked past epoch %d", m.from, m.epoch)
+				}
+				et := ticks[m.epoch]
+				if et == nil {
+					et = map[int]bool{}
+					ticks[m.epoch] = et
+				}
+				et[m.from] = m.done
+			case mtData:
+				if m.epoch < epoch {
+					return false, fmt.Errorf("transport: peer %d sent stale data for epoch %d at barrier %d", m.from, m.epoch, epoch)
+				}
+				ed := pendingData[m.epoch]
+				if ed == nil {
+					ed = map[int][][]byte{}
+					pendingData[m.epoch] = ed
+				}
+				ed[m.from] = append(ed[m.from], m.payload)
+			case mtBye:
+				// A leave is orderly only after this barrier shows the
+				// whole population done; a peer that leaves while the
+				// run is live breaks the fault-free contract.
+				left[m.from] = true
+				if _, ticked := ticks[epoch][m.from]; !ticked {
+					return false, fmt.Errorf("transport: peer %d left the mesh at epoch %d", m.from, epoch)
+				}
+			}
+		case <-timeout.C:
+			return false, fmt.Errorf("transport: epoch %d barrier timed out after %v (%d/%d ticks)", epoch, n.cfg.EpochTimeout, len(ticks[epoch]), n.cfg.Population-1)
+		}
+	}
+	if !selfDone {
+		return false, nil
+	}
+	for _, done := range ticks[epoch] {
+		if !done {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// buildInbox decodes one epoch's buffered payloads into the simulator's
+// delivery order: ascending sender id, per-sender arrival (FIFO) order.
+func (n *node) buildInbox(bySender map[int][][]byte) ([]p2p.Message, error) {
+	if len(bySender) == 0 {
+		return nil, nil
+	}
+	senders := make([]int, 0, len(bySender))
+	for from := range bySender {
+		senders = append(senders, from)
+	}
+	sort.Ints(senders)
+	var inbox []p2p.Message
+	for _, from := range senders {
+		for _, raw := range bySender[from] {
+			payload, err := n.core.DecodePayload(raw)
+			if err != nil {
+				return nil, fmt.Errorf("transport: bad payload from peer %d: %w", from, err)
+			}
+			inbox = append(inbox, p2p.Message{From: p2p.NodeID(from), Payload: payload, Bytes: len(raw)})
+		}
+	}
+	return inbox, nil
+}

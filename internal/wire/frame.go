@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// frame.go is the streaming layer of the wire format: artifacts move
+// between daemon processes over byte streams (net.Conn), which deliver
+// arbitrary partial reads, so every message travels inside a
+// length-prefixed frame:
+//
+//	[4-byte big-endian payload length] [payload]
+//
+// ReadFrame and WriteFrame are the only I/O primitives the transport
+// uses; everything above them works on whole []byte messages exactly
+// like the in-process code does.
+
+// MaxFrameBytes bounds the payload length accepted from a stream. A
+// frame carries one protocol message — a gossip vector, a decryption
+// exchange or a handshake — whose size is a few ciphertext widths times
+// the fused vector length; even a packed 2048-bit run at large K stays
+// orders of magnitude below this. Without the bound, four adversarial
+// header bytes could demand a 4 GiB allocation.
+const MaxFrameBytes = 16 << 20
+
+// Framing errors.
+var (
+	// ErrFrameTooBig reports a length prefix above MaxFrameBytes. The
+	// stream is unrecoverable after it: the reader cannot know where the
+	// next frame starts.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size bound")
+)
+
+// WriteFrame writes one length-prefixed frame. Short writes are handled
+// by the io.Writer contract (Write returns an error unless all bytes
+// are consumed).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooBig, len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	// Two writes, not one concatenated buffer: the header array lives on
+	// the stack and the payload is written as-is, so framing never
+	// copies the message. Buffered writers coalesce the pair.
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendFrame appends one length-prefixed frame to buf — the
+// allocation-conscious form for callers that batch several frames into
+// one write.
+func AppendFrame(buf, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// ReadFrame reads one length-prefixed frame, tolerating arbitrarily
+// fragmented reads (io.ReadFull under the hood — a net.Conn may deliver
+// the header one byte at a time). A clean end of stream between frames
+// returns io.EOF; a stream that ends inside a frame returns
+// io.ErrUnexpectedEOF; a length prefix above MaxFrameBytes returns
+// ErrFrameTooBig before any payload allocation.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Part of a header arrived, then the stream died: that is a
+			// truncated frame, not a clean close.
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, MaxFrameBytes)
+	}
+	if n == 0 {
+		return []byte{}, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

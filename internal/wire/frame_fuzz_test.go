@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/big"
+	"testing"
+)
+
+// FuzzFrame feeds adversarial byte streams to the framing layer:
+// oversized length prefixes, truncations, garbage headers, multiple
+// concatenated frames. ReadFrame must never panic, never allocate past
+// MaxFrameBytes, and every frame it does accept must round-trip through
+// WriteFrame to the identical stream position.
+func FuzzFrame(f *testing.F) {
+	// Seeds: a clean two-frame stream, an empty frame, truncations, an
+	// oversized length prefix and plain garbage.
+	var clean bytes.Buffer
+	if err := WriteFrame(&clean, []byte("diptych")); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&clean, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes())
+	f.Add(clean.Bytes()[:3])
+	f.Add(clean.Bytes()[:5])
+	var over [8]byte
+	binary.BigEndian.PutUint32(over[:4], MaxFrameBytes+1)
+	f.Add(over[:])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x41}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var reassembled bytes.Buffer
+		frames := 0
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrFrameTooBig) {
+					break
+				}
+				t.Fatalf("unexpected ReadFrame error class: %v", err)
+			}
+			frames++
+			if err := WriteFrame(&reassembled, payload); err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+		}
+		// Every accepted frame re-encodes to the exact bytes it was
+		// decoded from: the accepted prefix of the stream is canonical.
+		if got := reassembled.Bytes(); !bytes.Equal(got, data[:len(got)]) {
+			t.Fatalf("re-encoded stream diverges after %d frames", frames)
+		}
+	})
+}
+
+// FuzzUnmarshalResidueVector hardens the accounted-backend artifact the
+// same way the ciphertext targets harden the real one.
+func FuzzUnmarshalResidueVector(f *testing.F) {
+	m := new(big.Int).Lsh(big.NewInt(1), 320)
+	m.Sub(m, big.NewInt(1))
+	buf, err := MarshalResidueVector(m, []*big.Int{big.NewInt(7), big.NewInt(0), big.NewInt(1 << 30)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedMutations(f, buf)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, err := UnmarshalResidueVector(m, data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalResidueVector(m, vs)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted residue vector failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("residue vector round-trip not canonical")
+		}
+	})
+}

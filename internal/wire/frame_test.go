@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/big"
+	"testing"
+)
+
+// oneByteReader delivers at most one byte per Read call — the worst
+// legal fragmentation a net.Conn can produce. The original decoder
+// assumed whole-message byte slices; ReadFrame must reassemble.
+type oneByteReader struct {
+	r io.Reader
+}
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte{0xAB}, 3),
+		bytes.Repeat([]byte{0x00}, 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for i, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("drained stream: want io.EOF, got %v", err)
+	}
+}
+
+// TestFrameOneByteAtATime is the partial-read regression test: a stream
+// of frames delivered a single byte per Read must decode identically to
+// a whole-buffer delivery.
+func TestFrameOneByteAtATime(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{1, 2, 3},
+		{},
+		bytes.Repeat([]byte{0x5A}, 257),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := oneByteReader{r: &buf}
+	for i, p := range payloads {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("one-byte ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("one-byte frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("drained one-byte stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Every proper prefix that contains at least one byte must fail with
+	// ErrUnexpectedEOF (truncated header or truncated payload).
+	for cut := 1; cut < len(raw); cut++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of %d bytes: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized header: want ErrFrameTooBig, got %v", err)
+	}
+	big := make([]byte, MaxFrameBytes+1)
+	if err := WriteFrame(io.Discard, big); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized write: want ErrFrameTooBig, got %v", err)
+	}
+	if _, err := AppendFrame(nil, big); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized append: want ErrFrameTooBig, got %v", err)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	payload := []byte("chiaroscuro")
+	var w bytes.Buffer
+	if err := WriteFrame(&w, payload); err != nil {
+		t.Fatal(err)
+	}
+	appended, err := AppendFrame(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Bytes(), appended) {
+		t.Fatalf("AppendFrame bytes differ from WriteFrame")
+	}
+}
+
+func TestResidueVectorRoundTrip(t *testing.T) {
+	m := new(big.Int).Lsh(big.NewInt(1), 320)
+	m.Sub(m, big.NewInt(1))
+	vs := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(m, big.NewInt(1)),
+		big.NewInt(424242),
+	}
+	buf, err := MarshalResidueVector(m, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResidueVector(m, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("got %d residues, want %d", len(got), len(vs))
+	}
+	for i := range vs {
+		if got[i].Cmp(vs[i]) != 0 {
+			t.Fatalf("residue %d: got %v, want %v", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestResidueVectorRejectsOutOfRing(t *testing.T) {
+	m := big.NewInt(97)
+	if _, err := MarshalResidueVector(m, []*big.Int{big.NewInt(97)}); err == nil {
+		t.Fatal("marshal accepted residue == modulus")
+	}
+	if _, err := MarshalResidueVector(m, []*big.Int{big.NewInt(-1)}); err == nil {
+		t.Fatal("marshal accepted negative residue")
+	}
+	// A crafted body with an out-of-ring residue must fail decode.
+	buf, err := MarshalResidueVector(m, []*big.Int{big.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] = 98
+	if _, err := UnmarshalResidueVector(m, buf); err == nil {
+		t.Fatal("unmarshal accepted out-of-ring residue")
+	}
+}
+
+func TestResidueVectorRejectsBadShape(t *testing.T) {
+	m := big.NewInt(251)
+	buf, err := MarshalResidueVector(m, []*big.Int{big.NewInt(1), big.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalResidueVector(m, buf[:len(buf)-1]); err == nil {
+		t.Fatal("unmarshal accepted truncated body")
+	}
+	if _, err := UnmarshalResidueVector(big.NewInt(1<<20), buf); err == nil {
+		t.Fatal("unmarshal accepted width mismatch")
+	}
+}
