@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"chiaroscuro"
+	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/costmodel"
 	"chiaroscuro/internal/experiments"
 )
@@ -226,6 +227,11 @@ func main() {
 type cryptoBenchEntry struct {
 	*costmodel.CryptoProfile
 	Speedups map[string]float64 `json:"Speedups"`
+	// KeyCeremony is the wall-clock of one full in-memory distributed
+	// key generation (every party's state machine, fresh genesis) at
+	// this modulus size — the one-time cost a deployment pays to run
+	// without a trusted dealer.
+	KeyCeremony time.Duration `json:"KeyCeremony"`
 }
 
 // cryptoBenchResult is the BENCH_crypto.json schema: stable enough that
@@ -278,8 +284,14 @@ func runBenchCrypto(modulus, reps int, out string) error {
 				bits, r.name, r.naive.Round(time.Microsecond), r.fast.Round(time.Microsecond), sp[r.name])
 		}
 		fmt.Printf("%-6d %-16s %-12s %-12s\n", bits, "hom-add", p.Add.Round(time.Nanosecond), "-")
+		start := time.Now()
+		if _, err := core.RunDJKeyCeremony(bits, 1, parties, threshold, 1, nil); err != nil {
+			return err
+		}
+		ceremony := time.Since(start)
+		fmt.Printf("%-6d %-16s %-12s %-12s\n", bits, "key-ceremony", ceremony.Round(time.Microsecond), "-")
 		fmt.Println()
-		res.Profiles = append(res.Profiles, cryptoBenchEntry{CryptoProfile: p, Speedups: sp})
+		res.Profiles = append(res.Profiles, cryptoBenchEntry{CryptoProfile: p, Speedups: sp, KeyCeremony: ceremony})
 	}
 	if out == "" {
 		return nil

@@ -30,10 +30,10 @@ const (
 // suiteWireCodec is the optional CipherSuite extension a networked run
 // requires: stable byte encodings for cipher vectors and for
 // partial-decryption values. The accounted plain suite implements it
-// over the wire residue-vector artifact. The Damgård–Jurik suite
-// deliberately does not yet: its key material is dealt per-suite, so
-// two daemon processes would hold different keys — networked DJ runs
-// need the distributed key generation of the roadmap first.
+// over the wire residue-vector artifact; the Damgård–Jurik suite over
+// the ciphertext-vector artifact (suite_dj.go) — its processes share a
+// key via the pre-epoch distributed key ceremony, each holding only its
+// own share (Params.DJMaterial).
 type suiteWireCodec interface {
 	// MarshalCipherVector encodes a vector of this suite's ciphers.
 	MarshalCipherVector(cs []Cipher) ([]byte, error)

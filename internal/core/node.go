@@ -32,10 +32,11 @@ type Node struct {
 // Networked runs are the determinism-contract configuration: no churn
 // and no fault plan (fault injection lives in the simulation engines,
 // where a global scheduler exists to replay it), and a cipher suite
-// whose artifacts are wire-portable. Today that is the accounted plain
-// backend; the Damgård–Jurik backend deals private key shares inside
-// each process, so two daemons cannot hold matching keys until the
-// roadmap's distributed key generation lands.
+// whose artifacts are wire-portable — the accounted plain backend, or
+// the Damgård–Jurik backend keyed by a distributed key ceremony: the
+// transport runs the DKG over the mesh before the first epoch and hands
+// each process its own share as Params.DJMaterial, so no daemon ever
+// holds the dealer-side key.
 func NewNode(data [][]float64, params Params, id int) (*Node, error) {
 	if id < 0 || id >= len(data) {
 		return nil, fmt.Errorf("core: node id %d outside population [0, %d)", id, len(data))
@@ -46,6 +47,9 @@ func NewNode(data [][]float64, params Params, id int) (*Node, error) {
 	if params.ChurnCrashProb != 0 || params.ChurnRejoinProb != 0 {
 		return nil, errors.New("core: networked runs do not support churn")
 	}
+	if params.Backend == BackendDamgardJurik && params.DJMaterial == nil {
+		return nil, errors.New("core: Damgård–Jurik daemons must run the key ceremony first (Params.DJMaterial)")
+	}
 	rs, err := prepareRun(data, params)
 	if err != nil {
 		return nil, err
@@ -53,7 +57,7 @@ func NewNode(data [][]float64, params Params, id int) (*Node, error) {
 	codec, ok := rs.suite.(suiteWireCodec)
 	if !ok {
 		rs.close()
-		return nil, errors.New("core: backend has no wire codec: Damgård–Jurik daemons need distributed key generation (use BackendPlainAccounted)")
+		return nil, fmt.Errorf("core: backend %q has no wire codec", rs.suite.Name())
 	}
 	return &Node{rs: rs, pt: rs.newParticipant(p2p.NodeID(id)), codec: codec}, nil
 }
@@ -97,19 +101,45 @@ func (nd *Node) SamplingSeed() int64 { return nd.rs.p.Seed + 1 }
 // transport handshake can reject a peer built from a different
 // configuration instead of silently diverging.
 func (nd *Node) Fingerprint() uint64 {
-	p := nd.rs.p
+	return fingerprint(nd.rs.p, nd.pt.run.population, nd.pt.run.dim, nd.rs.initial)
+}
+
+// fingerprint is the digest behind Node.Fingerprint and
+// ConfigFingerprint, over a defaulted Params. Key material is
+// deliberately absent: the ceremony runs after the handshake, derived
+// from the digested (seed, backend, modulus) configuration.
+func fingerprint(p Params, population, dim int, initial [][]float64) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "chiaroscuro|n=%d|dim=%d|k=%d|eps=%b|iters=%d|conv=%b|rounds=%d|thresh=%d|window=%d|backend=%d|modbits=%d|degree=%d|frac=%d|strategy=%T|smoothing=%+v|inertia=%t|istop=%b|seed=%d|packed=%t|max=%b",
-		nd.pt.run.population, nd.pt.run.dim, p.K, p.Epsilon, p.Iterations,
+	fmt.Fprintf(h, "chiaroscuro|n=%d|dim=%d|k=%d|eps=%b|iters=%d|conv=%b|rounds=%d|thresh=%d|window=%d|backend=%d|modbits=%d|degree=%d|frac=%d|strategy=%T|smoothing=%+v|inertia=%t|istop=%b|seed=%d|packed=%t|max=%b|dkg=%t",
+		population, dim, p.K, p.Epsilon, p.Iterations,
 		p.ConvergeThreshold, p.GossipRounds, p.DecryptThreshold, p.DecryptWindow,
 		p.Backend, p.ModulusBits, p.Degree, p.FracBits, p.Strategy, p.Smoothing,
-		p.TrackInertia, p.InertiaStopThreshold, p.Seed, p.Packed, p.MaxValue)
-	for _, row := range nd.rs.initial {
+		p.TrackInertia, p.InertiaStopThreshold, p.Seed, p.Packed, p.MaxValue, p.DKG)
+	for _, row := range initial {
 		for _, v := range row {
 			fmt.Fprintf(h, "|%b", v)
 		}
 	}
 	return h.Sum64()
+}
+
+// ConfigFingerprint computes Node.Fingerprint's digest from the raw
+// (data, params) configuration without constructing a suite or a
+// participant. The transport uses it to handshake the mesh BEFORE the
+// key ceremony — so mismatched processes are rejected while the run is
+// still keyless — and the digest is guaranteed equal to the one the
+// Node built from the same configuration reports afterwards.
+func ConfigFingerprint(data [][]float64, params Params) (uint64, error) {
+	n := len(data)
+	if n < 2 {
+		return 0, errors.New("core: need at least 2 participants")
+	}
+	dim := len(data[0])
+	p := params.withDefaults(n)
+	if err := p.validate(n, dim); err != nil {
+		return 0, err
+	}
+	return fingerprint(p, n, dim, initialCentroids(p, dim)), nil
 }
 
 // Close releases suite-held resources.

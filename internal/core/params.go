@@ -163,6 +163,25 @@ type Params struct {
 	// wire validation of incoming gossip messages. Nil injects nothing.
 	Faults *simnet.Plan
 
+	// DKG replaces the Damgård–Jurik backend's trusted dealer with the
+	// in-process distributed key ceremony (internal/crypto/dkg): every
+	// participant is a founder dealer, the Faults plan's dealer clauses
+	// (badshare/equivocate/silentdealer) script byzantine dealers, and a
+	// disqualification re-splits the genesis exponent among the
+	// qualified founders and re-runs — so faulty ceremonies still
+	// converge on a working key, deterministically in Seed. Requires
+	// BackendDamgardJurik. Decryptions are exact, so DKG-backed runs
+	// disclose trajectories bit-identical to dealer-backed ones.
+	DKG bool
+
+	// DJMaterial supplies pre-computed key-ceremony output instead of
+	// running a ceremony (or a dealer) inside prepareRun — the networked
+	// daemon path: internal/transport runs the wire ceremony before the
+	// first epoch and hands each process material holding only its own
+	// share. Requires BackendDamgardJurik; Parties/Threshold must match
+	// the run's population and DecryptThreshold.
+	DJMaterial *DJKeyMaterial
+
 	// asyncEngine is set internally by RunAsync: the asynchronous engine
 	// cannot bound a contribution's halving count by the round budget
 	// (peers drift), so it gets a much larger pre-scaling allowance plus
@@ -231,6 +250,13 @@ func (p Params) withDefaults(n int) Params {
 	return p
 }
 
+// Defaulted returns the params with the population-dependent defaults
+// applied — the configuration every process of a networked run must
+// agree on. Exported for internal/transport, whose key ceremony needs
+// the defaulted modulus size and decryption threshold before any Node
+// exists.
+func (p Params) Defaulted(n int) Params { return p.withDefaults(n) }
+
 // validate checks a defaulted Params against the population size n and
 // dimension dim.
 func (p Params) validate(n, dim int) error {
@@ -273,6 +299,21 @@ func (p Params) validate(n, dim int) error {
 	}
 	if err := p.Faults.Validate(n); err != nil {
 		return fmt.Errorf("core: fault plan: %w", err)
+	}
+	if p.DKG && p.Backend != BackendDamgardJurik {
+		return errors.New("core: DKG requires the Damgård–Jurik backend")
+	}
+	if p.Faults.HasDealerFaults() && !p.DKG && p.DJMaterial == nil {
+		return errors.New("core: dealer faults require a DKG run (set Params.DKG)")
+	}
+	if p.DJMaterial != nil {
+		if p.Backend != BackendDamgardJurik {
+			return errors.New("core: DJMaterial requires the Damgård–Jurik backend")
+		}
+		if p.DJMaterial.Parties != n || p.DJMaterial.Threshold != p.DecryptThreshold {
+			return fmt.Errorf("core: key material for %d parties / threshold %d, run wants %d / %d",
+				p.DJMaterial.Parties, p.DJMaterial.Threshold, n, p.DecryptThreshold)
+		}
 	}
 	if p.InertiaStopThreshold < 0 {
 		return fmt.Errorf("core: inertia stop threshold %v negative", p.InertiaStopThreshold)

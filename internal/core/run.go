@@ -180,6 +180,27 @@ func Run(data [][]float64, params Params) (*Trace, error) {
 	return d.run()
 }
 
+// initialCentroids returns the run's public iteration-1 centroids for a
+// defaulted Params: the caller-supplied matrix, or K data-independent
+// uniform random vectors drawn from Seed. Factored out of prepareRun so
+// ConfigFingerprint can digest the identical matrix without building a
+// suite.
+func initialCentroids(p Params, dim int) [][]float64 {
+	if p.InitialCentroids != nil {
+		return p.InitialCentroids
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	initial := make([][]float64, p.K)
+	for j := range initial {
+		c := make([]float64, dim)
+		for t := range c {
+			c[t] = rng.Float64() * p.MaxValue
+		}
+		initial[j] = c
+	}
+	return initial
+}
+
 // prepareRun validates the inputs and constructs the run-wide state.
 func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	n := len(data)
@@ -226,10 +247,17 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		}
 	}
 
-	// Cipher suite.
+	// Cipher suite. The Damgård–Jurik backend takes its key from (in
+	// precedence order) pre-computed ceremony material (networked
+	// daemons), an in-process key ceremony (Params.DKG), or the trusted
+	// dealer — kept as the oracle the ceremony paths are tested against.
 	var suite CipherSuite
-	switch p.Backend {
-	case BackendDamgardJurik:
+	switch {
+	case p.Backend == BackendDamgardJurik && p.DJMaterial != nil:
+		suite, err = NewDamgardJurikSuiteFromMaterial(p.DJMaterial)
+	case p.Backend == BackendDamgardJurik && p.DKG:
+		suite, err = NewDamgardJurikDKGSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold, p.Seed, p.Faults)
+	case p.Backend == BackendDamgardJurik:
 		suite, err = NewDamgardJurikSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
 	default:
 		suite, err = NewPlainSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
@@ -292,18 +320,7 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	}
 
 	// Public, data-independent initial centroids.
-	rng := rand.New(rand.NewSource(p.Seed))
-	initial := p.InitialCentroids
-	if initial == nil {
-		initial = make([][]float64, p.K)
-		for j := range initial {
-			c := make([]float64, dim)
-			for t := range c {
-				c[t] = rng.Float64() * p.MaxValue
-			}
-			initial[j] = c
-		}
-	}
+	initial := initialCentroids(p, dim)
 	// Decoded per-coordinate magnitudes are relative aggregates: bounded
 	// by the largest coordinate bound plus noise, with slack. Anything
 	// beyond signals a broken gossip invariant and fails the decode.

@@ -7,11 +7,17 @@ import (
 	"sync/atomic"
 
 	"chiaroscuro/internal/crypto/damgardjurik"
+	"chiaroscuro/internal/wire"
 )
 
 // djSuite is the real homomorphic backend over a threshold Damgård–Jurik
-// key. The simulation's trusted dealer holds all key shares and hands
-// each participant its own (share index = participant id + 1).
+// key. Key material arrives one of two ways: the dealer path
+// (NewDamgardJurikSuite) mints all shares from the fixture private key —
+// kept as the oracle the DKG is property-tested against — and the
+// ceremony path (NewDamgardJurikSuiteFromMaterial, keyceremony.go)
+// reconstructs the key from public parameters plus whichever shares the
+// ceremony handed this process (share index = participant id + 1; a
+// networked process holds only its own).
 //
 // The suite runs entirely on the package's precomputed fast paths
 // (docs/CRYPTO.md): encryption and noise-share encryption draw
@@ -186,7 +192,7 @@ func (s *djSuite) PartialDecrypt(party int, c Cipher) (Partial, error) {
 	if !ok {
 		return Partial{}, errors.New("core: foreign cipher type in damgard-jurik suite")
 	}
-	if party < 1 || party > len(s.shares) {
+	if party < 1 || party > len(s.shares) || s.shares[party-1].Value == nil {
 		return Partial{}, fmt.Errorf("core: party %d has no key share", party)
 	}
 	s.partialDecrypts.Add(1)
@@ -205,6 +211,62 @@ func (s *djSuite) Combine(parts []Partial) (*big.Int, error) {
 		djParts[i] = damgardjurik.PartialDecryption{Index: p.Index, Value: p.Value}
 	}
 	return s.tk.Combine(djParts)
+}
+
+// MarshalCipherVector implements suiteWireCodec: Damgård–Jurik ciphers
+// are units mod n^{s+1}, encoded fixed-width via the wire
+// ciphertext-vector artifact.
+func (s *djSuite) MarshalCipherVector(cs []Cipher) ([]byte, error) {
+	vs := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		cc, ok := c.(*big.Int)
+		if !ok {
+			return nil, errors.New("core: foreign cipher type in damgard-jurik suite")
+		}
+		vs[i] = cc
+	}
+	return wire.MarshalCiphertextVector(&s.tk.PublicKey, vs)
+}
+
+// UnmarshalCipherVector implements suiteWireCodec. Every decoded value
+// is range-checked against the ciphertext modulus by the wire layer.
+func (s *djSuite) UnmarshalCipherVector(buf []byte) ([]Cipher, error) {
+	vs, err := wire.UnmarshalCiphertextVector(&s.tk.PublicKey, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cipher, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MarshalPartialValues implements suiteWireCodec: partial decryptions
+// c^{2Δ·s_i} live in the same group as ciphertexts, so they share the
+// ciphertext-vector artifact and its range validation.
+func (s *djSuite) MarshalPartialValues(ps []Partial) ([]byte, error) {
+	vs := make([]*big.Int, len(ps))
+	for i, p := range ps {
+		if p.Value == nil {
+			return nil, errors.New("core: partial with nil value")
+		}
+		vs[i] = p.Value
+	}
+	return wire.MarshalCiphertextVector(&s.tk.PublicKey, vs)
+}
+
+// UnmarshalPartialValues implements suiteWireCodec.
+func (s *djSuite) UnmarshalPartialValues(index int, buf []byte) ([]Partial, error) {
+	vs, err := wire.UnmarshalCiphertextVector(&s.tk.PublicKey, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Partial, len(vs))
+	for i, v := range vs {
+		out[i] = Partial{Index: index, Value: v}
+	}
+	return out, nil
 }
 
 // Counts implements CipherSuite.

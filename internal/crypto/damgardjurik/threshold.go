@@ -47,7 +47,8 @@ type ThresholdKey struct {
 	Threshold int // w: partials needed to decrypt
 
 	delta      *big.Int // Δ = l!
-	invCombine *big.Int // (4Δ²)^{-1} mod n^s
+	scale      *big.Int // σ: public scale of the shared secret (1 for dealt keys)
+	invCombine *big.Int // (4Δ²σ)^{-1} mod n^s
 
 	crt *crtContext // dealer-side fast path; nil on share-holder copies
 
@@ -56,6 +57,14 @@ type ThresholdKey struct {
 }
 
 // KeyShare is the secret share of one party. Index is 1-based.
+//
+// Dealt shares are residues in [0, n^s·m'). DKG-derived shares
+// (internal/crypto/dkg) are unreduced — and after a reshare possibly
+// negative — integers: a share holder without the factorization cannot
+// reduce mod n^s·m'. Partial decryption is invariant to shifting a
+// share by any multiple of the ciphertext group order, and the exponent
+// 2Δ·s_i makes every c^{2Δ·s_i} land in the squares, so both kinds of
+// share combine to bit-identical plaintexts.
 type KeyShare struct {
 	Index int
 	Value *big.Int
@@ -154,14 +163,60 @@ func NewThresholdKeyFromPrimes(rnd io.Reader, p, q *big.Int, s, parties, thresho
 		tk.crt = crt
 	}
 	tk.delta = factorial(parties)
-	four := big.NewInt(4)
-	comb := new(big.Int).Mul(tk.delta, tk.delta)
-	comb.Mul(comb, four)
-	tk.invCombine = new(big.Int).ModInverse(comb, tk.ns)
-	if tk.invCombine == nil {
-		return nil, nil, fmt.Errorf("%w: 4Δ² not invertible mod n^s", ErrKeyGeneration)
+	tk.scale = big.NewInt(1)
+	if err := tk.initCombine(); err != nil {
+		return nil, nil, err
 	}
 	return tk, shares, nil
+}
+
+// NewThresholdKeyPublic rebuilds a share holder's threshold key from
+// transported public parameters alone: modulus, degree, deployment
+// shape, and the public scale σ of the shared secret. This is the
+// constructor the DKG ceremony (internal/crypto/dkg) finishes with —
+// no factorization, hence crt == nil and every partial decryption
+// takes the naive route.
+//
+// scale is 1 for a fresh DKG (the dealt constant terms sum to d
+// exactly); each reshare multiplies it by the Δ of the deployment
+// being reshared, because integer Lagrange recombination of the old
+// shares yields Δ_old·d rather than d. The scale is folded into the
+// combine rescaling, so decryptions stay bit-identical to a dealer key.
+func NewThresholdKeyPublic(n *big.Int, s, parties, threshold int, scale *big.Int) (*ThresholdKey, error) {
+	if parties < 1 || threshold < 1 || threshold > parties {
+		return nil, fmt.Errorf("%w: invalid (parties=%d, threshold=%d)", ErrKeyGeneration, parties, threshold)
+	}
+	if scale == nil || scale.Sign() <= 0 {
+		return nil, fmt.Errorf("%w: scale must be a positive integer", ErrKeyGeneration)
+	}
+	pk, err := newPublicKey(n, s)
+	if err != nil {
+		return nil, err
+	}
+	tk := &ThresholdKey{
+		PublicKey: *pk,
+		Parties:   parties,
+		Threshold: threshold,
+	}
+	tk.delta = factorial(parties)
+	tk.scale = new(big.Int).Set(scale)
+	if err := tk.initCombine(); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+// initCombine derives invCombine = (4Δ²σ)^{-1} mod n^s from the key's
+// delta and scale.
+func (tk *ThresholdKey) initCombine() error {
+	comb := new(big.Int).Mul(tk.delta, tk.delta)
+	comb.Mul(comb, big.NewInt(4))
+	comb.Mul(comb, tk.scale)
+	tk.invCombine = new(big.Int).ModInverse(comb, tk.ns)
+	if tk.invCombine == nil {
+		return fmt.Errorf("%w: 4Δ²σ not invertible mod n^s", ErrKeyGeneration)
+	}
+	return nil
 }
 
 // PartialDecrypt computes party share.Index's contribution for ciphertext
@@ -189,6 +244,12 @@ func (tk *ThresholdKey) PartialDecrypt(share KeyShare, c *big.Int) (PartialDecry
 // the route share holders without the factorization take, the baseline
 // of the fast-path benchmarks, and the oracle of the bit-identity
 // property tests.
+//
+// Negative shares (resharing applies signed Lagrange weights to old
+// shares) are handled explicitly — invert c mod n^{s+1}, exponentiate
+// by |2Δ·s_i| — rather than through big.Int.Exp's negative-exponent
+// path, so the route stays deterministic and mirrors what the CRT path
+// would have to do.
 func (tk *ThresholdKey) PartialDecryptNaive(share KeyShare, c *big.Int) (PartialDecryption, error) {
 	if share.Index < 1 || share.Index > tk.Parties {
 		return PartialDecryption{}, ErrShareOutOfRange
@@ -198,7 +259,15 @@ func (tk *ThresholdKey) PartialDecryptNaive(share KeyShare, c *big.Int) (Partial
 	}
 	e := new(big.Int).Mul(two, tk.delta)
 	e.Mul(e, share.Value)
-	v := new(big.Int).Exp(c, e, tk.ns1)
+	base := c
+	if e.Sign() < 0 {
+		base = new(big.Int).ModInverse(c, tk.ns1)
+		if base == nil {
+			return PartialDecryption{}, fmt.Errorf("%w: not a unit mod n^{s+1}", ErrInvalidCiphertext)
+		}
+		e.Neg(e)
+	}
+	v := new(big.Int).Exp(base, e, tk.ns1)
 	return PartialDecryption{Index: share.Index, Value: v}, nil
 }
 
@@ -355,6 +424,11 @@ func (tk *ThresholdKey) lagrangeFor(indices []int) ([]*big.Int, error) {
 
 // Delta returns Δ = parties! (a fresh copy); exposed for diagnostics.
 func (tk *ThresholdKey) Delta() *big.Int { return new(big.Int).Set(tk.delta) }
+
+// Scale returns the public scale σ of the shared secret (a fresh
+// copy): 1 for dealt and freshly DKG'd keys, multiplied by the old
+// deployment's Δ at each reshare.
+func (tk *ThresholdKey) Scale() *big.Int { return new(big.Int).Set(tk.scale) }
 
 // lagrangeAtZero computes λ_{0,indices[i]} = Δ·Π_{j≠i} x_j/(x_j - x_i),
 // guaranteed integral because Δ = l! absorbs every denominator.

@@ -1,0 +1,220 @@
+package dkg
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+// In-memory ceremony drivers: run every participant's state machine
+// through the three phases with a fault hook per dealer. This is what
+// internal/core uses for engine runs (the transport layer drives the
+// same state machines over TCP instead), and what the byzantine
+// scenario tests script.
+
+// Behaviour is a dealer's scripted fault class. The three non-honest
+// behaviours mirror the simnet byzantine-dealer faults and exercise
+// the three disqualification paths of Finish.
+type Behaviour int
+
+const (
+	// BehaviourHonest deals, responds and justifies correctly.
+	BehaviourHonest Behaviour = iota
+	// BehaviourBadShare corrupts the share dealt to one victim (the
+	// cyclically next receiver) and withholds the justification — the
+	// unanswered complaint disqualifies the dealer.
+	BehaviourBadShare
+	// BehaviourEquivocate sends a different commitment vector to the
+	// upper half of the receivers — the digest disagreement in the
+	// Response phase disqualifies the dealer.
+	BehaviourEquivocate
+	// BehaviourSilent deals to nobody — the unanimous missing-deal
+	// verdict disqualifies the dealer.
+	BehaviourSilent
+)
+
+// CeremonyResult aggregates a driven ceremony: one Result per receiver
+// (index order) plus the shared verdict every node agreed on.
+type CeremonyResult struct {
+	Results      []*Result // nil entries only when the ceremony aborted
+	Qualified    []int
+	Disqualified []int
+}
+
+// RandFunc supplies each participant's coefficient randomness;
+// nil means crypto/rand for everyone.
+type RandFunc func(party int) io.Reader
+
+// RunFreshCeremony drives a fresh DKG among `parties` receivers, with
+// the given dealers each contributing its additive secret piece
+// (secrets[dealer id]). byz scripts dealer faults (nil = all honest).
+// On disqualification it returns the agreed verdict and
+// ErrDisqualified; the caller re-splits the genesis among the
+// qualified dealers and re-runs.
+func RunFreshCeremony(pk *damgardjurik.PublicKey, parties, threshold int, dealers []int, secrets map[int]*big.Int, rnd RandFunc, byz map[int]Behaviour) (*CeremonyResult, error) {
+	nodes := make([]*Node, parties)
+	for j := 1; j <= parties; j++ {
+		cfg := Config{
+			PK: pk, Parties: parties, Threshold: threshold,
+			Index: j, Dealers: dealers,
+		}
+		for _, d := range dealers {
+			if d == j {
+				cfg.DealerIndex = j
+				cfg.Secret = secrets[j]
+			}
+		}
+		if rnd != nil {
+			cfg.Rand = rnd(j)
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes[j-1] = nd
+	}
+	return driveCeremony(nodes, byz)
+}
+
+// OldKey describes the deployment being reshared.
+type OldKey struct {
+	Threshold int
+	Delta     *big.Int // old Parties factorial
+	Scale     *big.Int
+}
+
+// RunReshareCeremony re-keys onto a fresh (newParties, newThreshold)
+// deployment from the surviving old shares: survivors deal their old
+// share and become receivers 1..len(survivors) (ascending old index);
+// remaining receivers are share-less newcomers. byz scripts dealer
+// faults by OLD index. The reshare tolerates disqualification as long
+// as the old threshold survives.
+func RunReshareCeremony(pk *damgardjurik.PublicKey, old OldKey, survivors []damgardjurik.KeyShare, newParties, newThreshold int, rnd RandFunc, byz map[int]Behaviour) (*CeremonyResult, error) {
+	if len(survivors) > newParties {
+		return nil, fmt.Errorf("%w: %d survivors exceed new deployment of %d", ErrConfig, len(survivors), newParties)
+	}
+	dealers := make([]int, len(survivors))
+	for i, s := range survivors {
+		dealers[i] = s.Index
+		if i > 0 && dealers[i] <= dealers[i-1] {
+			return nil, fmt.Errorf("%w: survivor shares must be ascending by old index", ErrConfig)
+		}
+	}
+	nodes := make([]*Node, newParties)
+	for j := 1; j <= newParties; j++ {
+		cfg := Config{
+			PK: pk, Parties: newParties, Threshold: newThreshold,
+			Index: j, Dealers: dealers,
+			OldThreshold: old.Threshold, OldDelta: old.Delta, OldScale: old.Scale,
+		}
+		if j <= len(survivors) {
+			cfg.DealerIndex = survivors[j-1].Index
+			cfg.Secret = survivors[j-1].Value
+		}
+		if rnd != nil {
+			cfg.Rand = rnd(j)
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes[j-1] = nd
+	}
+	return driveCeremony(nodes, byz)
+}
+
+// driveCeremony runs the three phases across the given nodes,
+// applying scripted dealer behaviours, and checks that every node
+// reached the same verdict (a protocol invariant, returned as an
+// error rather than assumed).
+func driveCeremony(nodes []*Node, byz map[int]Behaviour) (*CeremonyResult, error) {
+	parties := len(nodes)
+	// Phase 1: deal, with scripted corruption.
+	for _, nd := range nodes {
+		deals := nd.Deals()
+		if deals == nil {
+			continue
+		}
+		dealerID := nd.cfg.DealerIndex
+		switch byz[dealerID] {
+		case BehaviourSilent:
+			continue
+		case BehaviourBadShare:
+			victim := nd.cfg.Index%parties + 1
+			deals[victim-1].Share = new(big.Int).Add(deals[victim-1].Share, one)
+		case BehaviourEquivocate:
+			for j := parties/2 + 1; j <= parties; j++ {
+				forged := deals[j-1].Commits[len(deals[j-1].Commits)-1]
+				forged.Mul(forged, nd.g)
+				forged.Mod(forged, nd.mod)
+			}
+		}
+		for j := 1; j <= parties; j++ {
+			if err := nodes[j-1].HandleDeal(deals[j-1]); err != nil {
+				return nil, fmt.Errorf("dkg: routing deal %d→%d: %w", dealerID, j, err)
+			}
+		}
+	}
+	// Phase 2: broadcast responses.
+	for _, nd := range nodes {
+		r := nd.Response()
+		for _, peer := range nodes {
+			if peer == nd {
+				continue
+			}
+			if err := peer.HandleResponse(r); err != nil {
+				return nil, fmt.Errorf("dkg: routing response from %d: %w", r.From, err)
+			}
+		}
+	}
+	// Phase 3: broadcast justifications; byzantine dealers withhold.
+	for _, nd := range nodes {
+		if nd.cfg.DealerIndex != 0 && byz[nd.cfg.DealerIndex] != BehaviourHonest {
+			continue
+		}
+		j, err := nd.Justification()
+		if err != nil {
+			return nil, err
+		}
+		for _, peer := range nodes {
+			if err := peer.HandleJustification(j); err != nil {
+				return nil, fmt.Errorf("dkg: routing justification from %d: %w", j.Dealer, err)
+			}
+		}
+	}
+	// Finish: all nodes must agree on the verdict; any divergence is a
+	// protocol-invariant break, reported rather than assumed away.
+	out := &CeremonyResult{Results: make([]*Result, parties)}
+	var firstErr error
+	for i, nd := range nodes {
+		res, err := nd.Finish()
+		if res == nil {
+			return nil, err
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out.Results[i] = res
+		if i == 0 {
+			out.Qualified, out.Disqualified = res.Qualified, res.Disqualified
+		} else if !equalInts(res.Qualified, out.Qualified) || !equalInts(res.Disqualified, out.Disqualified) {
+			return nil, fmt.Errorf("dkg: verdict divergence: node %d sees qualified %v / disqualified %v, node 1 saw %v / %v",
+				i+1, res.Qualified, res.Disqualified, out.Qualified, out.Disqualified)
+		}
+	}
+	return out, firstErr
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

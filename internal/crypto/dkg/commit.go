@@ -1,0 +1,140 @@
+package dkg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/crypto/damgardjurik"
+)
+
+// Feldman-style verifiable sharing over Z*_{n^{s+1}}: a dealer with
+// polynomial f(x) = Σ c_k·x^k publishes C_k = g^{c_k} mod n^{s+1}, and
+// receiver j checks its share against
+//
+//	g^{f(j)} ≟ Π_k C_k^{j^k} mod n^{s+1}.
+//
+// Because DKG shares are unreduced integers (a share holder has no
+// n^s·m' to reduce by), the polynomial identity f(j) = Σ c_k·j^k holds
+// over ℤ, so the check is exact — no order-of-the-group slack for a
+// cheating dealer to hide in, and no smallness assumption on shares.
+//
+// The commitments are binding but not hiding: g^{c_k} leaks c_k up to
+// discrete log, which is the classical Feldman trade-off and the one
+// Pedersen's DKG makes per-dealer. For this codebase's threat model
+// (honest-but-curious participants plus the byzantine-dealer fault
+// classes the ceremony must survive) that is the right trade — the
+// same precedent as Shoup-style verification keys. docs/CRYPTO.md
+// spells out the limits.
+
+// generatorLabel versions the hash-to-generator derivation; changing
+// the derivation must change the label.
+const generatorLabel = "chiaroscuro-dkg-generator-v1"
+
+// generator deterministically derives the public commitment base g
+// from the public key alone: expand SHA-256(label‖n‖s‖counter) to the
+// width of n^{s+1}, reduce, square (forcing g into the squares, the
+// cyclic subgroup partial decryptions live in), and retry the counter
+// until gcd(g, n) = 1 and g > 1. Every participant derives the same g
+// with no trusted setup.
+func generator(pk *damgardjurik.PublicKey) *big.Int {
+	ns1 := pk.CiphertextModulus()
+	width := (ns1.BitLen()+7)/8 + 16
+	seed := sha256.New()
+	seed.Write([]byte(generatorLabel))
+	seed.Write(pk.N.Bytes())
+	var sbuf [4]byte
+	binary.BigEndian.PutUint32(sbuf[:], uint32(pk.S))
+	seed.Write(sbuf[:])
+	base := seed.Sum(nil)
+	for ctr := uint32(0); ; ctr++ {
+		buf := make([]byte, 0, width+sha256.Size)
+		var block [4]byte
+		for i := uint32(0); len(buf) < width; i++ {
+			h := sha256.New()
+			h.Write(base)
+			binary.BigEndian.PutUint32(sbuf[:], ctr)
+			h.Write(sbuf[:])
+			binary.BigEndian.PutUint32(block[:], i)
+			h.Write(block[:])
+			buf = h.Sum(buf)
+		}
+		g := new(big.Int).SetBytes(buf[:width])
+		g.Mod(g, ns1)
+		g.Mul(g, g)
+		g.Mod(g, ns1)
+		if g.Cmp(one) <= 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, g, pk.N).Cmp(one) != 0 {
+			continue
+		}
+		return g
+	}
+}
+
+// modExpSigned computes base^e mod m for a signed exponent, inverting
+// the base explicitly for negative e (deterministic, and independent
+// of big.Int.Exp's own negative-exponent handling).
+func modExpSigned(base, e, m *big.Int) (*big.Int, error) {
+	if e.Sign() >= 0 {
+		return new(big.Int).Exp(base, e, m), nil
+	}
+	inv := new(big.Int).ModInverse(base, m)
+	if inv == nil {
+		return nil, fmt.Errorf("dkg: base not a unit mod commitment modulus")
+	}
+	return inv.Exp(inv, new(big.Int).Neg(e), m), nil
+}
+
+// commitPoly commits to every coefficient: C_k = g^{c_k} mod n^{s+1}.
+func commitPoly(g, mod *big.Int, coeffs []*big.Int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(coeffs))
+	for k, c := range coeffs {
+		v, err := modExpSigned(g, c, mod)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// verifyShare checks g^{share} = Π_k commits[k]^{receiver^k} mod ns1.
+func verifyShare(g, mod *big.Int, commits []*big.Int, receiver int, share *big.Int) bool {
+	lhs, err := modExpSigned(g, share, mod)
+	if err != nil {
+		return false
+	}
+	rhs := big.NewInt(1)
+	x := big.NewInt(int64(receiver))
+	xk := big.NewInt(1)
+	for _, c := range commits {
+		t := new(big.Int).Exp(c, xk, mod)
+		rhs.Mul(rhs, t)
+		rhs.Mod(rhs, mod)
+		xk = new(big.Int).Mul(xk, x)
+	}
+	return lhs.Cmp(rhs) == 0
+}
+
+// commitDigest fingerprints a commitment vector. Receivers exchange
+// these digests in the Response phase; two honest receivers holding
+// deals from the same dealer with different digests prove the dealer
+// equivocated. The all-zero digest is reserved for "no deal received".
+func commitDigest(commits []*big.Int) [32]byte {
+	h := sha256.New()
+	var lbuf [4]byte
+	for _, c := range commits {
+		b := c.Bytes()
+		binary.BigEndian.PutUint32(lbuf[:], uint32(len(b)))
+		h.Write(lbuf[:])
+		h.Write(b)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+var one = big.NewInt(1)

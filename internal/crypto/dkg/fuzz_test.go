@@ -1,0 +1,163 @@
+package dkg
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// The fuzz contract for every ceremony artifact: Unmarshal must never
+// panic or over-allocate on adversarial bytes, and whatever it accepts
+// must re-marshal to a value that round-trips stably (decode →
+// encode → decode is a fixed point). Seed corpora are valid messages,
+// so the mutator starts from structurally interesting inputs.
+
+func seedDeal() *Deal {
+	return &Deal{
+		Dealer:   3,
+		Receiver: 1,
+		Share:    big.NewInt(-123456789),
+		Commits:  []*big.Int{big.NewInt(5), big.NewInt(0), new(big.Int).Lsh(big.NewInt(1), 200)},
+	}
+}
+
+func TestDealRoundTrip(t *testing.T) {
+	d := seedDeal()
+	buf, err := MarshalDeal(d)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalDeal(buf)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Dealer != d.Dealer || got.Receiver != d.Receiver || got.Share.Cmp(d.Share) != 0 || len(got.Commits) != len(d.Commits) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, d)
+	}
+	for i := range d.Commits {
+		if got.Commits[i].Cmp(d.Commits[i]) != 0 {
+			t.Fatalf("commit %d mismatch", i)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Response{From: 2, Verdicts: []DealerVerdict{
+		{Dealer: 1, Complaint: true},
+		{Dealer: 4, Digest: [32]byte{1, 2, 3}},
+	}}
+	buf, err := MarshalResponse(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalResponse(buf)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.From != r.From || len(got.Verdicts) != 2 ||
+		got.Verdicts[0] != r.Verdicts[0] || got.Verdicts[1] != r.Verdicts[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestJustificationRoundTrip(t *testing.T) {
+	for _, j := range []*Justification{
+		{}, // the empty wire filler
+		{
+			Dealer:  7,
+			Commits: []*big.Int{big.NewInt(9)},
+			Shares:  []JustShare{{Receiver: 2, Share: big.NewInt(-4)}, {Receiver: 5, Share: new(big.Int)}},
+		},
+	} {
+		buf, err := MarshalJustification(j)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalJustification(buf)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got.Dealer != j.Dealer || len(got.Commits) != len(j.Commits) || len(got.Shares) != len(j.Shares) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, j)
+		}
+	}
+}
+
+func FuzzUnmarshalDeal(f *testing.F) {
+	if buf, err := MarshalDeal(seedDeal()); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{kindDeal, msgVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := UnmarshalDeal(data)
+		if err != nil {
+			return
+		}
+		buf, err := MarshalDeal(d)
+		if err != nil {
+			t.Fatalf("accepted deal fails to re-marshal: %v", err)
+		}
+		d2, err := UnmarshalDeal(buf)
+		if err != nil {
+			t.Fatalf("re-marshaled deal fails to decode: %v", err)
+		}
+		buf2, err := MarshalDeal(d2)
+		if err != nil || !bytes.Equal(buf, buf2) {
+			t.Fatalf("re-encoding is not a fixed point (err=%v)", err)
+		}
+	})
+}
+
+func FuzzUnmarshalResponse(f *testing.F) {
+	if buf, err := MarshalResponse(&Response{From: 1, Verdicts: []DealerVerdict{{Dealer: 2, Complaint: true}}}); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{kindResponse, msgVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalResponse(data)
+		if err != nil {
+			return
+		}
+		buf, err := MarshalResponse(r)
+		if err != nil {
+			t.Fatalf("accepted response fails to re-marshal: %v", err)
+		}
+		r2, err := UnmarshalResponse(buf)
+		if err != nil {
+			t.Fatalf("re-marshaled response fails to decode: %v", err)
+		}
+		buf2, err := MarshalResponse(r2)
+		if err != nil || !bytes.Equal(buf, buf2) {
+			t.Fatalf("re-encoding is not a fixed point (err=%v)", err)
+		}
+	})
+}
+
+func FuzzUnmarshalJustification(f *testing.F) {
+	if buf, err := MarshalJustification(&Justification{
+		Dealer:  1,
+		Commits: []*big.Int{big.NewInt(3)},
+		Shares:  []JustShare{{Receiver: 2, Share: big.NewInt(-9)}},
+	}); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{kindJustification, msgVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := UnmarshalJustification(data)
+		if err != nil {
+			return
+		}
+		buf, err := MarshalJustification(j)
+		if err != nil {
+			t.Fatalf("accepted justification fails to re-marshal: %v", err)
+		}
+		j2, err := UnmarshalJustification(buf)
+		if err != nil {
+			t.Fatalf("re-marshaled justification fails to decode: %v", err)
+		}
+		buf2, err := MarshalJustification(j2)
+		if err != nil || !bytes.Equal(buf, buf2) {
+			t.Fatalf("re-encoding is not a fixed point (err=%v)", err)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+package dkg
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"chiaroscuro/internal/wire"
+)
+
+// Wire artifacts of the three ceremony phases. Encoding follows the
+// repo's wire conventions (internal/wire): a [kind, version] header,
+// length-prefixed fields, uint32 counts, and strict Unmarshal
+// validation — every count is bounded against the remaining buffer
+// before allocation, so the fuzz targets cannot be used to provoke
+// huge allocations from tiny inputs.
+//
+// Shares are signed integers (resharing applies signed Lagrange
+// weights), so share fields carry an explicit sign byte; commitment
+// values are group elements in [0, n^{s+1}) and stay unsigned.
+
+const (
+	msgVersion        = 1
+	kindDeal          = 0x11
+	kindResponse      = 0x12
+	kindJustification = 0x13
+
+	// maxWireParties and maxWireCommits bound Unmarshal allocations;
+	// both are far above any deployment this codebase runs.
+	maxWireParties = 1 << 12
+	maxWireCommits = 256
+)
+
+// ErrMessage covers every malformed-artifact condition.
+var ErrMessage = errors.New("dkg: malformed message")
+
+// Deal is dealer→receiver, private: the receiver's polynomial
+// evaluation plus the dealer's public coefficient commitments.
+type Deal struct {
+	Dealer   int // dealer id (old-deployment index when resharing)
+	Receiver int // receiver index in the new deployment, 1-based
+	Share    *big.Int
+	Commits  []*big.Int
+}
+
+// DealerVerdict is one receiver's public statement about one dealer:
+// whether it complains (bad or missing share) and the digest of the
+// commitment vector it saw (all-zero = no deal received).
+type DealerVerdict struct {
+	Dealer    int
+	Complaint bool
+	Digest    [32]byte
+}
+
+// Response is a receiver's broadcast verdict list, one entry per
+// expected dealer in ascending dealer order.
+type Response struct {
+	From     int // receiver index, 1-based
+	Verdicts []DealerVerdict
+}
+
+// JustShare is one revealed share inside a justification.
+type JustShare struct {
+	Receiver int
+	Share    *big.Int
+}
+
+// Justification is a dealer's broadcast answer to complaints: its
+// commitment vector (so even receivers it never dealt to can verify)
+// plus the revealed share of every complainer. Non-dealers broadcast
+// an empty justification (Dealer 0) purely for wire-phase regularity.
+type Justification struct {
+	Dealer  int
+	Commits []*big.Int
+	Shares  []JustShare
+}
+
+func appendSigned(buf []byte, v *big.Int) []byte {
+	if v == nil || v.Sign() == 0 {
+		return wire.AppendBytes(buf, nil)
+	}
+	b := v.Bytes()
+	field := make([]byte, 1, 1+len(b))
+	if v.Sign() < 0 {
+		field[0] = 1
+	}
+	return wire.AppendBytes(buf, append(field, b...))
+}
+
+func readSigned(fr *wire.FieldReader) (*big.Int, error) {
+	b, err := fr.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return new(big.Int), nil
+	}
+	if b[0] > 1 {
+		return nil, fmt.Errorf("%w: bad sign byte", ErrMessage)
+	}
+	v := new(big.Int).SetBytes(b[1:])
+	if b[0] == 1 {
+		v.Neg(v)
+	}
+	return v, nil
+}
+
+func checkCount(fr *wire.FieldReader, count uint32, max int) error {
+	if int64(count) > int64(max) {
+		return fmt.Errorf("%w: count %d exceeds limit %d", ErrMessage, count, max)
+	}
+	// Every counted element costs at least 4 bytes on the wire, which
+	// bounds allocation by the actual input size.
+	if int64(count)*4 > int64(len(fr.Rest())) {
+		return fmt.Errorf("%w: count %d exceeds buffer", ErrMessage, count)
+	}
+	return nil
+}
+
+func header(kind byte) []byte { return []byte{kind, msgVersion} }
+
+func checkHeader(buf []byte, kind byte) (*wire.FieldReader, error) {
+	if len(buf) < 2 || buf[0] != kind || buf[1] != msgVersion {
+		return nil, fmt.Errorf("%w: bad header", ErrMessage)
+	}
+	return wire.NewFieldReader(buf[2:]), nil
+}
+
+// MarshalDeal encodes a Deal.
+func MarshalDeal(d *Deal) ([]byte, error) {
+	if d == nil || d.Dealer < 1 || d.Receiver < 1 || len(d.Commits) == 0 || len(d.Commits) > maxWireCommits {
+		return nil, fmt.Errorf("%w: invalid deal", ErrMessage)
+	}
+	buf := header(kindDeal)
+	buf = wire.AppendUint32(buf, uint32(d.Dealer))
+	buf = wire.AppendUint32(buf, uint32(d.Receiver))
+	buf = appendSigned(buf, d.Share)
+	buf = wire.AppendUint32(buf, uint32(len(d.Commits)))
+	for _, c := range d.Commits {
+		if c == nil || c.Sign() < 0 {
+			return nil, fmt.Errorf("%w: invalid commitment", ErrMessage)
+		}
+		buf = wire.AppendBytes(buf, c.Bytes())
+	}
+	return buf, nil
+}
+
+// UnmarshalDeal decodes and validates a Deal.
+func UnmarshalDeal(buf []byte) (*Deal, error) {
+	fr, err := checkHeader(buf, kindDeal)
+	if err != nil {
+		return nil, err
+	}
+	dealer, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if dealer < 1 || dealer > maxWireParties || receiver < 1 || receiver > maxWireParties {
+		return nil, fmt.Errorf("%w: party index out of range", ErrMessage)
+	}
+	share, err := readSigned(fr)
+	if err != nil {
+		return nil, err
+	}
+	count, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: deal without commitments", ErrMessage)
+	}
+	if err := checkCount(fr, count, maxWireCommits); err != nil {
+		return nil, err
+	}
+	commits := make([]*big.Int, count)
+	for i := range commits {
+		b, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		commits[i] = new(big.Int).SetBytes(b)
+	}
+	if err := fr.Done(); err != nil {
+		return nil, err
+	}
+	return &Deal{Dealer: int(dealer), Receiver: int(receiver), Share: share, Commits: commits}, nil
+}
+
+// MarshalResponse encodes a Response.
+func MarshalResponse(r *Response) ([]byte, error) {
+	if r == nil || r.From < 1 || len(r.Verdicts) == 0 || len(r.Verdicts) > maxWireParties {
+		return nil, fmt.Errorf("%w: invalid response", ErrMessage)
+	}
+	buf := header(kindResponse)
+	buf = wire.AppendUint32(buf, uint32(r.From))
+	buf = wire.AppendUint32(buf, uint32(len(r.Verdicts)))
+	for _, v := range r.Verdicts {
+		if v.Dealer < 1 {
+			return nil, fmt.Errorf("%w: invalid verdict dealer", ErrMessage)
+		}
+		buf = wire.AppendUint32(buf, uint32(v.Dealer))
+		var flag uint32
+		if v.Complaint {
+			flag = 1
+		}
+		buf = wire.AppendUint32(buf, flag)
+		buf = wire.AppendBytes(buf, v.Digest[:])
+	}
+	return buf, nil
+}
+
+// UnmarshalResponse decodes and validates a Response.
+func UnmarshalResponse(buf []byte) (*Response, error) {
+	fr, err := checkHeader(buf, kindResponse)
+	if err != nil {
+		return nil, err
+	}
+	from, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if from < 1 || from > maxWireParties {
+		return nil, fmt.Errorf("%w: party index out of range", ErrMessage)
+	}
+	count, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: response without verdicts", ErrMessage)
+	}
+	if err := checkCount(fr, count, maxWireParties); err != nil {
+		return nil, err
+	}
+	verdicts := make([]DealerVerdict, count)
+	for i := range verdicts {
+		dealer, err := fr.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if dealer < 1 || dealer > maxWireParties {
+			return nil, fmt.Errorf("%w: party index out of range", ErrMessage)
+		}
+		flag, err := fr.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if flag > 1 {
+			return nil, fmt.Errorf("%w: bad verdict flag", ErrMessage)
+		}
+		digest, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(digest) != 32 {
+			return nil, fmt.Errorf("%w: digest must be 32 bytes", ErrMessage)
+		}
+		verdicts[i].Dealer = int(dealer)
+		verdicts[i].Complaint = flag == 1
+		copy(verdicts[i].Digest[:], digest)
+	}
+	if err := fr.Done(); err != nil {
+		return nil, err
+	}
+	return &Response{From: int(from), Verdicts: verdicts}, nil
+}
+
+// MarshalJustification encodes a Justification (possibly empty).
+func MarshalJustification(j *Justification) ([]byte, error) {
+	if j == nil || j.Dealer < 0 || len(j.Commits) > maxWireCommits || len(j.Shares) > maxWireParties {
+		return nil, fmt.Errorf("%w: invalid justification", ErrMessage)
+	}
+	if j.Dealer == 0 && (len(j.Commits) > 0 || len(j.Shares) > 0) {
+		return nil, fmt.Errorf("%w: non-dealer justification must be empty", ErrMessage)
+	}
+	buf := header(kindJustification)
+	buf = wire.AppendUint32(buf, uint32(j.Dealer))
+	buf = wire.AppendUint32(buf, uint32(len(j.Commits)))
+	for _, c := range j.Commits {
+		if c == nil || c.Sign() < 0 {
+			return nil, fmt.Errorf("%w: invalid commitment", ErrMessage)
+		}
+		buf = wire.AppendBytes(buf, c.Bytes())
+	}
+	buf = wire.AppendUint32(buf, uint32(len(j.Shares)))
+	for _, s := range j.Shares {
+		if s.Receiver < 1 {
+			return nil, fmt.Errorf("%w: invalid justification receiver", ErrMessage)
+		}
+		buf = wire.AppendUint32(buf, uint32(s.Receiver))
+		buf = appendSigned(buf, s.Share)
+	}
+	return buf, nil
+}
+
+// UnmarshalJustification decodes and validates a Justification.
+func UnmarshalJustification(buf []byte) (*Justification, error) {
+	fr, err := checkHeader(buf, kindJustification)
+	if err != nil {
+		return nil, err
+	}
+	dealer, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if dealer > maxWireParties {
+		return nil, fmt.Errorf("%w: party index out of range", ErrMessage)
+	}
+	ccount, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(fr, ccount, maxWireCommits); err != nil {
+		return nil, err
+	}
+	commits := make([]*big.Int, ccount)
+	for i := range commits {
+		b, err := fr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		commits[i] = new(big.Int).SetBytes(b)
+	}
+	scount, err := fr.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(fr, scount, maxWireParties); err != nil {
+		return nil, err
+	}
+	shares := make([]JustShare, scount)
+	for i := range shares {
+		recv, err := fr.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if recv < 1 || recv > maxWireParties {
+			return nil, fmt.Errorf("%w: party index out of range", ErrMessage)
+		}
+		share, err := readSigned(fr)
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = JustShare{Receiver: int(recv), Share: share}
+	}
+	if err := fr.Done(); err != nil {
+		return nil, err
+	}
+	j := &Justification{Dealer: int(dealer), Commits: commits, Shares: shares}
+	if j.Dealer == 0 && (len(j.Commits) > 0 || len(j.Shares) > 0) {
+		return nil, fmt.Errorf("%w: non-dealer justification must be empty", ErrMessage)
+	}
+	if len(commits) == 0 {
+		j.Commits = nil
+	}
+	if len(shares) == 0 {
+		j.Shares = nil
+	}
+	return j, nil
+}

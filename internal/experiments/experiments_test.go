@@ -266,8 +266,8 @@ func TestE11(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 10 {
-		t.Fatalf("want 10 scenario rows, got %d", len(tab.Rows))
+	if len(tab.Rows) != 14 {
+		t.Fatalf("want 14 scenario rows, got %d", len(tab.Rows))
 	}
 	// The fault-free baseline must inject nothing and keep everyone live.
 	base := tab.Rows[0]
@@ -287,6 +287,27 @@ func TestE11(t *testing.T) {
 	}
 	if tab.Rows[7][6] == "0" {
 		t.Fatalf("malform scenario rejected nothing: %v", tab.Rows[7])
+	}
+	// Byzantine-dealer rows: the clean-dealer baseline names no expelled
+	// dealer, each fault row names exactly the scripted one (dealer id =
+	// node id + 1), and every one keeps full liveness and the baseline's
+	// quality — a corrupted ceremony restarts, the clustering never sees it.
+	dealerRows := tab.Rows[10:]
+	if strings.Contains(dealerRows[0][0], "expelled") {
+		t.Fatalf("clean-dealer row expelled someone: %v", dealerRows[0])
+	}
+	for i, want := range []string{"dealer 2", "dealer 3", "dealer 4"} {
+		row := dealerRows[i+1]
+		if !strings.Contains(row[0], "expelled "+want) {
+			t.Fatalf("dealer row %q did not expel %s", row[0], want)
+		}
+		if row[7] != "1.00" {
+			t.Fatalf("dealer row %q liveness %q, want 1.00", row[0], row[7])
+		}
+		if row[8] != dealerRows[0][8] || row[9] != dealerRows[0][9] {
+			t.Fatalf("dealer row %q quality (%s, %s) diverges from clean-dealer baseline (%s, %s)",
+				row[0], row[8], row[9], dealerRows[0][8], dealerRows[0][9])
+		}
 	}
 	// Replaying E11 must reproduce the identical table (deterministic
 	// fault trajectories).

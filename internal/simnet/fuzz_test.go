@@ -22,6 +22,7 @@ func FuzzParsePlan(f *testing.F) {
 	f.Add("crash@10=3;outage@5+8=1,2:reset;lag@0+4=7")
 	f.Add("garble=0;malform=1;replay=2;noise*50=3")
 	f.Add("noise*1e-3=0")
+	f.Add("badshare=1;equivocate=2;silentdealer=3")
 	f.Add("drop=1;dup=1;delay=1x1")
 	f.Add("outage@0+1=0:reset;outage@0+1=0")
 	f.Add(";;;drop=0.5;;")

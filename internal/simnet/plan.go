@@ -28,6 +28,10 @@ import (
 //	malform=ids         byzantine: malformed vectors/ciphers/weights
 //	replay=ids          byzantine: replay the first emitted gossip message
 //	noise*F=ids         byzantine: scale noise shares by F
+//	badshare=ids        byzantine dealer: corrupt one dealt DKG share,
+//	                    withhold the justification (DKG runs only)
+//	equivocate=ids      byzantine dealer: conflicting DKG commitments
+//	silentdealer=ids    byzantine dealer: deal to nobody
 //
 // where ids is a comma-separated list of node ids. Example:
 //
@@ -129,6 +133,18 @@ func ParsePlan(spec string) (*Plan, error) {
 			}
 		case key == "replay":
 			if err := appendNodeFaults(p, val, NodeFault{Kind: FaultReplay}); err != nil {
+				return nil, err
+			}
+		case key == "badshare":
+			if err := appendNodeFaults(p, val, NodeFault{Kind: FaultDealerBadShare}); err != nil {
+				return nil, err
+			}
+		case key == "equivocate":
+			if err := appendNodeFaults(p, val, NodeFault{Kind: FaultDealerEquivocate}); err != nil {
+				return nil, err
+			}
+		case key == "silentdealer":
+			if err := appendNodeFaults(p, val, NodeFault{Kind: FaultDealerSilent}); err != nil {
 				return nil, err
 			}
 		case strings.HasPrefix(key, "noise*"):
@@ -241,6 +257,12 @@ func (p *Plan) String() string {
 			parts = append(parts, fmt.Sprintf("malform=%d", f.Node))
 		case FaultReplay:
 			parts = append(parts, fmt.Sprintf("replay=%d", f.Node))
+		case FaultDealerBadShare:
+			parts = append(parts, fmt.Sprintf("badshare=%d", f.Node))
+		case FaultDealerEquivocate:
+			parts = append(parts, fmt.Sprintf("equivocate=%d", f.Node))
+		case FaultDealerSilent:
+			parts = append(parts, fmt.Sprintf("silentdealer=%d", f.Node))
 		case FaultSkewNoise:
 			parts = append(parts, fmt.Sprintf("noise*%s=%d", formatProb(f.Factor), f.Node))
 		}

@@ -68,6 +68,19 @@ const (
 	// stay inside the protocol's clamp bound, so honest receivers cannot
 	// detect the skew.
 	FaultSkewNoise
+	// FaultDealerBadShare makes the node a byzantine DEALER in the DKG
+	// key ceremony: it corrupts the share dealt to one victim and
+	// withholds its justification, so the unanswered complaint
+	// disqualifies it deterministically. Executed by internal/core's
+	// ceremony driver; requires a DKG-backed run.
+	FaultDealerBadShare
+	// FaultDealerEquivocate makes the node a byzantine dealer that sends
+	// different commitment vectors to different receivers; the digest
+	// disagreement in the Response phase disqualifies it.
+	FaultDealerEquivocate
+	// FaultDealerSilent makes the node a byzantine dealer that deals to
+	// nobody; the unanimous missing-deal verdict disqualifies it.
+	FaultDealerSilent
 )
 
 // String names the kind as the scenario grammar spells it.
@@ -87,6 +100,12 @@ func (k FaultKind) String() string {
 		return "replay"
 	case FaultSkewNoise:
 		return "noise"
+	case FaultDealerBadShare:
+		return "badshare"
+	case FaultDealerEquivocate:
+		return "equivocate"
+	case FaultDealerSilent:
+		return "silentdealer"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -94,13 +113,31 @@ func (k FaultKind) String() string {
 
 // Byzantine reports whether the kind is a sender-side protocol
 // corruption (executed by internal/core) rather than a lifecycle fault
-// (executed by internal/p2p).
+// (executed by internal/p2p). Dealer faults are neither: they fire
+// once, during the key ceremony, before the run proper starts.
 func (k FaultKind) Byzantine() bool {
 	switch k {
 	case FaultGarble, FaultMalform, FaultReplay, FaultSkewNoise:
 		return true
 	}
 	return false
+}
+
+// DealerFault reports whether the kind is a byzantine-dealer
+// behaviour of the DKG key ceremony (executed by internal/core's
+// ceremony driver before any protocol cycle runs).
+func (k FaultKind) DealerFault() bool {
+	switch k {
+	case FaultDealerBadShare, FaultDealerEquivocate, FaultDealerSilent:
+		return true
+	}
+	return false
+}
+
+// Lifecycle reports whether the kind is scheduled by the p2p fault
+// scheduler (crash/outage/laggard) rather than executed by core.
+func (k FaultKind) Lifecycle() bool {
+	return !k.Byzantine() && !k.DealerFault()
 }
 
 // NodeFault schedules one fault behaviour on one node.
@@ -176,11 +213,39 @@ func (p *Plan) hasSchedule() bool {
 		return false
 	}
 	for _, f := range p.Nodes {
-		if !f.Kind.Byzantine() {
+		if f.Kind.Lifecycle() {
 			return true
 		}
 	}
 	return false
+}
+
+// HasDealerFaults reports whether any node fault is a byzantine-dealer
+// ceremony behaviour (which requires a DKG-backed run to execute).
+func (p *Plan) HasDealerFaults() bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Nodes {
+		if f.Kind.DealerFault() {
+			return true
+		}
+	}
+	return false
+}
+
+// DealerFaultOf returns the dealer-ceremony behaviour of a node, or
+// nil. When a node carries several, the first declared wins.
+func (p *Plan) DealerFaultOf(node int) *NodeFault {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i].Node == node && p.Nodes[i].Kind.DealerFault() {
+			return &p.Nodes[i]
+		}
+	}
+	return nil
 }
 
 // ByzantineOf returns the byzantine behaviour of a node, or nil. When a
@@ -227,7 +292,8 @@ func (p *Plan) Validate(n int) error {
 			if f.AtCycle < 0 || f.Duration < 1 {
 				return fmt.Errorf("simnet: fault %d: need cycle >= 0 and duration >= 1", i)
 			}
-		case FaultGarble, FaultMalform, FaultReplay:
+		case FaultGarble, FaultMalform, FaultReplay,
+			FaultDealerBadShare, FaultDealerEquivocate, FaultDealerSilent:
 			// No parameters.
 		case FaultSkewNoise:
 			if f.Factor < 0 || math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) {
@@ -277,7 +343,7 @@ func NewNet(plan *Plan, n int, fallbackSeed int64) (*Net, error) {
 	}
 	for i := range plan.Nodes {
 		f := &plan.Nodes[i]
-		if !f.Kind.Byzantine() {
+		if f.Kind.Lifecycle() {
 			net.perNode[f.Node] = append(net.perNode[f.Node], f)
 		}
 	}

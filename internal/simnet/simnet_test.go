@@ -18,6 +18,9 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		"lag@0+4=7",
 		"garble=0;malform=1;replay=2;noise*50=3",
 		"drop=0.05;delay=0.2x3;outage@10+8=1:reset;outage@10+8=2:reset;garble=7",
+		"badshare=1",
+		"equivocate=2;silentdealer=3",
+		"badshare=0,4;crash@9=2",
 	}
 	for _, spec := range specs {
 		p1, err := ParsePlan(spec)
@@ -57,15 +60,15 @@ func TestParsePlanErrors(t *testing.T) {
 		"drop=1.5",
 		"drop=-0.1",
 		"drop=NaN",
-		"delay=0.5",     // missing xMAX
-		"delay=0.5x0",   // zero max delay
-		"crash@-1=0",    // negative cycle
+		"delay=0.5",   // missing xMAX
+		"delay=0.5x0", // zero max delay
+		"crash@-1=0",  // negative cycle
 		"crash@notnum=0",
-		"outage@3=1",    // missing duration
-		"outage@3+0=1",  // zero duration
-		"lag@1+2=",      // empty id list
-		"noise*-1=0",    // negative factor
-		"noise*Inf=0",   // non-finite factor
+		"outage@3=1",        // missing duration
+		"outage@3+0=1",      // zero duration
+		"lag@1+2=",          // empty id list
+		"noise*-1=0",        // negative factor
+		"noise*Inf=0",       // non-finite factor
 		"drop=0.1;drop=0.2", // duplicate link clause
 		"seed=abc",
 	}
@@ -111,6 +114,16 @@ func TestPlanEmptyAndClassification(t *testing.T) {
 	p, _ = ParsePlan("lag@1+2=0")
 	if p.HasByzantine() || !p.hasSchedule() {
 		t.Fatalf("lifecycle-only plan misclassified: %+v", p)
+	}
+	p, _ = ParsePlan("badshare=2")
+	if p.Empty() || p.HasByzantine() || p.hasSchedule() || !p.HasDealerFaults() {
+		t.Fatalf("dealer-fault plan misclassified: %+v", p)
+	}
+	if f := p.DealerFaultOf(2); f == nil || f.Kind != FaultDealerBadShare {
+		t.Fatalf("DealerFaultOf(2) = %+v", p.DealerFaultOf(2))
+	}
+	if p.DealerFaultOf(1) != nil {
+		t.Fatal("node 1 deals honestly")
 	}
 }
 

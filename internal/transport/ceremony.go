@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/crypto/damgardjurik"
+	"chiaroscuro/internal/crypto/dkg"
+	"chiaroscuro/internal/wire"
+)
+
+// ceremony.go runs the distributed key ceremony over the freshly formed
+// mesh: each daemon drives one dkg.Node state machine through the three
+// broadcast rounds (deal, response, justification), exchanging the dkg
+// package's wire artifacts inside round-tagged mtKey frames, and walks
+// away holding only its own key share (core.DJMaterialFromResult). The
+// decryption exponent never exists in any single process.
+//
+// The networked path is the fault-free one: a disqualification verdict
+// fails the run instead of restarting it (the scripted-byzantine
+// restart loop lives in core.RunDJKeyCeremony, exercised by the
+// in-process engines). Coefficient randomness comes from crypto/rand —
+// decryptions are exact, so key provenance never reaches the disclosed
+// histories, which is what keeps daemon runs bit-identical to the
+// sequential reference regardless of the entropy behind the shares.
+
+// runCeremony executes the fresh DKG among the whole population and
+// returns this process's sparse key material. Peers progress at their
+// own pace: artifacts from rounds we have not reached yet are parked in
+// keyPending, and epoch-0 traffic from peers that already finished the
+// ceremony is parked in n.backlog for awaitBarrier to replay.
+func (n *node) runCeremony(population int, params core.Params) (*core.DJKeyMaterial, error) {
+	p := params.Defaulted(population)
+	prime1, prime2, err := damgardjurik.FixturePrimes(p.ModulusBits)
+	if err != nil {
+		return nil, err
+	}
+	// Every process derives the same additive genesis split from the
+	// shared run configuration and deals its own piece.
+	pieces, pk, err := dkg.GenesisPieces(prime1, prime2, p.Degree, population, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dealers := make([]int, population)
+	for i := range dealers {
+		dealers[i] = i + 1
+	}
+	dn, err := dkg.NewNode(dkg.Config{
+		PK:          pk,
+		Parties:     population,
+		Threshold:   p.DecryptThreshold,
+		Index:       n.cfg.ID + 1,
+		Dealers:     dealers,
+		DealerIndex: n.cfg.ID + 1,
+		Secret:      pieces[n.cfg.ID],
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 1 — deals travel point to point: each receiver gets its own
+	// polynomial evaluation. The self-deal takes the same HandleDeal
+	// validation path the remote ones do.
+	for j, d := range dn.Deals() {
+		if j == n.cfg.ID {
+			if err := dn.HandleDeal(d); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		buf, err := dkg.MarshalDeal(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := wire.WriteFrame(n.conns[j], marshalKey(keyRoundDeal, buf)); err != nil {
+			return nil, fmt.Errorf("transport: deal to peer %d: %w", j, err)
+		}
+	}
+	if err := n.collectKeyRound(keyRoundDeal, population-1, func(payload []byte) error {
+		d, err := dkg.UnmarshalDeal(payload)
+		if err != nil {
+			return err
+		}
+		return dn.HandleDeal(d)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Round 2 — broadcast verdicts; Response() records our own.
+	if err := n.broadcastKey(keyRoundResponse, func() ([]byte, error) {
+		return dkg.MarshalResponse(dn.Response())
+	}); err != nil {
+		return nil, err
+	}
+	if err := n.collectKeyRound(keyRoundResponse, population-1, func(payload []byte) error {
+		r, err := dkg.UnmarshalResponse(payload)
+		if err != nil {
+			return err
+		}
+		return dn.HandleResponse(r)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Round 3 — broadcast justifications; every node sends one (empty
+	// unless accused) so the phase is one frame per peer.
+	if err := n.broadcastKey(keyRoundJustification, func() ([]byte, error) {
+		just, err := dn.Justification()
+		if err != nil {
+			return nil, err
+		}
+		if err := dn.HandleJustification(just); err != nil {
+			return nil, err
+		}
+		return dkg.MarshalJustification(just)
+	}); err != nil {
+		return nil, err
+	}
+	if err := n.collectKeyRound(keyRoundJustification, population-1, func(payload []byte) error {
+		j, err := dkg.UnmarshalJustification(payload)
+		if err != nil {
+			return err
+		}
+		return dn.HandleJustification(j)
+	}); err != nil {
+		return nil, err
+	}
+
+	res, err := dn.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("transport: key ceremony: %w", err)
+	}
+	n.cfg.logf("node %d holds key share %d (qualified dealers: %v)", n.cfg.ID, n.cfg.ID+1, res.Qualified)
+	return core.DJMaterialFromResult(res)
+}
+
+// broadcastKey marshals one ceremony artifact and writes it to every
+// peer inside a round-tagged key frame.
+func (n *node) broadcastKey(round int, marshal func() ([]byte, error)) error {
+	buf, err := marshal()
+	if err != nil {
+		return err
+	}
+	frame := marshalKey(round, buf)
+	for id, c := range n.conns {
+		if c == nil {
+			continue
+		}
+		if err := wire.WriteFrame(c, frame); err != nil {
+			return fmt.Errorf("transport: key-ceremony round %d to peer %d: %w", round, id, err)
+		}
+	}
+	return nil
+}
+
+// collectKeyRound gathers `want` artifacts of the given ceremony round:
+// parked payloads first, then the shared inbox. Frames from later
+// rounds are parked for their own collection pass; epoch traffic from
+// peers already past the ceremony goes to the backlog (preserving
+// per-sender FIFO order for awaitBarrier); a replayed earlier round or
+// an orderly leave fails the ceremony.
+func (n *node) collectKeyRound(round, want int, handle func([]byte) error) error {
+	for _, payload := range n.keyPending[round] {
+		if err := handle(payload); err != nil {
+			return fmt.Errorf("transport: key-ceremony round %d: %w", round, err)
+		}
+		want--
+	}
+	delete(n.keyPending, round)
+	timeout := time.NewTimer(n.cfg.EpochTimeout)
+	defer timeout.Stop()
+	for want > 0 {
+		var m inMsg
+		select {
+		case m = <-n.in:
+		case <-timeout.C:
+			return fmt.Errorf("transport: key-ceremony round %d timed out after %v (%d artifacts missing)", round, n.cfg.EpochTimeout, want)
+		}
+		if m.err != nil {
+			return fmt.Errorf("transport: peer %d connection failed during key ceremony: %w", m.from, m.err)
+		}
+		switch m.kind {
+		case mtKey:
+			switch {
+			case m.epoch == round: // epoch slot carries the round tag
+				if err := handle(m.payload); err != nil {
+					return fmt.Errorf("transport: peer %d key-ceremony round %d: %w", m.from, round, err)
+				}
+				want--
+			case m.epoch > round:
+				n.keyPending[m.epoch] = append(n.keyPending[m.epoch], m.payload)
+			default:
+				return fmt.Errorf("transport: peer %d replayed key-ceremony round %d", m.from, m.epoch)
+			}
+		case mtTick, mtData:
+			n.backlog = append(n.backlog, m)
+		case mtBye:
+			return fmt.Errorf("transport: peer %d left during the key ceremony", m.from)
+		}
+	}
+	return nil
+}

@@ -88,6 +88,57 @@ func TestLoopbackConformanceK5(t *testing.T) {
 	assertConformance(t, spec, got, want)
 }
 
+// TestLoopbackConformanceDJK5 is the threshold-crypto counterpart of
+// the headline check: five mesh members form the mesh KEYLESS, run the
+// distributed key ceremony over loopback TCP — each process ends up
+// holding only its own Damgård–Jurik key share — and then cluster under
+// homomorphic encryption. Every disclosed trajectory must still be
+// bit-identical to the sequential reference (whose ceremony runs
+// in-process): decryptions are exact, so neither the key's provenance
+// nor the ceremony's coefficient entropy may reach the plaintexts.
+func TestLoopbackConformanceDJK5(t *testing.T) {
+	spec := Spec{
+		N:            5,
+		Dataset:      "cer",
+		Seed:         47,
+		K:            2,
+		Iterations:   2,
+		EpochTimeout: 120 * time.Second,
+		Backend:      "dj",
+		ModulusBits:  128,
+	}
+	want, err := spec.Reference()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(want) != spec.N {
+		t.Fatalf("reference produced %d histories, want %d", len(want), spec.N)
+	}
+
+	if testing.Short() {
+		got, err := RunInProcess(spec, t.TempDir())
+		if err != nil {
+			t.Fatalf("in-process mesh: %v", err)
+		}
+		assertConformance(t, spec, got, want)
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	logDir := os.Getenv("CHIAROSCURO_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	}
+	got, err := RunProcesses(spec, exe, []string{daemonEnv + "=1"}, t.TempDir(), logDir)
+	if err != nil {
+		t.Fatalf("multi-process mesh: %v", err)
+	}
+	assertConformance(t, spec, got, want)
+}
+
 // TestInProcessMeshMatchesReference exercises the in-process mesh even
 // outside -short, at a different seed, population and dataset, so the
 // plain `go test ./...` tier always covers the transport end to end.

@@ -30,18 +30,29 @@ type Spec struct {
 	K            int
 	Iterations   int
 	EpochTimeout time.Duration
+	Backend      string // "" or "plain" (accounted), or "dj" (threshold Damgård–Jurik)
+	ModulusBits  int    // dj modulus size; 0 = backend default
 }
 
 // Params returns the run parameters every mesh member and the
-// reference engine must share.
+// reference engine must share. The dj backend runs DKG-keyed: daemons
+// hold the key ceremony over the mesh, while the sequential reference
+// drives the identical ceremony in-process — decryptions are exact, so
+// both key paths disclose the same bits.
 func (s Spec) Params() core.Params {
-	return core.Params{
+	p := core.Params{
 		K:          s.K,
 		Epsilon:    1.0,
 		Iterations: s.Iterations,
 		Seed:       s.Seed,
 		Backend:    core.BackendPlainAccounted,
 	}
+	if s.Backend == "dj" {
+		p.Backend = core.BackendDamgardJurik
+		p.DKG = true
+		p.ModulusBits = s.ModulusBits
+	}
+	return p
 }
 
 // Data regenerates the population's series exactly as each daemon does.
@@ -64,7 +75,7 @@ func (s Spec) Reference() ([][]core.IterationResult, error) {
 // with addresses discovered through the shared rendezvous directory and
 // the history written to outFile.
 func (s Spec) DaemonArgs(id int, addrDir, outFile string) []string {
-	return []string{
+	args := []string{
 		"-id", fmt.Sprint(id),
 		"-n", fmt.Sprint(s.N),
 		"-addr-dir", addrDir,
@@ -76,6 +87,13 @@ func (s Spec) DaemonArgs(id int, addrDir, outFile string) []string {
 		"-out", outFile,
 		"-v",
 	}
+	if s.Backend != "" {
+		args = append(args, "-backend", s.Backend)
+	}
+	if s.ModulusBits != 0 {
+		args = append(args, "-modulus-bits", fmt.Sprint(s.ModulusBits))
+	}
+	return args
 }
 
 // RunInProcess runs the whole mesh inside the calling process: N

@@ -42,6 +42,10 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 		window  = fs.Int("decrypt-window", 0, "decryption window in cycles (0 = default)")
 		thresh  = fs.Int("decrypt-threshold", 0, "partial decryptions to open (0 = default)")
 
+		backend = fs.String("backend", "plain", "cipher backend: plain (accounted) or dj (threshold Damgård–Jurik, keyed by the distributed ceremony)")
+		modBits = fs.Int("modulus-bits", 0, "dj modulus size in bits (0 = default)")
+		degree  = fs.Int("degree", 0, "dj generalization degree s (0 = default)")
+
 		out     = fs.String("out", "", "write the disclosed history (gob) to this file")
 		verbose = fs.Bool("v", false, "log epoch progress to stderr")
 	)
@@ -78,7 +82,20 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 		DecryptWindow:    *window,
 		DecryptThreshold: *thresh,
 		Seed:             *seed,
-		Backend:          core.BackendPlainAccounted,
+		ModulusBits:      *modBits,
+		Degree:           *degree,
+	}
+	switch *backend {
+	case "plain":
+		params.Backend = core.BackendPlainAccounted
+	case "dj":
+		// The mesh forms keyless and runs the distributed key ceremony
+		// before epoch 0; this process will hold only its own share.
+		params.Backend = core.BackendDamgardJurik
+		params.DKG = true
+	default:
+		fmt.Fprintf(stderr, "chiaroscurod: unknown backend %q (want plain or dj)\n", *backend)
+		return 2
 	}
 
 	history, err := Run(cfg, data, params)

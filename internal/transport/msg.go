@@ -32,6 +32,15 @@ const (
 	mtTick    byte = 0x04 // epoch barrier: sender finished stepping this epoch
 	mtData    byte = 0x05 // protocol payload tagged with its send epoch
 	mtBye     byte = 0x06 // orderly leave after termination
+	mtKey     byte = 0x07 // key-ceremony artifact (round-tagged, pre-epoch)
+)
+
+// Key-ceremony rounds inside an mtKey frame, mirroring the dkg
+// package's three phases.
+const (
+	keyRoundDeal          = 1
+	keyRoundResponse      = 2
+	keyRoundJustification = 3
 )
 
 // hello is the join handshake: who is dialing, how big the dialer
@@ -181,3 +190,30 @@ func parseData(body []byte) (epoch int, payload []byte, err error) {
 }
 
 func marshalBye() []byte { return []byte{mtBye} }
+
+// marshalKey wraps one dkg wire artifact (deal, response or
+// justification — themselves fuzz-hardened encodings) in a
+// round-tagged ceremony frame.
+func marshalKey(round int, payload []byte) []byte {
+	buf := wire.AppendUint32([]byte{mtKey}, uint32(round))
+	return wire.AppendBytes(buf, payload)
+}
+
+func parseKey(body []byte) (round int, payload []byte, err error) {
+	fr := wire.NewFieldReader(body)
+	r, err := fr.Uint32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if r < keyRoundDeal || r > keyRoundJustification {
+		return 0, nil, fmt.Errorf("transport: unknown key-ceremony round %d", r)
+	}
+	payload, err = fr.Bytes()
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := fr.Done(); err != nil {
+		return 0, nil, err
+	}
+	return int(r), payload, nil
+}

@@ -18,12 +18,19 @@ import (
 // deterministic peer sampler, and one TCP connection per peer.
 type node struct {
 	cfg     Config
+	fp      uint64 // run-configuration fingerprint (known pre-ceremony)
 	core    *core.Node
 	sampler *p2p.Sampler
 	ln      net.Listener
 	conns   []net.Conn // indexed by peer id; nil at cfg.ID
 	in      chan inMsg
 	stop    chan struct{} // closed on Run exit; unblocks reader sends
+
+	// Key-ceremony buffers: peers progress through the ceremony (and
+	// into epoch 0) at their own pace, so frames from rounds or epochs
+	// we have not reached yet are parked rather than dropped.
+	keyPending map[int][][]byte // ceremony round -> payloads
+	backlog    []inMsg          // epoch traffic that arrived mid-ceremony
 }
 
 // inMsg is one parsed message (or terminal condition) from a peer's
@@ -42,28 +49,33 @@ type inMsg struct {
 // pass identical (data, params); the handshake fingerprint rejects a
 // peer that did not. Run blocks until the whole population terminates,
 // an epoch barrier times out, or a peer violates the protocol.
+//
+// The mesh forms before any key exists: the handshake digests the raw
+// configuration (core.ConfigFingerprint), and on the Damgård–Jurik
+// backend the processes then run the distributed key ceremony over the
+// fresh mesh (ceremony.go) — each daemon walks away holding only its
+// own key share — before the first epoch is stepped.
 func Run(cfg Config, data [][]float64, params core.Params) ([]core.IterationResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cn, err := core.NewNode(data, params, cfg.ID)
+	if len(data) != cfg.Population {
+		return nil, fmt.Errorf("transport: config population %d but %d series supplied", cfg.Population, len(data))
+	}
+	fp, err := core.ConfigFingerprint(data, params)
 	if err != nil {
 		return nil, err
 	}
-	defer cn.Close()
-	if cn.Population() != cfg.Population {
-		return nil, fmt.Errorf("transport: config population %d but %d series supplied", cfg.Population, cn.Population())
-	}
 
 	n := &node{
-		cfg:     cfg,
-		core:    cn,
-		sampler: p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population),
-		conns:   make([]net.Conn, cfg.Population),
+		cfg:   cfg,
+		fp:    fp,
+		conns: make([]net.Conn, cfg.Population),
 		// The buffer absorbs a full population's worth of barrier
 		// traffic without blocking readers mid-epoch.
-		in:   make(chan inMsg, 8*cfg.Population),
-		stop: make(chan struct{}),
+		in:         make(chan inMsg, 8*cfg.Population),
+		stop:       make(chan struct{}),
+		keyPending: make(map[int][][]byte),
 	}
 	defer close(n.stop)
 	defer n.closeConns()
@@ -71,6 +83,20 @@ func Run(cfg Config, data [][]float64, params core.Params) ([]core.IterationResu
 	if err := n.formMesh(); err != nil {
 		return nil, err
 	}
+	if params.Backend == core.BackendDamgardJurik && params.DJMaterial == nil {
+		m, err := n.runCeremony(cfg.Population, params)
+		if err != nil {
+			return nil, err
+		}
+		params.DJMaterial = m
+	}
+	cn, err := core.NewNode(data, params, cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer cn.Close()
+	n.core = cn
+	n.sampler = p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population)
 	if err := n.runEpochs(); err != nil {
 		return nil, err
 	}
@@ -181,7 +207,7 @@ func (n *node) dialPeer(id int, addr string, deadline time.Time) error {
 		time.Sleep(5 * time.Millisecond)
 	}
 	conn.SetDeadline(deadline)
-	h := hello{ID: n.cfg.ID, Population: n.cfg.Population, Fingerprint: n.core.Fingerprint()}
+	h := hello{ID: n.cfg.ID, Population: n.cfg.Population, Fingerprint: n.fp}
 	if err := wire.WriteFrame(conn, marshalHello(h)); err != nil {
 		conn.Close()
 		return fmt.Errorf("transport: hello to peer %d: %w", id, err)
@@ -248,7 +274,7 @@ func (n *node) acceptPeers(deadline time.Time) error {
 			reason = fmt.Sprintf("id %d already joined", h.ID)
 		case h.Population != n.cfg.Population:
 			reason = fmt.Sprintf("population %d, want %d", h.Population, n.cfg.Population)
-		case h.Fingerprint != n.core.Fingerprint():
+		case h.Fingerprint != n.fp:
 			reason = "run configuration fingerprint mismatch"
 		}
 		if reason != "" {
@@ -283,6 +309,9 @@ func (n *node) readLoop(from int, conn net.Conn) {
 				m.epoch, m.done, m.err = parseTick(frame[1:])
 			case mtData:
 				m.epoch, m.payload, m.err = parseData(frame[1:])
+			case mtKey:
+				// Ceremony frames reuse the epoch slot for the round tag.
+				m.epoch, m.payload, m.err = parseKey(frame[1:])
 			case mtBye:
 				// fall through with kind only
 			default:
@@ -311,11 +340,11 @@ type epochEnv struct {
 	sendErr error
 }
 
-func (e *epochEnv) ID() p2p.NodeID        { return p2p.NodeID(e.n.cfg.ID) }
-func (e *epochEnv) Cycle() int            { return e.epoch }
-func (e *epochEnv) PopulationSize() int   { return e.n.cfg.Population }
-func (e *epochEnv) AliveCount() int       { return e.n.cfg.Population }
-func (e *epochEnv) Inbox() []p2p.Message  { return e.inbox }
+func (e *epochEnv) ID() p2p.NodeID       { return p2p.NodeID(e.n.cfg.ID) }
+func (e *epochEnv) Cycle() int           { return e.epoch }
+func (e *epochEnv) PopulationSize() int  { return e.n.cfg.Population }
+func (e *epochEnv) AliveCount() int      { return e.n.cfg.Population }
+func (e *epochEnv) Inbox() []p2p.Message { return e.inbox }
 func (e *epochEnv) RandomPeer() (p2p.NodeID, bool) {
 	return e.n.sampler.RandomPeer()
 }
@@ -395,48 +424,58 @@ func (n *node) runEpochs() error {
 
 // awaitBarrier blocks until every peer's tick for the given epoch has
 // arrived, buffering any messages for later epochs. It reports whether
-// the entire population (peers and self) has terminated.
+// the entire population (peers and self) has terminated. Epoch traffic
+// that arrived while this node was still in the key ceremony (backlog)
+// is replayed first, preserving per-sender FIFO order.
 func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[int][][]byte, ticks map[int]map[int]bool, left map[int]bool) (bool, error) {
 	timeout := time.NewTimer(n.cfg.EpochTimeout)
 	defer timeout.Stop()
 	for len(ticks[epoch]) < n.cfg.Population-1 {
-		select {
-		case m := <-n.in:
-			if m.err != nil {
-				return false, fmt.Errorf("transport: peer %d connection failed at epoch %d: %w", m.from, epoch, m.err)
+		var m inMsg
+		if len(n.backlog) > 0 {
+			m = n.backlog[0]
+			n.backlog = n.backlog[1:]
+		} else {
+			select {
+			case m = <-n.in:
+			case <-timeout.C:
+				return false, fmt.Errorf("transport: epoch %d barrier timed out after %v (%d/%d ticks)", epoch, n.cfg.EpochTimeout, len(ticks[epoch]), n.cfg.Population-1)
 			}
-			switch m.kind {
-			case mtTick:
-				if m.epoch < epoch {
-					return false, fmt.Errorf("transport: peer %d re-ticked past epoch %d", m.from, m.epoch)
-				}
-				et := ticks[m.epoch]
-				if et == nil {
-					et = map[int]bool{}
-					ticks[m.epoch] = et
-				}
-				et[m.from] = m.done
-			case mtData:
-				if m.epoch < epoch {
-					return false, fmt.Errorf("transport: peer %d sent stale data for epoch %d at barrier %d", m.from, m.epoch, epoch)
-				}
-				ed := pendingData[m.epoch]
-				if ed == nil {
-					ed = map[int][][]byte{}
-					pendingData[m.epoch] = ed
-				}
-				ed[m.from] = append(ed[m.from], m.payload)
-			case mtBye:
-				// A leave is orderly only after this barrier shows the
-				// whole population done; a peer that leaves while the
-				// run is live breaks the fault-free contract.
-				left[m.from] = true
-				if _, ticked := ticks[epoch][m.from]; !ticked {
-					return false, fmt.Errorf("transport: peer %d left the mesh at epoch %d", m.from, epoch)
-				}
+		}
+		if m.err != nil {
+			return false, fmt.Errorf("transport: peer %d connection failed at epoch %d: %w", m.from, epoch, m.err)
+		}
+		switch m.kind {
+		case mtTick:
+			if m.epoch < epoch {
+				return false, fmt.Errorf("transport: peer %d re-ticked past epoch %d", m.from, m.epoch)
 			}
-		case <-timeout.C:
-			return false, fmt.Errorf("transport: epoch %d barrier timed out after %v (%d/%d ticks)", epoch, n.cfg.EpochTimeout, len(ticks[epoch]), n.cfg.Population-1)
+			et := ticks[m.epoch]
+			if et == nil {
+				et = map[int]bool{}
+				ticks[m.epoch] = et
+			}
+			et[m.from] = m.done
+		case mtData:
+			if m.epoch < epoch {
+				return false, fmt.Errorf("transport: peer %d sent stale data for epoch %d at barrier %d", m.from, m.epoch, epoch)
+			}
+			ed := pendingData[m.epoch]
+			if ed == nil {
+				ed = map[int][][]byte{}
+				pendingData[m.epoch] = ed
+			}
+			ed[m.from] = append(ed[m.from], m.payload)
+		case mtBye:
+			// A leave is orderly only after this barrier shows the
+			// whole population done; a peer that leaves while the
+			// run is live breaks the fault-free contract.
+			left[m.from] = true
+			if _, ticked := ticks[epoch][m.from]; !ticked {
+				return false, fmt.Errorf("transport: peer %d left the mesh at epoch %d", m.from, epoch)
+			}
+		case mtKey:
+			return false, fmt.Errorf("transport: peer %d sent a key-ceremony frame at epoch %d", m.from, epoch)
 		}
 	}
 	if !selfDone {
