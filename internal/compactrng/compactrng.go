@@ -35,6 +35,18 @@ func New(seed int64) *Source {
 // Seed implements rand.Source.
 func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
 
+// State returns the source's complete internal state: the single
+// splitmix64 counter. Together with SetState it makes the stream
+// checkpointable — a restored source continues the exact draw sequence
+// the original would have produced, which is what lets a crashed
+// networked participant (internal/core Snapshot/Restore) replay its
+// run bit-identically.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState overwrites the source's internal state with a value obtained
+// from State.
+func (s *Source) SetState(v uint64) { s.state = v }
+
 // Uint64 implements rand.Source64: one splitmix64 step.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9E3779B97F4A7C15

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"chiaroscuro/internal/compactrng"
 	"chiaroscuro/internal/dp"
 	"chiaroscuro/internal/fixedpoint"
 	"chiaroscuro/internal/gossip"
@@ -107,6 +108,11 @@ type participant struct {
 	series []float64
 	run    *runShared // immutable run-wide configuration and services
 	rng    *rand.Rand
+	// rngSrc is the splitmix64 source behind rng, retained so Snapshot
+	// can capture (and Restore reinstate) the complete RNG state: the
+	// draw algorithms the participant uses buffer nothing on top of the
+	// source, so one word IS the whole noise-randomness state.
+	rngSrc *compactrng.Source
 
 	// Mutable protocol state.
 	phase       phase

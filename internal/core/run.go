@@ -137,15 +137,18 @@ func (rs *runSetup) close() {
 // series is the participant's row of the flat series arena). A node the
 // fault plan marks byzantine carries its corruption behaviour.
 func (rs *runSetup) newParticipant(id p2p.NodeID) *participant {
+	// A compact splitmix64 source: 16 bytes instead of the standard
+	// source's ~5 KB, which at large N made per-participant RNG state
+	// the single biggest heap consumer. Retained beside the rand.Rand
+	// so Snapshot can read it.
+	src := compactrng.New(rs.p.Seed ^ (int64(id)+1)*0x5851F42D4C957F2D)
 	pt := &participant{
 		id:     id,
 		series: rs.series.Row(int(id)),
 		run:    rs.shared,
-		// A compact splitmix64 source: 16 bytes instead of the standard
-		// source's ~5 KB, which at large N made per-participant RNG
-		// state the single biggest heap consumer.
-		rng: compactrng.NewRand(rs.p.Seed ^ (int64(id)+1)*0x5851F42D4C957F2D),
-		byz: rs.p.Faults.ByzantineOf(int(id)),
+		rng:    rand.New(src),
+		rngSrc: src,
+		byz:    rs.p.Faults.ByzantineOf(int(id)),
 		diptych: Diptych{
 			Centroids: deepCopyMatrix(rs.initial),
 		},

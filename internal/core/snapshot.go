@@ -1,0 +1,566 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chiaroscuro/internal/gossip"
+	"chiaroscuro/internal/p2p"
+	"chiaroscuro/internal/wire"
+)
+
+// snapshot.go makes a networked participant's complete mutable state
+// explicitly serializable, so a crashed daemon can restart from an
+// epoch checkpoint and replay its run bit-identically. A snapshot
+// captures everything a Node mutates while stepping: the protocol
+// phase machine, the diptych (public centroids and, mid-gossip, the
+// encrypted push-sum state), the decryption collection buffers, the
+// disclosed history, and the one-word splitmix64 state of the noise
+// RNG. The run-wide immutable configuration (params, data, suite) is
+// NOT in the snapshot — the restarting daemon reconstructs it from the
+// same (data, params) every process derives — with one exception: the
+// Damgård–Jurik ceremony key material (this process's own share only),
+// which cannot be re-derived because the ceremony entropy came from
+// crypto/rand and the mesh has moved past the ceremony.
+//
+// The hot-path scratch buffers (emit double-buffers, arena vectors,
+// inbox classification slices) are deliberately absent: they are
+// rebuilt lazily on the next activation and hold no trajectory state.
+
+const (
+	snapMagic   uint32 = 0xC1A85A9B
+	snapVersion uint32 = 1
+)
+
+// errSnapshot wraps every malformed-snapshot condition so callers can
+// distinguish corruption from config mismatch if they care to.
+var errSnapshot = errors.New("core: malformed snapshot")
+
+func snapErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errSnapshot, fmt.Sprintf(format, args...))
+}
+
+// appendU64Field appends one 8-byte big-endian scalar field.
+func appendU64Field(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return wire.AppendBytes(buf, b[:])
+}
+
+func readU64Field(fr *wire.FieldReader) (uint64, error) {
+	b, err := fr.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, snapErr("scalar field %d bytes, want 8", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Snapshot serializes the node's complete mutable state. The intended
+// call point is an epoch boundary (the transport checkpoints after a
+// barrier completes), but any quiescent moment between Step calls is
+// valid. The encoding is the wire package's length-prefixed field
+// format; floats travel as IEEE-754 bit patterns so a restore is
+// bit-exact, NaNs included.
+func (nd *Node) Snapshot() ([]byte, error) {
+	p := nd.pt
+
+	buf := wire.AppendUint32(nil, snapMagic)
+	buf = wire.AppendUint32(buf, snapVersion)
+
+	// Header blob: everything RestoreNode needs BEFORE it can build the
+	// run setup — identity, RNG state, and the ceremony key material.
+	var hdr []byte
+	hdr = appendU64Field(hdr, nd.Fingerprint())
+	hdr = wire.AppendUint32(hdr, uint32(p.id))
+	hdr = appendU64Field(hdr, p.rngSrc.State())
+	if m := nd.rs.p.DJMaterial; m != nil {
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(m); err != nil {
+			return nil, fmt.Errorf("core: snapshot key material: %w", err)
+		}
+		hdr = wire.AppendUint32(hdr, 1)
+		hdr = wire.AppendBytes(hdr, gb.Bytes())
+	} else {
+		hdr = wire.AppendUint32(hdr, 0)
+	}
+	buf = wire.AppendBytes(buf, hdr)
+
+	// State blob: the participant's mutable protocol state.
+	var st []byte
+	st = wire.AppendUint32(st, uint32(p.phase))
+	st = wire.AppendUint32(st, uint32(p.iter))
+	st = wire.AppendUint32(st, uint32(p.roundsDone))
+	st = wire.AppendUint32(st, uint32(p.assignment))
+	st = wire.AppendUint32(st, uint32(p.waitCycles))
+	st = wire.AppendUint32(st, uint32(p.staleDrops))
+	st = wire.AppendUint32(st, uint32(p.decryptFail))
+	st = wire.AppendUint32(st, uint32(p.diptych.Iteration))
+	st = appendFloats(st, p.diptych.Centroids)
+
+	// The encrypted push-sum state only matters in the phases that read
+	// it before stepAssign rebuilds it (gossip and decrypt); elsewhere a
+	// stale Means is dead weight, so it is dropped.
+	if p.diptych.Means != nil && (p.phase == phaseGossip || p.phase == phaseDecrypt) {
+		st = wire.AppendUint32(st, 1)
+		st = appendU64Field(st, math.Float64bits(p.diptych.Means.Weight()))
+		cv, err := nd.codec.MarshalCipherVector(p.diptych.Means.Values())
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot push-sum state: %w", err)
+		}
+		st = wire.AppendBytes(st, cv)
+	} else {
+		st = wire.AppendUint32(st, 0)
+	}
+
+	// pendingCT's nil-ness is protocol state: stepDecrypt runs step 2c
+	// exactly when it is nil, so the flag must round-trip even though an
+	// empty vector never occurs.
+	if p.pendingCT != nil {
+		st = wire.AppendUint32(st, 1)
+		cv, err := nd.codec.MarshalCipherVector(p.pendingCT)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot pending ciphertexts: %w", err)
+		}
+		st = wire.AppendBytes(st, cv)
+	} else {
+		st = wire.AppendUint32(st, 0)
+	}
+
+	// Partials and asked-peers are sets keyed by index/id; sorted so the
+	// snapshot bytes are deterministic (map order is not).
+	idxs := make([]int, 0, len(p.partials))
+	for idx := range p.partials {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	st = wire.AppendUint32(st, uint32(len(idxs)))
+	for _, idx := range idxs {
+		st = wire.AppendUint32(st, uint32(idx))
+		pv, err := nd.codec.MarshalPartialValues(p.partials[idx])
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot partials: %w", err)
+		}
+		st = wire.AppendBytes(st, pv)
+	}
+	asked := make([]int, 0, len(p.asked))
+	for id := range p.asked {
+		asked = append(asked, int(id))
+	}
+	sort.Ints(asked)
+	st = wire.AppendUint32(st, uint32(len(asked)))
+	for _, id := range asked {
+		st = wire.AppendUint32(st, uint32(id))
+	}
+
+	st = wire.AppendUint32(st, uint32(len(p.history)))
+	for _, h := range p.history {
+		st = wire.AppendUint32(st, uint32(h.Iteration))
+		st = appendU64Field(st, math.Float64bits(h.Epsilon))
+		st = appendFloats(st, h.PerturbedCentroids)
+		st = appendFloats(st, [][]float64{h.PerturbedCounts})
+		st = appendU64Field(st, math.Float64bits(h.PerturbedInertia))
+		st = wire.AppendUint32(st, uint32(h.Assignment))
+		st = appendU64Field(st, math.Float64bits(h.Displacement))
+		failed := uint32(0)
+		if h.DecryptFailed {
+			failed = 1
+		}
+		st = wire.AppendUint32(st, failed)
+		st = wire.AppendUint32(st, uint32(h.CompletedAtCycle))
+	}
+	buf = wire.AppendBytes(buf, st)
+	return buf, nil
+}
+
+// snapshotHeader is the pre-construction part of a snapshot.
+type snapshotHeader struct {
+	fingerprint uint64
+	id          int
+	rngState    uint64
+	material    *DJKeyMaterial
+}
+
+// parseSnapshotHeader splits a snapshot into its header (decoded) and
+// its still-encoded state blob.
+func parseSnapshotHeader(snap []byte) (*snapshotHeader, []byte, error) {
+	fr := wire.NewFieldReader(snap)
+	magic, err := fr.Uint32()
+	if err != nil {
+		return nil, nil, snapErr("truncated: %v", err)
+	}
+	if magic != snapMagic {
+		return nil, nil, snapErr("bad magic 0x%08x", magic)
+	}
+	version, err := fr.Uint32()
+	if err != nil {
+		return nil, nil, snapErr("truncated: %v", err)
+	}
+	if version != snapVersion {
+		return nil, nil, snapErr("version %d, want %d", version, snapVersion)
+	}
+	hdrBytes, err := fr.Bytes()
+	if err != nil {
+		return nil, nil, snapErr("header: %v", err)
+	}
+	stBytes, err := fr.Bytes()
+	if err != nil {
+		return nil, nil, snapErr("state: %v", err)
+	}
+	if err := fr.Done(); err != nil {
+		return nil, nil, snapErr("trailing bytes: %v", err)
+	}
+
+	h := &snapshotHeader{}
+	hr := wire.NewFieldReader(hdrBytes)
+	if h.fingerprint, err = readU64Field(hr); err != nil {
+		return nil, nil, err
+	}
+	idU, err := hr.Uint32()
+	if err != nil {
+		return nil, nil, snapErr("id: %v", err)
+	}
+	h.id = int(idU)
+	if h.rngState, err = readU64Field(hr); err != nil {
+		return nil, nil, err
+	}
+	hasMat, err := hr.Uint32()
+	if err != nil {
+		return nil, nil, snapErr("material flag: %v", err)
+	}
+	switch hasMat {
+	case 0:
+	case 1:
+		mb, err := hr.Bytes()
+		if err != nil {
+			return nil, nil, snapErr("material: %v", err)
+		}
+		var m DJKeyMaterial
+		if err := gob.NewDecoder(bytes.NewReader(mb)).Decode(&m); err != nil {
+			return nil, nil, snapErr("material: %v", err)
+		}
+		h.material = &m
+	default:
+		return nil, nil, snapErr("material flag %d", hasMat)
+	}
+	if err := hr.Done(); err != nil {
+		return nil, nil, snapErr("header trailing bytes: %v", err)
+	}
+	return h, stBytes, nil
+}
+
+// RestoreNode rebuilds a Node from the shared run configuration and a
+// snapshot taken by Node.Snapshot. The (data, params) must be the same
+// configuration the snapshotted node was built from — the snapshot's
+// fingerprint is checked against it, so a restart launched with
+// different flags fails loudly instead of diverging. Ceremony key
+// material embedded in the snapshot takes the place of re-running the
+// key ceremony.
+func RestoreNode(data [][]float64, params Params, id int, snap []byte) (*Node, error) {
+	h, stBytes, err := parseSnapshotHeader(snap)
+	if err != nil {
+		return nil, err
+	}
+	if h.id != id {
+		return nil, snapErr("snapshot is node %d's, not node %d's", h.id, id)
+	}
+	if h.material != nil {
+		params.DJMaterial = h.material
+	}
+	fp, err := ConfigFingerprint(data, params)
+	if err != nil {
+		return nil, err
+	}
+	if h.fingerprint != fp {
+		return nil, fmt.Errorf("core: snapshot fingerprint %016x does not match run configuration %016x", h.fingerprint, fp)
+	}
+	nd, err := NewNode(data, params, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := nd.restoreState(h, stBytes); err != nil {
+		nd.Close()
+		return nil, err
+	}
+	return nd, nil
+}
+
+// restoreState decodes the participant state blob into the freshly
+// constructed node, validating every field against the run
+// configuration so a corrupted checkpoint is rejected instead of
+// desynchronizing (or crashing) the participant.
+func (nd *Node) restoreState(h *snapshotHeader, st []byte) error {
+	p := nd.pt
+	r := p.run
+	fr := wire.NewFieldReader(st)
+
+	u32 := func(name string) (int, error) {
+		v, err := fr.Uint32()
+		if err != nil {
+			return 0, snapErr("%s: %v", name, err)
+		}
+		return int(v), nil
+	}
+	phaseV, err := u32("phase")
+	if err != nil {
+		return err
+	}
+	if phaseV > int(phaseDone) {
+		return snapErr("phase %d out of range", phaseV)
+	}
+	iter, err := u32("iter")
+	if err != nil {
+		return err
+	}
+	if iter >= len(r.epsSched) {
+		return snapErr("iteration %d outside schedule of %d", iter, len(r.epsSched))
+	}
+	roundsDone, err := u32("roundsDone")
+	if err != nil {
+		return err
+	}
+	assignment, err := u32("assignment")
+	if err != nil {
+		return err
+	}
+	if assignment >= r.params.K {
+		return snapErr("assignment %d outside K=%d", assignment, r.params.K)
+	}
+	waitCycles, err := u32("waitCycles")
+	if err != nil {
+		return err
+	}
+	staleDrops, err := u32("staleDrops")
+	if err != nil {
+		return err
+	}
+	decryptFail, err := u32("decryptFail")
+	if err != nil {
+		return err
+	}
+	dipIter, err := u32("diptych iteration")
+	if err != nil {
+		return err
+	}
+	centroids, err := readFloats(fr, r.params.K, r.dim)
+	if err != nil {
+		return snapErr("centroids: %v", err)
+	}
+
+	hasMeans, err := u32("means flag")
+	if err != nil {
+		return err
+	}
+	var means *gossip.State[Cipher]
+	switch hasMeans {
+	case 0:
+	case 1:
+		wBits, err := readU64Field(fr)
+		if err != nil {
+			return err
+		}
+		w := math.Float64frombits(wBits)
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 || w > float64(r.population) {
+			return snapErr("implausible push-sum weight %g", w)
+		}
+		cv, err := fr.Bytes()
+		if err != nil {
+			return snapErr("push-sum vector: %v", err)
+		}
+		cs, err := nd.codec.UnmarshalCipherVector(cv)
+		if err != nil {
+			return snapErr("push-sum vector: %v", err)
+		}
+		if len(cs) != 2*r.sideCiphers {
+			return snapErr("push-sum vector of %d ciphers, want %d", len(cs), 2*r.sideCiphers)
+		}
+		means, err = gossip.NewState[Cipher](r.ring, cs, w)
+		if err != nil {
+			return snapErr("push-sum state: %v", err)
+		}
+		// Mirror stepAssign's construction: the restored values are
+		// freshly cloned and exclusively owned, so the in-place hot path
+		// stays sound under the same conditions.
+		if r.mut != nil {
+			means.SetMutable()
+		}
+		if r.batchHint > 0 {
+			means.ReserveBatch(r.batchHint)
+		}
+	default:
+		return snapErr("means flag %d", hasMeans)
+	}
+
+	hasPending, err := u32("pending flag")
+	if err != nil {
+		return err
+	}
+	var pendingCT []Cipher
+	switch hasPending {
+	case 0:
+	case 1:
+		cv, err := fr.Bytes()
+		if err != nil {
+			return snapErr("pending ciphertexts: %v", err)
+		}
+		cs, err := nd.codec.UnmarshalCipherVector(cv)
+		if err != nil {
+			return snapErr("pending ciphertexts: %v", err)
+		}
+		if len(cs) != r.sideCiphers {
+			return snapErr("pending vector of %d ciphers, want %d", len(cs), r.sideCiphers)
+		}
+		pendingCT = cs
+	default:
+		return snapErr("pending flag %d", hasPending)
+	}
+	if pendingCT != nil && means == nil {
+		return snapErr("pending ciphertexts without push-sum state")
+	}
+
+	nPartials, err := u32("partials count")
+	if err != nil {
+		return err
+	}
+	if nPartials > nd.rs.suite.Parties() {
+		return snapErr("%d partial sets for %d parties", nPartials, nd.rs.suite.Parties())
+	}
+	var partials map[int][]Partial
+	if phase(phaseV) == phaseDecrypt {
+		partials = make(map[int][]Partial, nPartials)
+	} else if nPartials > 0 {
+		return snapErr("partials outside decrypt phase")
+	}
+	for i := 0; i < nPartials; i++ {
+		idx, err := u32("partial index")
+		if err != nil {
+			return err
+		}
+		if idx < 1 || idx > nd.rs.suite.Parties() {
+			return snapErr("partial index %d outside [1, %d]", idx, nd.rs.suite.Parties())
+		}
+		pv, err := fr.Bytes()
+		if err != nil {
+			return snapErr("partial values: %v", err)
+		}
+		ps, err := nd.codec.UnmarshalPartialValues(idx, pv)
+		if err != nil {
+			return snapErr("partial values: %v", err)
+		}
+		if len(ps) != r.sideCiphers {
+			return snapErr("partial set of %d values, want %d", len(ps), r.sideCiphers)
+		}
+		if _, dup := partials[idx]; dup {
+			return snapErr("duplicate partial index %d", idx)
+		}
+		partials[idx] = ps
+	}
+
+	nAsked, err := u32("asked count")
+	if err != nil {
+		return err
+	}
+	if nAsked > r.population {
+		return snapErr("%d asked peers in population %d", nAsked, r.population)
+	}
+	var asked map[p2p.NodeID]bool
+	if phase(phaseV) == phaseDecrypt {
+		asked = make(map[p2p.NodeID]bool, nAsked)
+	} else if nAsked > 0 {
+		return snapErr("asked peers outside decrypt phase")
+	}
+	for i := 0; i < nAsked; i++ {
+		id, err := u32("asked id")
+		if err != nil {
+			return err
+		}
+		if id >= r.population {
+			return snapErr("asked id %d outside population %d", id, r.population)
+		}
+		asked[p2p.NodeID(id)] = true
+	}
+
+	nHistory, err := u32("history count")
+	if err != nil {
+		return err
+	}
+	if nHistory > r.params.Iterations {
+		return snapErr("%d history entries for %d iterations", nHistory, r.params.Iterations)
+	}
+	history := make([]IterationResult, 0, nHistory)
+	for i := 0; i < nHistory; i++ {
+		var rec IterationResult
+		if rec.Iteration, err = u32("history iteration"); err != nil {
+			return err
+		}
+		epsBits, err := readU64Field(fr)
+		if err != nil {
+			return err
+		}
+		rec.Epsilon = math.Float64frombits(epsBits)
+		if rec.PerturbedCentroids, err = readFloats(fr, r.params.K, r.dim); err != nil {
+			return snapErr("history centroids: %v", err)
+		}
+		counts, err := readFloats(fr, 1, r.params.K)
+		if err != nil {
+			return snapErr("history counts: %v", err)
+		}
+		rec.PerturbedCounts = counts[0]
+		inBits, err := readU64Field(fr)
+		if err != nil {
+			return err
+		}
+		rec.PerturbedInertia = math.Float64frombits(inBits)
+		if rec.Assignment, err = u32("history assignment"); err != nil {
+			return err
+		}
+		if rec.Assignment >= r.params.K {
+			return snapErr("history assignment %d outside K=%d", rec.Assignment, r.params.K)
+		}
+		dBits, err := readU64Field(fr)
+		if err != nil {
+			return err
+		}
+		rec.Displacement = math.Float64frombits(dBits)
+		failed, err := u32("history failed flag")
+		if err != nil {
+			return err
+		}
+		if failed > 1 {
+			return snapErr("history failed flag %d", failed)
+		}
+		rec.DecryptFailed = failed == 1
+		if rec.CompletedAtCycle, err = u32("history cycle"); err != nil {
+			return err
+		}
+		history = append(history, rec)
+	}
+	if err := fr.Done(); err != nil {
+		return snapErr("trailing state bytes: %v", err)
+	}
+
+	// Everything validated — commit.
+	p.rngSrc.SetState(h.rngState)
+	p.phase = phase(phaseV)
+	p.iter = iter
+	p.roundsDone = roundsDone
+	p.assignment = assignment
+	p.waitCycles = waitCycles
+	p.staleDrops = staleDrops
+	p.decryptFail = decryptFail
+	p.diptych.Iteration = dipIter
+	p.diptych.Centroids = centroids
+	p.diptych.Means = means
+	p.pendingCT = pendingCT
+	p.partials = partials
+	p.asked = asked
+	p.history = history
+	return nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"chiaroscuro/internal/p2p"
+)
+
+// snapshot_test.go drives networked Nodes through an in-memory mesh —
+// the transport's epoch clock without the TCP — and checks that a node
+// snapshotted mid-run and restored into a fresh process image continues
+// the run bit-identically. The mini-mesh routes every payload through
+// EncodePayload/DecodePayload, so a snapshot round-trip is exercised
+// against exactly the state a real daemon would have.
+
+// memMesh steps a full population of Nodes under the simulator's
+// message-visibility contract: payloads sent at epoch e are delivered
+// at e+1, inboxes ordered by ascending sender id with per-sender FIFO.
+type memMesh struct {
+	nodes    []*Node
+	samplers []*p2p.Sampler
+	// pending[to][from] is the FIFO of encoded payloads sent this epoch.
+	pending []map[int][][]byte
+}
+
+func newMemMesh(t *testing.T, data [][]float64, params Params) *memMesh {
+	t.Helper()
+	m := &memMesh{
+		nodes:    make([]*Node, len(data)),
+		samplers: make([]*p2p.Sampler, len(data)),
+		pending:  make([]map[int][][]byte, len(data)),
+	}
+	for id := range data {
+		nd, err := NewNode(data, params, id)
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", id, err)
+		}
+		m.nodes[id] = nd
+		m.samplers[id] = p2p.NewSampler(nd.SamplingSeed(), p2p.NodeID(id), len(data))
+		m.pending[id] = map[int][][]byte{}
+	}
+	return m
+}
+
+func (m *memMesh) close() {
+	for _, nd := range m.nodes {
+		if nd != nil {
+			nd.Close()
+		}
+	}
+}
+
+type memEnv struct {
+	m     *memMesh
+	id    int
+	epoch int
+	inbox []p2p.Message
+	next  []map[int][][]byte
+	t     *testing.T
+}
+
+func (e *memEnv) ID() p2p.NodeID       { return p2p.NodeID(e.id) }
+func (e *memEnv) Cycle() int           { return e.epoch }
+func (e *memEnv) PopulationSize() int  { return len(e.m.nodes) }
+func (e *memEnv) AliveCount() int      { return len(e.m.nodes) }
+func (e *memEnv) Inbox() []p2p.Message { return e.inbox }
+func (e *memEnv) RandomPeer() (p2p.NodeID, bool) {
+	return e.m.samplers[e.id].RandomPeer()
+}
+func (e *memEnv) RandomPeers(k int) []p2p.NodeID {
+	return e.m.samplers[e.id].RandomPeers(k)
+}
+func (e *memEnv) Send(to p2p.NodeID, payload any, bytes int) error {
+	raw, err := e.m.nodes[e.id].EncodePayload(payload)
+	if err != nil {
+		e.t.Fatalf("node %d encode at epoch %d: %v", e.id, e.epoch, err)
+	}
+	e.next[int(to)][e.id] = append(e.next[int(to)][e.id], raw)
+	return nil
+}
+
+// stepEpoch advances the whole mesh one epoch, returning whether every
+// node is done.
+func (m *memMesh) stepEpoch(t *testing.T, epoch int) bool {
+	t.Helper()
+	next := make([]map[int][][]byte, len(m.nodes))
+	for id := range next {
+		next[id] = map[int][][]byte{}
+	}
+	allDone := true
+	for id, nd := range m.nodes {
+		var inbox []p2p.Message
+		for from := 0; from < len(m.nodes); from++ {
+			for _, raw := range m.pending[id][from] {
+				payload, err := nd.DecodePayload(raw)
+				if err != nil {
+					t.Fatalf("node %d decode from %d at epoch %d: %v", id, from, epoch, err)
+				}
+				inbox = append(inbox, p2p.Message{From: p2p.NodeID(from), Payload: payload, Bytes: len(raw)})
+			}
+		}
+		env := &memEnv{m: m, id: id, epoch: epoch, inbox: inbox, next: next, t: t}
+		nd.Step(env)
+		if !nd.Done() {
+			allDone = false
+		}
+	}
+	m.pending = next
+	return allDone
+}
+
+// run steps until the whole population terminates.
+func (m *memMesh) run(t *testing.T, from int) {
+	t.Helper()
+	limit := m.nodes[0].MaxCycles()
+	for epoch := from; epoch < limit; epoch++ {
+		if m.stepEpoch(t, epoch) {
+			return
+		}
+	}
+	t.Fatalf("mesh did not terminate within %d epochs", limit)
+}
+
+func requireEqualHistories(t *testing.T, got, want [][]IterationResult, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d histories, want %d", label, len(got), len(want))
+	}
+	for id := range want {
+		if len(got[id]) != len(want[id]) {
+			t.Fatalf("%s: node %d disclosed %d iterations, want %d", label, id, len(got[id]), len(want[id]))
+		}
+		for i := range want[id] {
+			g, w := got[id][i], want[id][i]
+			if g.Iteration != w.Iteration || g.Assignment != w.Assignment ||
+				g.DecryptFailed != w.DecryptFailed || g.CompletedAtCycle != w.CompletedAtCycle ||
+				g.Epsilon != w.Epsilon || g.Displacement != w.Displacement {
+				t.Fatalf("%s: node %d iteration %d diverges: %+v vs %+v", label, id, i, g, w)
+			}
+			for j := range w.PerturbedCentroids {
+				for d := range w.PerturbedCentroids[j] {
+					if g.PerturbedCentroids[j][d] != w.PerturbedCentroids[j][d] {
+						t.Fatalf("%s: node %d iteration %d centroid [%d][%d] diverges", label, id, i, j, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (m *memMesh) histories() [][]IterationResult {
+	out := make([][]IterationResult, len(m.nodes))
+	for id, nd := range m.nodes {
+		out[id] = nd.History()
+	}
+	return out
+}
+
+func snapshotTestConfig() ([][]float64, Params) {
+	data := blobs(4, 6, 2)
+	params := Params{K: 2, Epsilon: 1.0, Iterations: 2, Seed: 99, Backend: BackendPlainAccounted}
+	return data, params
+}
+
+// TestMemMeshMatchesSequential sanity-checks the mini-mesh itself: its
+// epoch clock must reproduce the sequential engine's trajectories, or
+// the snapshot tests below would be comparing against a broken oracle.
+func TestMemMeshMatchesSequential(t *testing.T) {
+	data, params := snapshotTestConfig()
+	_, want, err := RunSequentialHistories(data, params)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	m := newMemMesh(t, data, params)
+	defer m.close()
+	m.run(t, 0)
+	requireEqualHistories(t, m.histories(), want, "mem mesh")
+}
+
+// TestSnapshotRestoreMidRun is the core crash-recovery property: at
+// every epoch of the run, snapshotting EVERY node, restoring each into
+// a brand-new Node (fresh suite, fresh participant) and continuing must
+// disclose trajectories bit-identical to the uninterrupted reference.
+// Cycling the interruption point across all epochs covers every phase
+// of the protocol state machine (assign, gossip, decrypt, done).
+func TestSnapshotRestoreMidRun(t *testing.T) {
+	data, params := snapshotTestConfig()
+	_, want, err := RunSequentialHistories(data, params)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	// Measure the uninterrupted run length first.
+	probe := newMemMesh(t, data, params)
+	epochs := 0
+	for !probe.stepEpoch(t, epochs) {
+		epochs++
+	}
+	probe.close()
+	if epochs < 3 {
+		t.Fatalf("run too short (%d epochs) to exercise mid-run snapshots", epochs)
+	}
+
+	for cut := 1; cut <= epochs; cut++ {
+		m := newMemMesh(t, data, params)
+		for e := 0; e < cut; e++ {
+			m.stepEpoch(t, e)
+		}
+		// Crash the whole population: serialize, discard, restore.
+		for id, nd := range m.nodes {
+			snap, err := nd.Snapshot()
+			if err != nil {
+				t.Fatalf("cut %d: snapshot node %d: %v", cut, id, err)
+			}
+			nd.Close()
+			restored, err := RestoreNode(data, params, id, snap)
+			if err != nil {
+				t.Fatalf("cut %d: restore node %d: %v", cut, id, err)
+			}
+			m.nodes[id] = restored
+			// The peer sampler is checkpointed alongside in the real
+			// daemon; mirror that here.
+			st := m.samplers[id].State()
+			m.samplers[id] = p2p.NewSampler(restored.SamplingSeed(), p2p.NodeID(id), len(data))
+			m.samplers[id].SetState(st)
+		}
+		m.run(t, cut)
+		requireEqualHistories(t, m.histories(), want, "restored mesh")
+		m.close()
+	}
+}
+
+// TestSnapshotRejectsMismatch pins the guard rails: a snapshot must not
+// restore into the wrong node id or a different run configuration.
+func TestSnapshotRejectsMismatch(t *testing.T) {
+	data, params := snapshotTestConfig()
+	nd, err := NewNode(data, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	snap, err := nd.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreNode(data, params, 2, snap); err == nil {
+		t.Fatal("restore accepted a snapshot belonging to another node")
+	}
+	other := params
+	other.Seed++
+	if _, err := RestoreNode(data, other, 1, snap); err == nil {
+		t.Fatal("restore accepted a snapshot from a different run configuration")
+	}
+	for _, cut := range []int{0, 1, 4, 8, len(snap) - 1} {
+		if cut >= len(snap) {
+			continue
+		}
+		if _, err := RestoreNode(data, params, 1, snap[:cut]); err == nil {
+			t.Fatalf("restore accepted a snapshot truncated to %d bytes", cut)
+		}
+	}
+	mut := bytes.Clone(snap)
+	mut[len(mut)-1] ^= 0xFF
+	if _, err := RestoreNode(data, params, 1, mut); err == nil {
+		t.Fatal("restore accepted a corrupted snapshot")
+	}
+}
+
+// FuzzRestoreNode hardens the snapshot decoder the way the wire
+// decoders are hardened: arbitrary bytes must produce an error, never a
+// panic or a silently half-restored node.
+func FuzzRestoreNode(f *testing.F) {
+	data, params := snapshotTestConfig()
+	nd, err := NewNode(data, params, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := nd.Snapshot()
+	nd.Close()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if nd, err := RestoreNode(data, params, 0, b); err == nil {
+			nd.Close()
+		}
+	})
+}

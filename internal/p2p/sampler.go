@@ -24,6 +24,7 @@ import (
 // re-sampling.)
 type Sampler struct {
 	rng *rand.Rand
+	src *compactrng.Source
 	id  NodeID
 	n   int
 }
@@ -32,12 +33,24 @@ type Sampler struct {
 // the same run seed the engine was (or would be) given: the per-node
 // stream derivation is identical to the engine's.
 func NewSampler(seed int64, id NodeID, n int) *Sampler {
+	src := compactrng.New(nodeSeed(seed, int(id)))
 	return &Sampler{
-		rng: compactrng.NewRand(nodeSeed(seed, int(id))),
+		rng: rand.New(src),
+		src: src,
 		id:  id,
 		n:   n,
 	}
 }
+
+// State returns the sampler's complete RNG state (one splitmix64 word).
+// The rand.Rand draw paths the sampler uses (Intn over a Source64)
+// buffer nothing, so the source state alone determines every future
+// draw — the property the daemon's crash checkpoints rely on.
+func (s *Sampler) State() uint64 { return s.src.State() }
+
+// SetState restores a state obtained from State: the sampler continues
+// the exact peer-draw sequence the checkpointed one would have drawn.
+func (s *Sampler) SetState(v uint64) { s.src.SetState(v) }
 
 // RandomPeer draws a uniform peer, excluding the node itself — the same
 // rejection loop (and therefore the same RNG consumption) as the

@@ -1,0 +1,67 @@
+package transport
+
+import "time"
+
+// backoff.go computes the redial schedule for a supervised peer link.
+// The schedule is fully deterministic: it is derived from the run
+// fingerprint and the (unordered) peer pair, so the two endpoints of a
+// broken link — and a test replaying the same run — compute the exact
+// same retry timeline. Determinism matters here for the same reason it
+// matters everywhere else in Chiaroscuro: a conformance run must be
+// reproducible down to its failure handling, or the chaos harness
+// could not assert bit-identical trajectories across injected faults.
+
+const (
+	// backoffBase is the delay before the first redial attempt.
+	backoffBase = 25 * time.Millisecond
+	// backoffCap bounds the exponential growth: attempts beyond the cap
+	// retry at a steady cadence instead of backing off forever, so a
+	// peer that restarts late is still picked up quickly.
+	backoffCap = 2 * time.Second
+	// backoffJitterFrac is the fraction of the base delay used as the
+	// jitter range: each attempt adds [0, delay/4) of deterministic
+	// jitter so redial storms across many links spread out, without
+	// giving up reproducibility.
+	backoffJitterFrac = 4
+)
+
+// backoffSeed derives the jitter seed for the link between peers a and
+// b of the run identified by fingerprint. The pair is ordered
+// internally, so both endpoints derive the same seed.
+func backoffSeed(fingerprint uint64, a, b int) uint64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s := fingerprint ^ uint64(lo)<<32 ^ uint64(hi)
+	// One splitmix64 round decorrelates adjacent pairs; without it the
+	// seeds of (0,1) and (0,2) differ in a single low bit.
+	s += 0x9E3779B97F4A7C15
+	s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+	s = (s ^ (s >> 27)) * 0x94D049BB133111EB
+	return s ^ (s >> 31)
+}
+
+// backoffDelay returns the wait before redial attempt n (0-based) on
+// the link with the given jitter seed: base·2ⁿ capped at backoffCap,
+// plus deterministic jitter below a quarter of the uncapped step.
+func backoffDelay(seed uint64, attempt int) time.Duration {
+	delay := backoffBase
+	for i := 0; i < attempt && delay < backoffCap; i++ {
+		delay *= 2
+	}
+	if delay > backoffCap {
+		delay = backoffCap
+	}
+	// Derive the attempt's jitter from one more splitmix64 round over
+	// (seed, attempt) — stateless, so concurrent links never contend.
+	s := seed + uint64(attempt+1)*0x9E3779B97F4A7C15
+	s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+	s = (s ^ (s >> 27)) * 0x94D049BB133111EB
+	s ^= s >> 31
+	jitterRange := delay / backoffJitterFrac
+	if jitterRange <= 0 {
+		return delay
+	}
+	return delay + time.Duration(s%uint64(jitterRange))
+}

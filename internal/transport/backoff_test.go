@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleTable pins the deterministic redial timeline for
+// one concrete link. If this table changes, the retry behavior of every
+// deployed pair of daemons changes with it — treat a diff here as a
+// protocol change, not a refactor.
+func TestBackoffScheduleTable(t *testing.T) {
+	seed := backoffSeed(0xC1A85C0DEADBEEF0, 2, 0)
+	want := []time.Duration{
+		29825751,
+		62417576,
+		119999602,
+		203145268,
+		446178577,
+		841917204,
+		1968554653,
+		2174627921,
+		2285146138,
+		2025343351,
+	}
+	for attempt, w := range want {
+		got := backoffDelay(seed, attempt)
+		if got != w {
+			t.Fatalf("attempt %d: delay %d, want %d", attempt, got, w)
+		}
+	}
+}
+
+// TestBackoffDeterministicAcrossEndpoints is the property the schedule
+// exists for: both endpoints of a link (who see the pair in opposite
+// order) and a replay of the same run compute identical timelines.
+func TestBackoffDeterministicAcrossEndpoints(t *testing.T) {
+	const fp = 0x123456789ABCDEF0
+	if a, b := backoffSeed(fp, 1, 4), backoffSeed(fp, 4, 1); a != b {
+		t.Fatalf("endpoint seeds differ: %016x vs %016x", a, b)
+	}
+	seed := backoffSeed(fp, 1, 4)
+	for attempt := 0; attempt < 32; attempt++ {
+		if a, b := backoffDelay(seed, attempt), backoffDelay(seed, attempt); a != b {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+// TestBackoffCapAndGrowth checks the shape: monotone non-decreasing
+// base steps, never below the base, and capped (including jitter)
+// at backoffCap + backoffCap/backoffJitterFrac.
+func TestBackoffCapAndGrowth(t *testing.T) {
+	seed := backoffSeed(7, 0, 1)
+	maxDelay := backoffCap + backoffCap/backoffJitterFrac
+	for attempt := 0; attempt < 64; attempt++ {
+		d := backoffDelay(seed, attempt)
+		if d < backoffBase {
+			t.Fatalf("attempt %d: delay %v below base %v", attempt, d, backoffBase)
+		}
+		if d > maxDelay {
+			t.Fatalf("attempt %d: delay %v above cap+jitter %v", attempt, d, maxDelay)
+		}
+	}
+	// Distinct links get distinct jitter streams.
+	if backoffSeed(7, 0, 1) == backoffSeed(7, 0, 2) {
+		t.Fatal("adjacent peer pairs share a jitter seed")
+	}
+	if backoffSeed(7, 0, 1) == backoffSeed(8, 0, 1) {
+		t.Fatal("distinct runs share a jitter seed")
+	}
+}

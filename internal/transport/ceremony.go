@@ -7,7 +7,6 @@ import (
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/crypto/damgardjurik"
 	"chiaroscuro/internal/crypto/dkg"
-	"chiaroscuro/internal/wire"
 )
 
 // ceremony.go runs the distributed key ceremony over the freshly formed
@@ -73,7 +72,7 @@ func (n *node) runCeremony(population int, params core.Params) (*core.DJKeyMater
 		if err != nil {
 			return nil, err
 		}
-		if err := wire.WriteFrame(n.conns[j], marshalKey(keyRoundDeal, buf)); err != nil {
+		if err := n.links[j].send(0, marshalKey(keyRoundDeal, buf)); err != nil {
 			return nil, fmt.Errorf("transport: deal to peer %d: %w", j, err)
 		}
 	}
@@ -143,11 +142,11 @@ func (n *node) broadcastKey(round int, marshal func() ([]byte, error)) error {
 		return err
 	}
 	frame := marshalKey(round, buf)
-	for id, c := range n.conns {
-		if c == nil {
+	for id, l := range n.links {
+		if l == nil {
 			continue
 		}
-		if err := wire.WriteFrame(c, frame); err != nil {
+		if err := l.send(0, frame); err != nil {
 			return fmt.Errorf("transport: key-ceremony round %d to peer %d: %w", round, id, err)
 		}
 	}
@@ -174,6 +173,9 @@ func (n *node) collectKeyRound(round, want int, handle func([]byte) error) error
 		var m inMsg
 		select {
 		case m = <-n.in:
+			if m.seq > 0 {
+				n.procSeq[m.from] = m.seq
+			}
 		case <-timeout.C:
 			return fmt.Errorf("transport: key-ceremony round %d timed out after %v (%d artifacts missing)", round, n.cfg.EpochTimeout, want)
 		}

@@ -1,0 +1,644 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"chiaroscuro/internal/wire"
+)
+
+// checkpoint.go persists a node's complete resumable state between
+// epochs: the core participant snapshot (which embeds this node's key
+// share on the Damgård–Jurik backend), the peer sampler's RNG state,
+// every link's sequence numbers and retransmit ring, and the barrier
+// buffers (parked payloads, ticks, leftover ceremony backlog). A daemon
+// SIGKILLed mid-run restarts with -resume, restores this file, replays
+// the resume handshake against the survivors, and continues the run
+// with disclosed histories bit-identical to an uninterrupted one.
+//
+// The file is written atomically (temp + fsync + rename + directory
+// fsync), so a crash during the write leaves the previous checkpoint
+// intact, never a torn file.
+
+const (
+	ckptMagic   uint32 = 0xC1A8C4B7
+	ckptVersion uint32 = 1
+	// ckptMaxCount bounds every element count read from a checkpoint
+	// before allocation, so corrupt or adversarial length fields cannot
+	// demand unbounded memory.
+	ckptMaxCount = 1 << 20
+)
+
+// errCheckpoint prefixes every decode failure.
+var errCheckpoint = errors.New("transport: invalid checkpoint")
+
+func ckptErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errCheckpoint, fmt.Sprintf(format, args...))
+}
+
+// linkState is one link's checkpointed sequencing state.
+type linkState struct {
+	outSeq uint64
+	inSeq  uint64
+	pruned uint64
+	ring   []sentFrame
+}
+
+// checkpoint is the decoded form of one checkpoint file.
+type checkpoint struct {
+	fingerprint    uint64
+	id             int
+	population     int
+	nextEpoch      int
+	barrierPending bool
+	samplerState   uint64
+	coreSnap       []byte
+	links          map[int]linkState
+	pendingData    map[int]map[int][][]byte
+	ticks          map[int]map[int]bool
+	left           map[int]bool
+	backlog        []inMsg
+}
+
+func checkpointPath(cfg Config) string {
+	return filepath.Join(cfg.CheckpointDir, fmt.Sprintf("%d.ckpt", cfg.ID))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], v)
+	return wire.AppendBytes(buf, u[:])
+}
+
+func readU64(fr *wire.FieldReader) (uint64, error) {
+	b, err := fr.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, ckptErr("u64 field is %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func encodeCheckpoint(ck *checkpoint) []byte {
+	buf := make([]byte, 0, 1024+len(ck.coreSnap))
+	buf = wire.AppendUint32(buf, ckptMagic)
+	buf = wire.AppendUint32(buf, ckptVersion)
+	buf = appendU64(buf, ck.fingerprint)
+	buf = wire.AppendUint32(buf, uint32(ck.id))
+	buf = wire.AppendUint32(buf, uint32(ck.population))
+	buf = wire.AppendUint32(buf, uint32(ck.nextEpoch))
+	flag := uint32(0)
+	if ck.barrierPending {
+		flag = 1
+	}
+	buf = wire.AppendUint32(buf, flag)
+	buf = appendU64(buf, ck.samplerState)
+	buf = wire.AppendBytes(buf, ck.coreSnap)
+
+	peers := make([]int, 0, len(ck.links))
+	for id := range ck.links {
+		peers = append(peers, id)
+	}
+	sort.Ints(peers)
+	buf = wire.AppendUint32(buf, uint32(len(peers)))
+	for _, id := range peers {
+		ls := ck.links[id]
+		buf = wire.AppendUint32(buf, uint32(id))
+		buf = appendU64(buf, ls.outSeq)
+		buf = appendU64(buf, ls.inSeq)
+		buf = appendU64(buf, ls.pruned)
+		buf = wire.AppendUint32(buf, uint32(len(ls.ring)))
+		for _, sf := range ls.ring {
+			buf = appendU64(buf, sf.seq)
+			buf = wire.AppendUint32(buf, uint32(sf.epoch))
+			buf = wire.AppendBytes(buf, sf.frame)
+		}
+	}
+
+	buf = appendEpochPayloads(buf, ck.pendingData)
+	buf = appendEpochTicks(buf, ck.ticks)
+
+	leftIDs := make([]int, 0, len(ck.left))
+	for id := range ck.left {
+		leftIDs = append(leftIDs, id)
+	}
+	sort.Ints(leftIDs)
+	buf = wire.AppendUint32(buf, uint32(len(leftIDs)))
+	for _, id := range leftIDs {
+		buf = wire.AppendUint32(buf, uint32(id))
+	}
+
+	buf = wire.AppendUint32(buf, uint32(len(ck.backlog)))
+	for _, m := range ck.backlog {
+		buf = wire.AppendUint32(buf, uint32(m.from))
+		buf = wire.AppendUint32(buf, uint32(m.kind))
+		buf = wire.AppendUint32(buf, uint32(m.epoch))
+		d := uint32(0)
+		if m.done {
+			d = 1
+		}
+		buf = wire.AppendUint32(buf, d)
+		buf = wire.AppendBytes(buf, m.payload)
+	}
+	return buf
+}
+
+func appendEpochPayloads(buf []byte, data map[int]map[int][][]byte) []byte {
+	epochs := make([]int, 0, len(data))
+	for e := range data {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	buf = wire.AppendUint32(buf, uint32(len(epochs)))
+	for _, e := range epochs {
+		buf = wire.AppendUint32(buf, uint32(e))
+		senders := make([]int, 0, len(data[e]))
+		for s := range data[e] {
+			senders = append(senders, s)
+		}
+		sort.Ints(senders)
+		buf = wire.AppendUint32(buf, uint32(len(senders)))
+		for _, s := range senders {
+			buf = wire.AppendUint32(buf, uint32(s))
+			buf = wire.AppendUint32(buf, uint32(len(data[e][s])))
+			for _, p := range data[e][s] {
+				buf = wire.AppendBytes(buf, p)
+			}
+		}
+	}
+	return buf
+}
+
+func appendEpochTicks(buf []byte, ticks map[int]map[int]bool) []byte {
+	epochs := make([]int, 0, len(ticks))
+	for e := range ticks {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	buf = wire.AppendUint32(buf, uint32(len(epochs)))
+	for _, e := range epochs {
+		buf = wire.AppendUint32(buf, uint32(e))
+		senders := make([]int, 0, len(ticks[e]))
+		for s := range ticks[e] {
+			senders = append(senders, s)
+		}
+		sort.Ints(senders)
+		buf = wire.AppendUint32(buf, uint32(len(senders)))
+		for _, s := range senders {
+			buf = wire.AppendUint32(buf, uint32(s))
+			d := uint32(0)
+			if ticks[e][s] {
+				d = 1
+			}
+			buf = wire.AppendUint32(buf, d)
+		}
+	}
+	return buf
+}
+
+// decodeCheckpoint parses and validates one checkpoint file. It is
+// hardened like the wire decoders: arbitrary bytes produce an error,
+// never a panic or unbounded allocation (FuzzDecodeCheckpoint).
+func decodeCheckpoint(b []byte) (*checkpoint, error) {
+	fr := wire.NewFieldReader(b)
+	magic, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if magic != ckptMagic {
+		return nil, ckptErr("bad magic 0x%08x", magic)
+	}
+	version, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if version != ckptVersion {
+		return nil, ckptErr("version %d, want %d", version, ckptVersion)
+	}
+	ck := &checkpoint{
+		links:       map[int]linkState{},
+		pendingData: map[int]map[int][][]byte{},
+		ticks:       map[int]map[int]bool{},
+		left:        map[int]bool{},
+	}
+	if ck.fingerprint, err = readU64(fr); err != nil {
+		return nil, err
+	}
+	id, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	pop, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if pop < 2 || pop > ckptMaxCount {
+		return nil, ckptErr("population %d out of range", pop)
+	}
+	if id >= pop {
+		return nil, ckptErr("id %d outside population %d", id, pop)
+	}
+	ck.id, ck.population = int(id), int(pop)
+	epoch, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	ck.nextEpoch = int(epoch)
+	flag, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if flag > 1 {
+		return nil, ckptErr("barrier flag %d", flag)
+	}
+	ck.barrierPending = flag == 1
+	if ck.samplerState, err = readU64(fr); err != nil {
+		return nil, err
+	}
+	if ck.coreSnap, err = fr.Bytes(); err != nil {
+		return nil, ckptErr("core snapshot: %v", err)
+	}
+
+	nLinks, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if nLinks >= pop {
+		return nil, ckptErr("%d links for population %d", nLinks, pop)
+	}
+	for i := uint32(0); i < nLinks; i++ {
+		peer, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if peer >= pop || peer == id {
+			return nil, ckptErr("link peer %d out of range", peer)
+		}
+		if _, dup := ck.links[int(peer)]; dup {
+			return nil, ckptErr("duplicate link peer %d", peer)
+		}
+		var ls linkState
+		if ls.outSeq, err = readU64(fr); err != nil {
+			return nil, err
+		}
+		if ls.inSeq, err = readU64(fr); err != nil {
+			return nil, err
+		}
+		if ls.pruned, err = readU64(fr); err != nil {
+			return nil, err
+		}
+		nRing, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if nRing > ckptMaxCount {
+			return nil, ckptErr("ring of %d frames", nRing)
+		}
+		prev := ls.pruned
+		for j := uint32(0); j < nRing; j++ {
+			var sf sentFrame
+			if sf.seq, err = readU64(fr); err != nil {
+				return nil, err
+			}
+			if sf.seq <= prev {
+				return nil, ckptErr("ring seq %d not ascending past %d", sf.seq, prev)
+			}
+			prev = sf.seq
+			e, err := fr.Uint32()
+			if err != nil {
+				return nil, ckptErr("%v", err)
+			}
+			sf.epoch = int(e)
+			if sf.frame, err = fr.Bytes(); err != nil {
+				return nil, ckptErr("ring frame: %v", err)
+			}
+			if len(sf.frame) < 8 {
+				return nil, ckptErr("ring frame of %d bytes", len(sf.frame))
+			}
+			if got := binary.BigEndian.Uint64(sf.frame); got != sf.seq {
+				return nil, ckptErr("ring frame seq %d does not match entry %d", got, sf.seq)
+			}
+			ls.ring = append(ls.ring, sf)
+		}
+		if len(ls.ring) > 0 && ls.ring[len(ls.ring)-1].seq > ls.outSeq {
+			return nil, ckptErr("ring seq %d beyond outSeq %d", ls.ring[len(ls.ring)-1].seq, ls.outSeq)
+		}
+		ck.links[int(peer)] = ls
+	}
+
+	if err := readEpochPayloads(fr, ck, pop); err != nil {
+		return nil, err
+	}
+	if err := readEpochTicks(fr, ck, pop); err != nil {
+		return nil, err
+	}
+
+	nLeft, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if nLeft >= pop {
+		return nil, ckptErr("%d departed peers for population %d", nLeft, pop)
+	}
+	for i := uint32(0); i < nLeft; i++ {
+		peer, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if peer >= pop {
+			return nil, ckptErr("departed peer %d out of range", peer)
+		}
+		ck.left[int(peer)] = true
+	}
+
+	nBacklog, err := fr.Uint32()
+	if err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	if nBacklog > ckptMaxCount {
+		return nil, ckptErr("backlog of %d messages", nBacklog)
+	}
+	for i := uint32(0); i < nBacklog; i++ {
+		var m inMsg
+		from, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if from >= pop || from == id {
+			return nil, ckptErr("backlog sender %d out of range", from)
+		}
+		m.from = int(from)
+		kind, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if kind != uint32(mtTick) && kind != uint32(mtData) {
+			return nil, ckptErr("backlog kind 0x%02x", kind)
+		}
+		m.kind = byte(kind)
+		e, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		m.epoch = int(e)
+		d, err := fr.Uint32()
+		if err != nil {
+			return nil, ckptErr("%v", err)
+		}
+		if d > 1 {
+			return nil, ckptErr("backlog done flag %d", d)
+		}
+		m.done = d == 1
+		if m.payload, err = fr.Bytes(); err != nil {
+			return nil, ckptErr("backlog payload: %v", err)
+		}
+		ck.backlog = append(ck.backlog, m)
+	}
+	if err := fr.Done(); err != nil {
+		return nil, ckptErr("%v", err)
+	}
+	return ck, nil
+}
+
+func readEpochPayloads(fr *wire.FieldReader, ck *checkpoint, pop uint32) error {
+	nEpochs, err := fr.Uint32()
+	if err != nil {
+		return ckptErr("%v", err)
+	}
+	if nEpochs > ckptMaxCount {
+		return ckptErr("%d payload epochs", nEpochs)
+	}
+	for i := uint32(0); i < nEpochs; i++ {
+		e, err := fr.Uint32()
+		if err != nil {
+			return ckptErr("%v", err)
+		}
+		if _, dup := ck.pendingData[int(e)]; dup {
+			return ckptErr("duplicate payload epoch %d", e)
+		}
+		nSenders, err := fr.Uint32()
+		if err != nil {
+			return ckptErr("%v", err)
+		}
+		if nSenders >= pop {
+			return ckptErr("%d payload senders", nSenders)
+		}
+		bySender := map[int][][]byte{}
+		for j := uint32(0); j < nSenders; j++ {
+			s, err := fr.Uint32()
+			if err != nil {
+				return ckptErr("%v", err)
+			}
+			if s >= pop {
+				return ckptErr("payload sender %d out of range", s)
+			}
+			if _, dup := bySender[int(s)]; dup {
+				return ckptErr("duplicate payload sender %d", s)
+			}
+			nPayloads, err := fr.Uint32()
+			if err != nil {
+				return ckptErr("%v", err)
+			}
+			if nPayloads > ckptMaxCount {
+				return ckptErr("%d payloads", nPayloads)
+			}
+			var payloads [][]byte
+			for k := uint32(0); k < nPayloads; k++ {
+				p, err := fr.Bytes()
+				if err != nil {
+					return ckptErr("payload: %v", err)
+				}
+				payloads = append(payloads, p)
+			}
+			bySender[int(s)] = payloads
+		}
+		ck.pendingData[int(e)] = bySender
+	}
+	return nil
+}
+
+func readEpochTicks(fr *wire.FieldReader, ck *checkpoint, pop uint32) error {
+	nEpochs, err := fr.Uint32()
+	if err != nil {
+		return ckptErr("%v", err)
+	}
+	if nEpochs > ckptMaxCount {
+		return ckptErr("%d tick epochs", nEpochs)
+	}
+	for i := uint32(0); i < nEpochs; i++ {
+		e, err := fr.Uint32()
+		if err != nil {
+			return ckptErr("%v", err)
+		}
+		if _, dup := ck.ticks[int(e)]; dup {
+			return ckptErr("duplicate tick epoch %d", e)
+		}
+		nSenders, err := fr.Uint32()
+		if err != nil {
+			return ckptErr("%v", err)
+		}
+		if nSenders >= pop {
+			return ckptErr("%d tick senders", nSenders)
+		}
+		bySender := map[int]bool{}
+		for j := uint32(0); j < nSenders; j++ {
+			s, err := fr.Uint32()
+			if err != nil {
+				return ckptErr("%v", err)
+			}
+			if s >= pop {
+				return ckptErr("tick sender %d out of range", s)
+			}
+			if _, dup := bySender[int(s)]; dup {
+				return ckptErr("duplicate tick sender %d", s)
+			}
+			d, err := fr.Uint32()
+			if err != nil {
+				return ckptErr("%v", err)
+			}
+			if d > 1 {
+				return ckptErr("tick done flag %d", d)
+			}
+			bySender[int(s)] = d == 1
+		}
+		ck.ticks[int(e)] = bySender
+	}
+	return nil
+}
+
+// writeCheckpoint captures the node's full resumable state and writes
+// it atomically to the checkpoint file.
+func (n *node) writeCheckpoint(nextEpoch int, barrierPending bool) error {
+	snap, err := n.core.Snapshot()
+	if err != nil {
+		return fmt.Errorf("transport: checkpoint: %w", err)
+	}
+	ck := &checkpoint{
+		fingerprint:    n.fp,
+		id:             n.cfg.ID,
+		population:     n.cfg.Population,
+		nextEpoch:      nextEpoch,
+		barrierPending: barrierPending,
+		samplerState:   n.sampler.State(),
+		coreSnap:       snap,
+		links:          map[int]linkState{},
+		pendingData:    n.pendingData,
+		ticks:          n.ticks,
+		left:           n.left,
+		backlog:        n.backlog,
+	}
+	for id, l := range n.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		// inSeq is the PROCESSED watermark, not the read loop's accept
+		// watermark: frames accepted but still queued in n.in would be
+		// lost by a restart, so the resume handshake must re-request
+		// them from the peer's ring.
+		ls := linkState{outSeq: l.outSeq, inSeq: n.procSeq[id], pruned: l.pruned}
+		ls.ring = append(ls.ring, l.ring...)
+		l.mu.Unlock()
+		ck.links[id] = ls
+	}
+	if err := writeFileAtomic(checkpointPath(n.cfg), encodeCheckpoint(ck)); err != nil {
+		return fmt.Errorf("transport: checkpoint: %w", err)
+	}
+	n.cfg.logf("node %d checkpointed epoch %d (barrier pending: %v)", n.cfg.ID, nextEpoch, barrierPending)
+	return nil
+}
+
+// loadCheckpoint reads and validates the checkpoint for this node and
+// run configuration.
+func loadCheckpoint(path string, cfg Config, fp uint64) (*checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resume: %w", err)
+	}
+	ck, err := decodeCheckpoint(b)
+	if err != nil {
+		return nil, err
+	}
+	if ck.fingerprint != fp {
+		return nil, ckptErr("checkpoint belongs to a different run configuration")
+	}
+	if ck.id != cfg.ID {
+		return nil, ckptErr("checkpoint belongs to node %d, not %d", ck.id, cfg.ID)
+	}
+	if ck.population != cfg.Population {
+		return nil, ckptErr("checkpoint population %d, want %d", ck.population, cfg.Population)
+	}
+	return ck, nil
+}
+
+// restoreFromCheckpoint installs the checkpointed transport state into
+// a freshly built node (links exist but carry no connections yet).
+// Every link starts down: formMeshResume reconnects them all.
+func (n *node) restoreFromCheckpoint(ck *checkpoint) {
+	n.startEpoch = ck.nextEpoch
+	n.barrierPending = ck.barrierPending
+	n.pendingData = ck.pendingData
+	n.ticks = ck.ticks
+	n.left = ck.left
+	n.backlog = ck.backlog
+	now := time.Now()
+	for id, l := range n.links {
+		if l == nil {
+			continue
+		}
+		ls := ck.links[id]
+		l.mu.Lock()
+		l.outSeq = ls.outSeq
+		l.inSeq = ls.inSeq
+		l.pruned = ls.pruned
+		l.ring = ls.ring
+		l.down = true
+		l.downSince = now
+		l.mu.Unlock()
+		n.procSeq[id] = ls.inSeq
+	}
+}
+
+// writeFileAtomic writes data to path with crash-safe durability: the
+// bytes are written to a temp file in the same directory, fsynced,
+// renamed over the target, and the directory entry itself fsynced. A
+// reader therefore sees either the old complete file or the new one —
+// never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

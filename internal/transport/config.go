@@ -22,6 +22,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"net"
 	"time"
 )
 
@@ -47,6 +48,43 @@ type Config struct {
 	// Logf, when non-nil, receives progress lines (epoch transitions,
 	// handshake results). Nil discards them.
 	Logf func(format string, args ...any)
+
+	// Grace, when positive, makes the node crash-tolerant: a read or
+	// write error on a peer link marks the link down and triggers a
+	// supervised redial (with deterministic capped backoff) instead of
+	// failing the run, and epoch barriers keep waiting as long as any
+	// missing peer's link has been down for less than Grace. Zero keeps
+	// the legacy fail-fast behavior: the first link error is fatal.
+	Grace time.Duration
+	// WriteTimeout bounds a single frame write on a peer link, so a dead
+	// peer with a full socket buffer cannot block the sender forever.
+	// Zero defaults to EpochTimeout.
+	WriteTimeout time.Duration
+	// CheckpointDir, when non-empty, enables epoch checkpoints: the node
+	// atomically writes its full resumable state (core snapshot, sampler
+	// RNG, per-link sequence numbers and retransmit rings, barrier
+	// buffers) to "<id>.ckpt" in this directory every CheckpointEvery
+	// epochs, and on interruption.
+	CheckpointDir string
+	// CheckpointEvery is the epoch interval between checkpoints. Zero
+	// defaults to 1 (every epoch) when CheckpointDir is set.
+	CheckpointEvery int
+	// Resume makes the node restore from the checkpoint in CheckpointDir
+	// instead of starting fresh: it reconnects to the surviving peers
+	// with a resume handshake, replays lost frames, and rejoins the mesh
+	// at the checkpointed barrier.
+	Resume bool
+	// Interrupt, when non-nil, requests a graceful shutdown when it
+	// becomes readable: the node writes a final checkpoint (if
+	// configured), sends bye, and returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// Dialer, when non-nil, replaces net.DialTimeout for peer
+	// connections — the hook the chaos harness uses to inject faulty
+	// links. Nil uses the real dialer.
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// Listener, when non-nil, replaces net.Listen — the accept-side
+	// chaos hook. Nil uses the real listener.
+	Listener func(network, addr string) (net.Listener, error)
 }
 
 // Validate checks the transport configuration, returning the first
@@ -77,7 +115,42 @@ func (c *Config) Validate() error {
 	if c.EpochTimeout <= 0 {
 		return errors.New("transport: epoch timeout must be positive")
 	}
+	if c.Grace < 0 {
+		return errors.New("transport: grace must not be negative")
+	}
+	if c.WriteTimeout < 0 {
+		return errors.New("transport: write timeout must not be negative")
+	}
+	if c.CheckpointEvery < 0 {
+		return errors.New("transport: checkpoint interval must not be negative")
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return errors.New("transport: checkpoint interval requires a checkpoint dir")
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return errors.New("transport: resume requires a checkpoint dir")
+	}
 	return nil
+}
+
+// writeTimeout returns the effective per-frame write deadline.
+func (c *Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return c.EpochTimeout
+}
+
+// checkpointEvery returns the effective checkpoint cadence in epochs,
+// or 0 when checkpointing is disabled.
+func (c *Config) checkpointEvery() int {
+	if c.CheckpointDir == "" {
+		return 0
+	}
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 1
 }
 
 func (c *Config) logf(format string, args ...any) {

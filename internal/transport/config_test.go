@@ -83,6 +83,31 @@ func TestTransportConfigErrors(t *testing.T) {
 			mutate: func(c *Config) { c.EpochTimeout = -time.Second },
 			want:   "transport: epoch timeout must be positive",
 		},
+		{
+			name:   "negative grace",
+			mutate: func(c *Config) { c.Grace = -time.Second },
+			want:   "transport: grace must not be negative",
+		},
+		{
+			name:   "negative write timeout",
+			mutate: func(c *Config) { c.WriteTimeout = -time.Second },
+			want:   "transport: write timeout must not be negative",
+		},
+		{
+			name:   "negative checkpoint interval",
+			mutate: func(c *Config) { c.CheckpointEvery = -1 },
+			want:   "transport: checkpoint interval must not be negative",
+		},
+		{
+			name:   "checkpoint interval without dir",
+			mutate: func(c *Config) { c.CheckpointEvery = 2 },
+			want:   "transport: checkpoint interval requires a checkpoint dir",
+		},
+		{
+			name:   "resume without dir",
+			mutate: func(c *Config) { c.Resume = true },
+			want:   "transport: resume requires a checkpoint dir",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -109,5 +134,15 @@ func TestTransportConfigErrors(t *testing.T) {
 	cfg.Peers = []string{"a:1", "", "c:3"}
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("valid peer-list config rejected: %v", err)
+	}
+
+	// A fully crash-tolerant configuration must validate too.
+	cfg = valid()
+	cfg.Grace = time.Second
+	cfg.CheckpointDir = "/tmp/ckpt"
+	cfg.CheckpointEvery = 2
+	cfg.Resume = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid crash-tolerant config rejected: %v", err)
 	}
 }

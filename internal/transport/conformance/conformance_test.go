@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -135,6 +136,110 @@ func TestLoopbackConformanceDJK5(t *testing.T) {
 	got, err := RunProcesses(spec, exe, []string{daemonEnv + "=1"}, t.TempDir(), logDir)
 	if err != nil {
 		t.Fatalf("multi-process mesh: %v", err)
+	}
+	assertConformance(t, spec, got, want)
+}
+
+// stateDir returns the run's scratch directory: CHIAROSCURO_STATE_DIR
+// when set (the CI failure artifact — checkpoints, rendezvous files and
+// history files survive the test), a TempDir otherwise.
+func stateDir(t *testing.T) string {
+	if dir := os.Getenv("CHIAROSCURO_STATE_DIR"); dir != "" {
+		sub := filepath.Join(dir, t.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return t.TempDir()
+}
+
+// TestLoopbackConformanceChaosK5 runs the five-member mesh with
+// deterministic network faults injected under every daemon's sockets —
+// connection resets mid-run, partial writes on every frame, read and
+// write stalls — and still demands bit-identical trajectories. The
+// supervision layer (sequence numbers, retransmit rings, backoff
+// redial, resume handshake) must absorb every fault: chaos may cost
+// wall-clock, never a single disclosed bit.
+func TestLoopbackConformanceChaosK5(t *testing.T) {
+	spec := Spec{
+		N:            5,
+		Dataset:      "cer",
+		Seed:         31,
+		K:            3,
+		Iterations:   2,
+		EpochTimeout: 60 * time.Second,
+		Grace:        30 * time.Second,
+		Chaos:        "reset@25:2,partial,stall@30:50ms,rstall@35:50ms",
+		ChaosSeed:    1601,
+	}
+	want, err := spec.Reference()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	if testing.Short() {
+		got, err := RunInProcess(spec, t.TempDir())
+		if err != nil {
+			t.Fatalf("in-process chaos mesh: %v", err)
+		}
+		assertConformance(t, spec, got, want)
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	logDir := os.Getenv("CHIAROSCURO_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	}
+	got, err := RunProcesses(spec, exe, []string{daemonEnv + "=1"}, stateDir(t), logDir)
+	if err != nil {
+		t.Fatalf("multi-process chaos mesh: %v", err)
+	}
+	assertConformance(t, spec, got, want)
+}
+
+// TestLoopbackConformanceKillRestartK5 is the crash-recovery headline
+// check: five daemon processes checkpoint every epoch; one of them is
+// SIGKILLed the moment its first checkpoint lands (in-flight frames and
+// kernel socket buffers destroyed with it) and restarted with -resume.
+// The survivors park on their grace windows, the resume handshake
+// replays what the crash lost, and every disclosed history — including
+// the restarted daemon's — must be bit-identical (Float64bits) to the
+// sequential reference.
+func TestLoopbackConformanceKillRestartK5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-restart requires process isolation")
+	}
+	spec := Spec{
+		N:               5,
+		Dataset:         "cer",
+		Seed:            53,
+		K:               3,
+		Iterations:      2,
+		EpochTimeout:    60 * time.Second,
+		Grace:           60 * time.Second,
+		CheckpointEvery: 1,
+	}
+	want, err := spec.Reference()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	logDir := os.Getenv("CHIAROSCURO_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	}
+	got, err := RunProcessesKillRestart(spec, exe, []string{daemonEnv + "=1"}, stateDir(t), logDir, 2)
+	if err != nil {
+		t.Fatalf("kill-restart mesh: %v", err)
 	}
 	assertConformance(t, spec, got, want)
 }

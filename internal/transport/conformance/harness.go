@@ -19,6 +19,7 @@ import (
 
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/transport"
+	"chiaroscuro/internal/transport/netchaos"
 )
 
 // Spec pins one conformance scenario: every daemon and the reference
@@ -32,6 +33,16 @@ type Spec struct {
 	EpochTimeout time.Duration
 	Backend      string // "" or "plain" (accounted), or "dj" (threshold Damgård–Jurik)
 	ModulusBits  int    // dj modulus size; 0 = backend default
+
+	// Robustness knobs. Grace tolerates link outages; CheckpointEvery > 0
+	// enables epoch checkpoints (shared directory, one file per daemon);
+	// Chaos is a netchaos scenario injected under every daemon's sockets,
+	// seeded per daemon from ChaosSeed so the processes don't fail in
+	// lockstep. None of these may change a single disclosed bit.
+	Grace           time.Duration
+	CheckpointEvery int
+	Chaos           string
+	ChaosSeed       int64
 }
 
 // Params returns the run parameters every mesh member and the
@@ -73,8 +84,9 @@ func (s Spec) Reference() ([][]core.IterationResult, error) {
 
 // DaemonArgs builds the chiaroscurod argument list for one mesh member,
 // with addresses discovered through the shared rendezvous directory and
-// the history written to outFile.
-func (s Spec) DaemonArgs(id int, addrDir, outFile string) []string {
+// the history written to outFile. ckptDir may be empty when the spec
+// does not checkpoint.
+func (s Spec) DaemonArgs(id int, addrDir, ckptDir, outFile string) []string {
 	args := []string{
 		"-id", fmt.Sprint(id),
 		"-n", fmt.Sprint(s.N),
@@ -93,6 +105,17 @@ func (s Spec) DaemonArgs(id int, addrDir, outFile string) []string {
 	if s.ModulusBits != 0 {
 		args = append(args, "-modulus-bits", fmt.Sprint(s.ModulusBits))
 	}
+	if s.Grace > 0 {
+		args = append(args, "-grace", s.Grace.String())
+	}
+	if s.CheckpointEvery > 0 {
+		args = append(args, "-checkpoint-dir", ckptDir, "-checkpoint-every", fmt.Sprint(s.CheckpointEvery))
+	}
+	if s.Chaos != "" {
+		// Per-daemon seed: the same scenario must not trip every process
+		// at the identical frame.
+		args = append(args, "-chaos", s.Chaos, "-chaos-seed", fmt.Sprint(s.ChaosSeed+int64(id)))
+	}
 	return args
 }
 
@@ -105,6 +128,13 @@ func RunInProcess(s Spec, dir string) ([][]core.IterationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckptDir := ""
+	if s.CheckpointEvery > 0 {
+		ckptDir = filepath.Join(dir, "checkpoints")
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	histories := make([][]core.IterationResult, s.N)
 	errs := make([]error, s.N)
 	var wg sync.WaitGroup
@@ -113,11 +143,25 @@ func RunInProcess(s Spec, dir string) ([][]core.IterationResult, error) {
 		go func(id int) {
 			defer wg.Done()
 			cfg := transport.Config{
-				ID:           id,
-				Population:   s.N,
-				Listen:       "127.0.0.1:0",
-				AddrDir:      dir,
-				EpochTimeout: s.EpochTimeout,
+				ID:              id,
+				Population:      s.N,
+				Listen:          "127.0.0.1:0",
+				AddrDir:         dir,
+				EpochTimeout:    s.EpochTimeout,
+				Grace:           s.Grace,
+				CheckpointDir:   ckptDir,
+				CheckpointEvery: s.CheckpointEvery,
+			}
+			if s.Chaos != "" {
+				// One chaos plan per node, mirroring the per-process
+				// plans of the daemon mode (budgets are per node).
+				c, err := netchaos.New(s.Chaos, s.ChaosSeed+int64(id))
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				cfg.Dialer = c.Dial
+				cfg.Listener = c.Listen
 			}
 			histories[id], errs[id] = transport.Run(cfg, data, s.Params())
 		}(id)
@@ -136,52 +180,168 @@ func RunInProcess(s Spec, dir string) ([][]core.IterationResult, error) {
 // chiaroscurod), with per-daemon logs written under logDir. It returns
 // every daemon's disclosed history.
 func RunProcesses(s Spec, exe string, extraEnv []string, workDir, logDir string) ([][]core.IterationResult, error) {
-	addrDir := filepath.Join(workDir, "rendezvous")
-	if err := os.MkdirAll(addrDir, 0o755); err != nil {
+	mesh, err := newProcessMesh(s, exe, extraEnv, workDir, logDir)
+	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(logDir, 0o755); err != nil {
-		return nil, err
-	}
-	outFiles := make([]string, s.N)
-	cmds := make([]*exec.Cmd, s.N)
-	logs := make([]*os.File, s.N)
 	for id := 0; id < s.N; id++ {
-		outFiles[id] = filepath.Join(workDir, fmt.Sprintf("history-%d.gob", id))
-		logFile, err := os.Create(filepath.Join(logDir, fmt.Sprintf("daemon-%d.log", id)))
-		if err != nil {
+		if err := mesh.start(id, fmt.Sprintf("daemon-%d.log", id)); err != nil {
 			return nil, err
 		}
-		logs[id] = logFile
-		cmd := exec.Command(exe, s.DaemonArgs(id, addrDir, outFiles[id])...)
-		cmd.Env = append(os.Environ(), extraEnv...)
-		cmd.Stdout = logFile
-		cmd.Stderr = logFile
-		if err := cmd.Start(); err != nil {
-			logFile.Close()
-			return nil, fmt.Errorf("start daemon %d: %w", id, err)
-		}
-		cmds[id] = cmd
 	}
 	var firstErr error
-	for id, cmd := range cmds {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("daemon %d: %w (see %s)", id, err, filepath.Join(logDir, fmt.Sprintf("daemon-%d.log", id)))
+	for id := range mesh.cmds {
+		if err := mesh.wait(id); err != nil && firstErr == nil {
+			firstErr = err
 		}
-		logs[id].Close()
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	histories := make([][]core.IterationResult, s.N)
+	return mesh.histories()
+}
+
+// processMesh owns one multi-process conformance run: daemon processes
+// re-execed from the test binary, their logs, history files, and the
+// shared rendezvous and checkpoint directories.
+type processMesh struct {
+	spec     Spec
+	exe      string
+	extraEnv []string
+	logDir   string
+	addrDir  string
+	ckptDir  string
+	outFiles []string
+	cmds     []*exec.Cmd
+	logs     []*os.File
+	logNames []string
+}
+
+func newProcessMesh(s Spec, exe string, extraEnv []string, workDir, logDir string) (*processMesh, error) {
+	m := &processMesh{
+		spec:     s,
+		exe:      exe,
+		extraEnv: extraEnv,
+		logDir:   logDir,
+		addrDir:  filepath.Join(workDir, "rendezvous"),
+		outFiles: make([]string, s.N),
+		cmds:     make([]*exec.Cmd, s.N),
+		logs:     make([]*os.File, s.N),
+		logNames: make([]string, s.N),
+	}
+	dirs := []string{m.addrDir, logDir}
+	if s.CheckpointEvery > 0 {
+		m.ckptDir = filepath.Join(workDir, "checkpoints")
+		dirs = append(dirs, m.ckptDir)
+	}
+	for _, d := range dirs {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	for id := 0; id < s.N; id++ {
+		m.outFiles[id] = filepath.Join(workDir, fmt.Sprintf("history-%d.gob", id))
+	}
+	return m, nil
+}
+
+// start launches (or relaunches) daemon id, logging to logName.
+func (m *processMesh) start(id int, logName string, extraArgs ...string) error {
+	logFile, err := os.Create(filepath.Join(m.logDir, logName))
+	if err != nil {
+		return err
+	}
+	args := append(m.spec.DaemonArgs(id, m.addrDir, m.ckptDir, m.outFiles[id]), extraArgs...)
+	cmd := exec.Command(m.exe, args...)
+	cmd.Env = append(os.Environ(), m.extraEnv...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("start daemon %d: %w", id, err)
+	}
+	m.cmds[id], m.logs[id], m.logNames[id] = cmd, logFile, logName
+	return nil
+}
+
+// wait reaps daemon id's current process and closes its log.
+func (m *processMesh) wait(id int) error {
+	err := m.cmds[id].Wait()
+	m.logs[id].Close()
+	if err != nil {
+		return fmt.Errorf("daemon %d: %w (see %s)", id, err, filepath.Join(m.logDir, m.logNames[id]))
+	}
+	return nil
+}
+
+func (m *processMesh) histories() ([][]core.IterationResult, error) {
+	histories := make([][]core.IterationResult, m.spec.N)
 	for id := range histories {
-		h, err := transport.ReadHistory(outFiles[id])
+		h, err := transport.ReadHistory(m.outFiles[id])
 		if err != nil {
 			return nil, fmt.Errorf("daemon %d history: %w", id, err)
 		}
 		histories[id] = h
 	}
 	return histories, nil
+}
+
+// RunProcessesKillRestart runs the mesh as processes, SIGKILLs the
+// victim daemon the moment its first epoch checkpoint appears (no
+// cleanup of any kind — kernel socket buffers and all in-flight frames
+// are destroyed), restarts it with -resume, and returns every daemon's
+// disclosed history. The spec must enable checkpointing and a grace
+// window generous enough to cover the restart.
+func RunProcessesKillRestart(s Spec, exe string, extraEnv []string, workDir, logDir string, victim int) ([][]core.IterationResult, error) {
+	if s.CheckpointEvery <= 0 {
+		return nil, fmt.Errorf("kill-restart requires CheckpointEvery > 0")
+	}
+	if s.Grace <= 0 {
+		return nil, fmt.Errorf("kill-restart requires a grace window")
+	}
+	mesh, err := newProcessMesh(s, exe, extraEnv, workDir, logDir)
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < s.N; id++ {
+		if err := mesh.start(id, fmt.Sprintf("daemon-%d.log", id)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Kill the victim as soon as it has durable state to resume from.
+	// The mesh advances in lockstep, so the run cannot complete before
+	// the victim (killed within its first epochs) is back.
+	ckptFile := filepath.Join(mesh.ckptDir, fmt.Sprintf("%d.ckpt", victim))
+	deadline := time.Now().Add(s.EpochTimeout)
+	for {
+		if _, err := os.Stat(ckptFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("victim %d wrote no checkpoint within %v", victim, s.EpochTimeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := mesh.cmds[victim].Process.Kill(); err != nil {
+		return nil, fmt.Errorf("kill victim %d: %w", victim, err)
+	}
+	mesh.cmds[victim].Wait() // reap; a kill error is expected
+	mesh.logs[victim].Close()
+
+	if err := mesh.start(victim, fmt.Sprintf("daemon-%d-restart.log", victim), "-resume"); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for id := range mesh.cmds {
+		if err := mesh.wait(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return mesh.histories()
 }
 
 // EqualHistories demands bit-identical disclosed trajectories: every

@@ -1,15 +1,20 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"chiaroscuro/internal/core"
 	"chiaroscuro/internal/datasets"
+	"chiaroscuro/internal/transport/netchaos"
 )
 
 // DaemonMain is the chiaroscurod entry point, factored out of cmd/ so
@@ -46,6 +51,13 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 		modBits = fs.Int("modulus-bits", 0, "dj modulus size in bits (0 = default)")
 		degree  = fs.Int("degree", 0, "dj generalization degree s (0 = default)")
 
+		grace     = fs.Duration("grace", 0, "tolerate peer link outages up to this long (0 = fail fast)")
+		ckptDir   = fs.String("checkpoint-dir", "", "write epoch checkpoints to this directory")
+		ckptEvery = fs.Int("checkpoint-every", 0, "epochs between checkpoints (0 = every epoch when -checkpoint-dir is set)")
+		resume    = fs.Bool("resume", false, "restore state from the checkpoint in -checkpoint-dir and rejoin the mesh")
+		chaos     = fs.String("chaos", "", "deterministic fault-injection scenario (see internal/transport/netchaos)")
+		chaosSeed = fs.Int64("chaos-seed", 0, "seed for the chaos scenario's deterministic schedule")
+
 		out     = fs.String("out", "", "write the disclosed history (gob) to this file")
 		verbose = fs.Bool("v", false, "log epoch progress to stderr")
 	)
@@ -54,11 +66,15 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := Config{
-		ID:           *id,
-		Population:   *n,
-		Listen:       *listen,
-		AddrDir:      *addrDir,
-		EpochTimeout: *timeout,
+		ID:              *id,
+		Population:      *n,
+		Listen:          *listen,
+		AddrDir:         *addrDir,
+		EpochTimeout:    *timeout,
+		Grace:           *grace,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
 	}
 	if *peers != "" {
 		cfg.Peers = splitPeers(*peers)
@@ -68,6 +84,30 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "chiaroscurod: "+format+"\n", a...)
 		}
 	}
+	if *chaos != "" {
+		net, err := netchaos.New(*chaos, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(stderr, "chiaroscurod: %v\n", err)
+			return 2
+		}
+		cfg.Dialer = net.Dial
+		cfg.Listener = net.Listen
+	}
+
+	// A first SIGTERM/SIGINT requests a graceful shutdown (final
+	// checkpoint, bye to peers, exit 3); a second one kills the process
+	// the default way.
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigCh
+		close(interrupt)
+		<-sigCh
+		signal.Reset(syscall.SIGTERM, syscall.SIGINT)
+		syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	}()
+	cfg.Interrupt = interrupt
 
 	data, err := SyntheticSeries(*dataset, *n, *seed)
 	if err != nil {
@@ -99,6 +139,12 @@ func DaemonMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	history, err := Run(cfg, data, params)
+	if errors.Is(err, ErrInterrupted) {
+		// Distinct exit code: the run was interrupted but its state was
+		// checkpointed (when configured); a -resume restart continues it.
+		fmt.Fprintf(stderr, "chiaroscurod: %v\n", err)
+		return 3
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "chiaroscurod: %v\n", err)
 		return 1
@@ -149,17 +195,15 @@ func SyntheticSeries(name string, n int, seed int64) ([][]float64, error) {
 // WriteHistory gob-encodes a participant's disclosed history. Gob
 // rather than JSON because PerturbedInertia is NaN when inertia
 // tracking is off, and the comparison consumer needs the exact bits
-// anyway.
+// anyway. The file is written atomically (temp + fsync + rename), so a
+// daemon killed mid-write leaves either no history file or a complete
+// one — never a torn file that gob would misparse.
 func WriteHistory(path string, history []core.IterationResult) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(history); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(history); err != nil {
 		return fmt.Errorf("transport: encode history: %w", err)
 	}
-	return f.Close()
+	return writeFileAtomic(path, buf.Bytes())
 }
 
 // ReadHistory reads a history file written by WriteHistory.

@@ -20,8 +20,9 @@ const (
 	// that opens with anything else is rejected before any state is
 	// allocated for it.
 	helloMagic uint32 = 0xC1A805C0
-	// meshVersion is the envelope protocol version.
-	meshVersion uint32 = 1
+	// meshVersion is the envelope protocol version. Version 2 added
+	// per-link frame sequencing and the resume handshake.
+	meshVersion uint32 = 2
 )
 
 // Message types.
@@ -33,6 +34,8 @@ const (
 	mtData    byte = 0x05 // protocol payload tagged with its send epoch
 	mtBye     byte = 0x06 // orderly leave after termination
 	mtKey     byte = 0x07 // key-ceremony artifact (round-tagged, pre-epoch)
+	mtResume  byte = 0x08 // dialer's reconnect handshake after a link drop
+	mtResumeOK byte = 0x09 // acceptor's reconnect acknowledgment
 )
 
 // Key-ceremony rounds inside an mtKey frame, mirroring the dkg
@@ -197,6 +200,108 @@ func marshalBye() []byte { return []byte{mtBye} }
 func marshalKey(round int, payload []byte) []byte {
 	buf := wire.AppendUint32([]byte{mtKey}, uint32(round))
 	return wire.AppendBytes(buf, payload)
+}
+
+// resume is the reconnect handshake: after a link drop, the dialing
+// side re-identifies itself (same magic/version/fingerprint checks as
+// hello) and announces the highest frame sequence number it has seen
+// from the peer, so the peer can retransmit exactly the frames that
+// were lost in flight. LastSeq is 0 when nothing has been received.
+type resume struct {
+	ID          int
+	Population  int
+	Fingerprint uint64
+	LastSeq     uint64
+}
+
+func marshalResume(r resume) []byte {
+	buf := []byte{mtResume}
+	buf = wire.AppendUint32(buf, helloMagic)
+	buf = wire.AppendUint32(buf, meshVersion)
+	buf = wire.AppendUint32(buf, uint32(r.ID))
+	buf = wire.AppendUint32(buf, uint32(r.Population))
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], r.Fingerprint)
+	buf = wire.AppendBytes(buf, u[:])
+	binary.BigEndian.PutUint64(u[:], r.LastSeq)
+	return wire.AppendBytes(buf, u[:])
+}
+
+func parseResume(body []byte) (resume, error) {
+	fr := wire.NewFieldReader(body)
+	magic, err := fr.Uint32()
+	if err != nil {
+		return resume{}, err
+	}
+	if magic != helloMagic {
+		return resume{}, fmt.Errorf("transport: bad resume magic 0x%08x", magic)
+	}
+	version, err := fr.Uint32()
+	if err != nil {
+		return resume{}, err
+	}
+	if version != meshVersion {
+		return resume{}, fmt.Errorf("transport: peer speaks mesh version %d, want %d", version, meshVersion)
+	}
+	id, err := fr.Uint32()
+	if err != nil {
+		return resume{}, err
+	}
+	pop, err := fr.Uint32()
+	if err != nil {
+		return resume{}, err
+	}
+	fp, err := fr.Bytes()
+	if err != nil {
+		return resume{}, err
+	}
+	if len(fp) != 8 {
+		return resume{}, fmt.Errorf("transport: fingerprint field %d bytes, want 8", len(fp))
+	}
+	seq, err := fr.Bytes()
+	if err != nil {
+		return resume{}, err
+	}
+	if len(seq) != 8 {
+		return resume{}, fmt.Errorf("transport: resume seq field %d bytes, want 8", len(seq))
+	}
+	if err := fr.Done(); err != nil {
+		return resume{}, err
+	}
+	return resume{
+		ID:          int(id),
+		Population:  int(pop),
+		Fingerprint: binary.BigEndian.Uint64(fp),
+		LastSeq:     binary.BigEndian.Uint64(seq),
+	}, nil
+}
+
+// marshalResumeOK acknowledges a resume: the acceptor identifies
+// itself and announces its own lastSeqSeen so both sides retransmit.
+func marshalResumeOK(id int, lastSeq uint64) []byte {
+	buf := wire.AppendUint32([]byte{mtResumeOK}, uint32(id))
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], lastSeq)
+	return wire.AppendBytes(buf, u[:])
+}
+
+func parseResumeOK(body []byte) (id int, lastSeq uint64, err error) {
+	fr := wire.NewFieldReader(body)
+	i, err := fr.Uint32()
+	if err != nil {
+		return 0, 0, err
+	}
+	seq, err := fr.Bytes()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(seq) != 8 {
+		return 0, 0, fmt.Errorf("transport: resume-ok seq field %d bytes, want 8", len(seq))
+	}
+	if err := fr.Done(); err != nil {
+		return 0, 0, err
+	}
+	return int(i), binary.BigEndian.Uint64(seq), nil
 }
 
 func parseKey(body []byte) (round int, payload []byte, err error) {

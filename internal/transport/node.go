@@ -7,6 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"chiaroscuro/internal/core"
@@ -14,23 +17,61 @@ import (
 	"chiaroscuro/internal/wire"
 )
 
+// ErrInterrupted reports a graceful shutdown: the node received the
+// configured interrupt signal, wrote a final checkpoint (when
+// checkpointing is enabled), and said bye to its peers. The run can be
+// resumed from the checkpoint.
+var ErrInterrupted = errors.New("transport: interrupted")
+
+// errBarrierInterrupted is the internal signal that the interrupt
+// arrived while parked at an epoch barrier (the checkpoint must then
+// record the barrier as pending, not the epoch as unstarted).
+var errBarrierInterrupted = errors.New("transport: barrier interrupted")
+
+// gracePollInterval is how often a grace-extended barrier re-examines
+// link states while waiting for a down peer to come back.
+const gracePollInterval = 250 * time.Millisecond
+
 // node is one running mesh member: the core participant, its
-// deterministic peer sampler, and one TCP connection per peer.
+// deterministic peer sampler, and one supervised link per peer.
 type node struct {
 	cfg     Config
 	fp      uint64 // run-configuration fingerprint (known pre-ceremony)
 	core    *core.Node
 	sampler *p2p.Sampler
 	ln      net.Listener
-	conns   []net.Conn // indexed by peer id; nil at cfg.ID
+	links   []*link  // indexed by peer id; nil at cfg.ID
+	addrs   []string // dial addresses from formation (AddrDir mode re-reads live)
 	in      chan inMsg
 	stop    chan struct{} // closed on Run exit; unblocks reader sends
+
+	meshFormed atomic.Bool
+	formJoin   chan int
+	formErr    chan error
 
 	// Key-ceremony buffers: peers progress through the ceremony (and
 	// into epoch 0) at their own pace, so frames from rounds or epochs
 	// we have not reached yet are parked rather than dropped.
 	keyPending map[int][][]byte // ceremony round -> payloads
 	backlog    []inMsg          // epoch traffic that arrived mid-ceremony
+
+	// Barrier state, hoisted into the node so checkpoints can capture
+	// and restore it.
+	pendingData map[int]map[int][][]byte // epoch -> sender -> payloads
+	ticks       map[int]map[int]bool     // epoch -> sender -> done flag
+	left        map[int]bool             // peers that sent bye
+
+	// procSeq[peer] is the sequence number of the last frame from that
+	// peer actually popped from the inbox. Everything popped lands in a
+	// checkpointed buffer (ticks, pendingData, keyPending, backlog), so
+	// this — not the read loop's accept watermark — is what a checkpoint
+	// may safely record as inSeq: frames still queued in n.in at
+	// checkpoint time are re-requested through the resume handshake
+	// instead of being silently lost.
+	procSeq []uint64
+
+	startEpoch     int  // first epoch to run (non-zero after resume)
+	barrierPending bool // resume directly into the barrier of startEpoch
 }
 
 // inMsg is one parsed message (or terminal condition) from a peer's
@@ -41,6 +82,7 @@ type inMsg struct {
 	epoch   int
 	done    bool
 	payload []byte
+	seq     uint64 // frame sequence number; 0 for unsequenced frames
 	err     error
 }
 
@@ -48,13 +90,21 @@ type inMsg struct {
 // returns that participant's per-iteration history. All processes must
 // pass identical (data, params); the handshake fingerprint rejects a
 // peer that did not. Run blocks until the whole population terminates,
-// an epoch barrier times out, or a peer violates the protocol.
+// an epoch barrier times out (grace expired, if configured), a peer
+// violates the protocol, or the interrupt channel fires
+// (ErrInterrupted).
 //
 // The mesh forms before any key exists: the handshake digests the raw
 // configuration (core.ConfigFingerprint), and on the Damgård–Jurik
 // backend the processes then run the distributed key ceremony over the
 // fresh mesh (ceremony.go) — each daemon walks away holding only its
 // own key share — before the first epoch is stepped.
+//
+// With cfg.Resume, the node instead restores its participant, sampler
+// and link state from the checkpoint in cfg.CheckpointDir, re-forms the
+// mesh with the resume handshake (replaying whatever frames were lost),
+// and rejoins the run at the checkpointed barrier. The disclosed
+// histories are bit-identical to an uninterrupted run.
 func Run(cfg Config, data [][]float64, params core.Params) ([]core.IterationResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -70,98 +120,266 @@ func Run(cfg Config, data [][]float64, params core.Params) ([]core.IterationResu
 	n := &node{
 		cfg:   cfg,
 		fp:    fp,
-		conns: make([]net.Conn, cfg.Population),
+		links: make([]*link, cfg.Population),
 		// The buffer absorbs a full population's worth of barrier
 		// traffic without blocking readers mid-epoch.
-		in:         make(chan inMsg, 8*cfg.Population),
-		stop:       make(chan struct{}),
-		keyPending: make(map[int][][]byte),
+		in:          make(chan inMsg, 8*cfg.Population),
+		stop:        make(chan struct{}),
+		formJoin:    make(chan int, cfg.Population),
+		formErr:     make(chan error, cfg.Population),
+		keyPending:  make(map[int][][]byte),
+		pendingData: map[int]map[int][][]byte{},
+		ticks:       map[int]map[int]bool{},
+		left:        map[int]bool{},
+		procSeq:     make([]uint64, cfg.Population),
+	}
+	for id := range n.links {
+		if id != cfg.ID {
+			n.links[id] = newLink(n, id)
+		}
 	}
 	defer close(n.stop)
 	defer n.closeConns()
 
-	if err := n.formMesh(); err != nil {
-		return nil, err
-	}
-	if params.Backend == core.BackendDamgardJurik && params.DJMaterial == nil {
-		m, err := n.runCeremony(cfg.Population, params)
+	if cfg.Resume {
+		ck, err := loadCheckpoint(checkpointPath(cfg), cfg, fp)
 		if err != nil {
 			return nil, err
 		}
-		params.DJMaterial = m
+		n.restoreFromCheckpoint(ck)
+		cn, err := core.RestoreNode(data, params, cfg.ID, ck.coreSnap)
+		if err != nil {
+			return nil, err
+		}
+		defer cn.Close()
+		n.core = cn
+		n.sampler = p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population)
+		n.sampler.SetState(ck.samplerState)
+		if err := n.formMeshResume(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := n.formMesh(); err != nil {
+			return nil, err
+		}
+		if params.Backend == core.BackendDamgardJurik && params.DJMaterial == nil {
+			m, err := n.runCeremony(cfg.Population, params)
+			if err != nil {
+				return nil, err
+			}
+			params.DJMaterial = m
+		}
+		cn, err := core.NewNode(data, params, cfg.ID)
+		if err != nil {
+			return nil, err
+		}
+		defer cn.Close()
+		n.core = cn
+		n.sampler = p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population)
 	}
-	cn, err := core.NewNode(data, params, cfg.ID)
-	if err != nil {
-		return nil, err
-	}
-	defer cn.Close()
-	n.core = cn
-	n.sampler = p2p.NewSampler(cn.SamplingSeed(), p2p.NodeID(cfg.ID), cfg.Population)
 	if err := n.runEpochs(); err != nil {
 		return nil, err
 	}
-	return cn.History(), nil
+	return n.core.History(), nil
+}
+
+func (n *node) stopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// deliver hands one message to the main loop, giving up when the run
+// has ended.
+func (n *node) deliver(m inMsg) {
+	select {
+	case n.in <- m:
+	case <-n.stop:
+	}
+}
+
+// interrupted reports whether the configured interrupt has fired.
+func (n *node) interrupted() bool {
+	select {
+	case <-n.cfg.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 func (n *node) closeConns() {
 	if n.ln != nil {
 		n.ln.Close()
 	}
-	for _, c := range n.conns {
-		if c != nil {
-			c.Close()
+	for _, l := range n.links {
+		if l == nil {
+			continue
 		}
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+		l.gen++
+		l.mu.Unlock()
 	}
 }
 
-// formMesh joins the full mesh: listen, publish/collect addresses, dial
-// every lower-id peer with a hello, and accept one connection from
-// every higher-id peer, verifying each hello against this node's own
-// run fingerprint.
-func (n *node) formMesh() error {
-	ln, err := net.Listen("tcp", n.cfg.Listen)
+// listen opens the node's listener, through the chaos hook if one is
+// configured.
+func (n *node) listen() error {
+	var ln net.Listener
+	var err error
+	if n.cfg.Listener != nil {
+		ln, err = n.cfg.Listener("tcp", n.cfg.Listen)
+	} else {
+		ln, err = net.Listen("tcp", n.cfg.Listen)
+	}
 	if err != nil {
 		return fmt.Errorf("transport: listen: %w", err)
 	}
 	n.ln = ln
+	return nil
+}
+
+// dial opens one peer connection, through the chaos hook if one is
+// configured.
+func (n *node) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if n.cfg.Dialer != nil {
+		return n.cfg.Dialer("tcp", addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// peerAddr resolves a peer's current dial address. In rendezvous mode
+// the address file is re-read every time: a restarted peer publishes a
+// fresh port, and redial must pick it up.
+func (n *node) peerAddr(peer int) (string, error) {
+	if n.cfg.AddrDir == "" {
+		return n.cfg.Peers[peer], nil
+	}
+	b, err := os.ReadFile(filepath.Join(n.cfg.AddrDir, fmt.Sprintf("%d.addr", peer)))
+	if err != nil {
+		return "", err
+	}
+	addr, ok := parseAddrFile(b, n.fp)
+	if !ok {
+		return "", fmt.Errorf("transport: stale rendezvous entry for peer %d", peer)
+	}
+	return addr, nil
+}
+
+// formMesh joins the full mesh: listen, publish/collect addresses, dial
+// every lower-id peer with a hello, and wait for the persistent accept
+// loop to install one connection from every higher-id peer.
+func (n *node) formMesh() error {
+	if err := n.listen(); err != nil {
+		return err
+	}
 	deadline := time.Now().Add(n.cfg.EpochTimeout)
 
 	addrs := n.cfg.Peers
 	if n.cfg.AddrDir != "" {
-		addrs, err = n.rendezvous(ln.Addr().String(), deadline)
+		var err error
+		addrs, err = n.rendezvous(n.ln.Addr().String(), deadline)
 		if err != nil {
 			return err
 		}
 	}
-	n.cfg.logf("node %d listening on %s", n.cfg.ID, ln.Addr())
+	n.addrs = addrs
+	n.cfg.logf("node %d listening on %s", n.cfg.ID, n.ln.Addr())
 
 	// Accept from higher ids concurrently with dialing lower ids —
 	// every pair (i < j) connects exactly once, j dialing i.
-	acceptErr := make(chan error, 1)
-	go func() { acceptErr <- n.acceptPeers(deadline) }()
+	go n.acceptLoop()
 	for j := 0; j < n.cfg.ID; j++ {
 		if err := n.dialPeer(j, addrs[j], deadline); err != nil {
 			return err
 		}
 	}
-	if err := <-acceptErr; err != nil {
-		return err
-	}
-	n.cfg.logf("node %d mesh complete (%d peers)", n.cfg.ID, n.cfg.Population-1)
-
-	for id, c := range n.conns {
-		if c != nil {
-			go n.readLoop(id, c)
+	want := n.cfg.Population - 1 - n.cfg.ID
+	for got := 0; got < want; {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("transport: mesh formation timed out (%d/%d peers joined)", got, want)
+		}
+		select {
+		case <-n.formJoin:
+			got++
+		case err := <-n.formErr:
+			return err
+		case <-time.After(wait):
+			return fmt.Errorf("transport: mesh formation timed out (%d/%d peers joined)", got, want)
 		}
 	}
+	n.meshFormed.Store(true)
+	n.cfg.logf("node %d mesh complete (%d peers)", n.cfg.ID, n.cfg.Population-1)
+	return nil
+}
+
+// formMeshResume re-forms the mesh after a crash restart: republish the
+// (new) listen address, resume-dial every lower-id peer, and wait for
+// every higher-id survivor's redial loop to find us. All links start
+// down; the mesh is re-formed when every link is back up.
+func (n *node) formMeshResume() error {
+	if err := n.listen(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(n.cfg.EpochTimeout + n.cfg.Grace)
+	if n.cfg.AddrDir != "" {
+		if _, err := n.rendezvous(n.ln.Addr().String(), deadline); err != nil {
+			return err
+		}
+	} else {
+		n.addrs = n.cfg.Peers
+	}
+	n.cfg.logf("node %d resuming at epoch %d, listening on %s", n.cfg.ID, n.startEpoch, n.ln.Addr())
+	n.meshFormed.Store(true)
+	go n.acceptLoop()
+	for _, l := range n.links {
+		if l != nil && l.dialerSide {
+			l.mu.Lock()
+			l.redialing = true
+			l.mu.Unlock()
+			go l.redialLoop()
+		}
+	}
+	for {
+		up := 0
+		for _, l := range n.links {
+			if l == nil {
+				continue
+			}
+			l.mu.Lock()
+			if !l.down && l.conn != nil {
+				up++
+			}
+			l.mu.Unlock()
+		}
+		if up == n.cfg.Population-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: resume: mesh not re-formed within %v (%d/%d links up)", n.cfg.EpochTimeout+n.cfg.Grace, up, n.cfg.Population-1)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	n.cfg.logf("node %d mesh resumed (%d peers)", n.cfg.ID, n.cfg.Population-1)
 	return nil
 }
 
 // rendezvous publishes this node's bound address in the shared
-// directory and polls for every other node's file.
+// directory and polls for every other node's file. Address files embed
+// the run fingerprint, so entries left behind by an earlier run in the
+// same directory (or by this node's own previous incarnation under a
+// different configuration) are ignored rather than dialed.
 func (n *node) rendezvous(self string, deadline time.Time) ([]string, error) {
 	tmp := filepath.Join(n.cfg.AddrDir, fmt.Sprintf(".%d.addr.tmp", n.cfg.ID))
-	if err := os.WriteFile(tmp, []byte(self), 0o644); err != nil {
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%016x %s", n.fp, self)), 0o644); err != nil {
 		return nil, fmt.Errorf("transport: rendezvous publish: %w", err)
 	}
 	final := filepath.Join(n.cfg.AddrDir, fmt.Sprintf("%d.addr", n.cfg.ID))
@@ -182,7 +400,11 @@ func (n *node) rendezvous(self string, deadline time.Time) ([]string, error) {
 			if err != nil {
 				continue
 			}
-			addrs[id] = string(b)
+			addr, ok := parseAddrFile(b, n.fp)
+			if !ok {
+				continue // stale entry from another run; ignore
+			}
+			addrs[id] = addr
 			missing--
 		}
 		if missing > 0 {
@@ -192,12 +414,31 @@ func (n *node) rendezvous(self string, deadline time.Time) ([]string, error) {
 	return addrs, nil
 }
 
+// parseAddrFile decodes one rendezvous entry ("%016x %s": fingerprint
+// then address) and reports whether it belongs to this run.
+func parseAddrFile(b []byte, fp uint64) (string, bool) {
+	s := string(b)
+	i := strings.IndexByte(s, ' ')
+	if i != 16 {
+		return "", false
+	}
+	got, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil || got != fp {
+		return "", false
+	}
+	addr := s[17:]
+	if addr == "" {
+		return "", false
+	}
+	return addr, true
+}
+
 // dialPeer connects to a lower-id peer and runs the join handshake.
 func (n *node) dialPeer(id int, addr string, deadline time.Time) error {
 	var conn net.Conn
 	var err error
 	for {
-		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		conn, err = n.dial(addr, time.Until(deadline))
 		if err == nil {
 			break
 		}
@@ -237,40 +478,66 @@ func (n *node) dialPeer(id int, addr string, deadline time.Time) error {
 		return fmt.Errorf("transport: peer %d sent unexpected handshake frame", id)
 	}
 	conn.SetDeadline(time.Time{})
-	n.conns[id] = conn
+	n.links[id].installConn(conn, 0, false)
 	return nil
 }
 
-// acceptPeers accepts and verifies one connection from every higher-id
-// peer. A hello that does not match this node's run configuration is
-// answered with a reject frame and fails the mesh.
-func (n *node) acceptPeers(deadline time.Time) error {
-	want := n.cfg.Population - 1 - n.cfg.ID
-	type tcpListener interface{ SetDeadline(time.Time) error }
-	if d, ok := n.ln.(tcpListener); ok {
-		d.SetDeadline(deadline)
-	}
-	for got := 0; got < want; {
+// acceptLoop accepts inbound connections for the life of the node:
+// formation hellos while the mesh is forming, resume handshakes from
+// reconnecting peers afterwards.
+func (n *node) acceptLoop() {
+	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("transport: accept (%d/%d peers joined): %w", got, want, err)
+			if n.stopped() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (e.g. an injected listener
+			// refusal): keep serving.
+			time.Sleep(time.Millisecond)
+			continue
 		}
-		conn.SetDeadline(deadline)
-		frame, err := wire.ReadFrame(conn)
-		if err != nil || len(frame) == 0 || frame[0] != mtHello {
+		go n.handleInbound(conn)
+	}
+}
+
+// formFail reports a fatal mesh-formation problem to formMesh.
+func (n *node) formFail(err error) {
+	select {
+	case n.formErr <- err:
+	default:
+	}
+}
+
+// handleInbound classifies one inbound connection by its first frame: a
+// formation hello or a resume handshake. A hello that does not match
+// this node's run configuration is answered with a reject frame and
+// fails the mesh (the legacy formation contract); a bad resume is
+// rejected without disturbing the run.
+func (n *node) handleInbound(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(n.cfg.EpochTimeout))
+	frame, err := wire.ReadFrame(conn)
+	if err != nil || len(frame) == 0 {
+		conn.Close()
+		return
+	}
+	switch frame[0] {
+	case mtHello:
+		if n.meshFormed.Load() {
+			wire.WriteFrame(conn, marshalReject("mesh already formed"))
 			conn.Close()
-			continue // not a mesh dialer; ignore
+			return
 		}
 		h, err := parseHello(frame[1:])
 		if err != nil {
 			conn.Close()
-			continue
+			return
 		}
 		reason := ""
 		switch {
 		case h.ID <= n.cfg.ID || h.ID >= n.cfg.Population:
 			reason = fmt.Sprintf("id %d out of dialer range", h.ID)
-		case n.conns[h.ID] != nil:
+		case n.links[h.ID].hasConn():
 			reason = fmt.Sprintf("id %d already joined", h.ID)
 		case h.Population != n.cfg.Population:
 			reason = fmt.Sprintf("population %d, want %d", h.Population, n.cfg.Population)
@@ -280,53 +547,55 @@ func (n *node) acceptPeers(deadline time.Time) error {
 		if reason != "" {
 			wire.WriteFrame(conn, marshalReject(reason))
 			conn.Close()
-			return fmt.Errorf("transport: rejected join from %d: %s", h.ID, reason)
+			n.formFail(fmt.Errorf("transport: rejected join from %d: %s", h.ID, reason))
+			return
 		}
 		if err := wire.WriteFrame(conn, marshalWelcome(n.cfg.ID)); err != nil {
 			conn.Close()
-			return fmt.Errorf("transport: welcome to %d: %w", h.ID, err)
+			n.formFail(fmt.Errorf("transport: welcome to %d: %w", h.ID, err))
+			return
 		}
 		conn.SetDeadline(time.Time{})
-		n.conns[h.ID] = conn
-		got++
+		n.links[h.ID].installConn(conn, 0, false)
+		select {
+		case n.formJoin <- h.ID:
+		case <-n.stop:
+		}
+	case mtResume:
+		r, err := parseResume(frame[1:])
+		if err != nil {
+			conn.Close()
+			return
+		}
+		reason := ""
+		switch {
+		case n.cfg.Grace <= 0:
+			reason = "grace disabled"
+		case r.ID <= n.cfg.ID || r.ID >= n.cfg.Population:
+			reason = fmt.Sprintf("id %d out of dialer range", r.ID)
+		case r.Population != n.cfg.Population:
+			reason = fmt.Sprintf("population %d, want %d", r.Population, n.cfg.Population)
+		case r.Fingerprint != n.fp:
+			reason = "run configuration fingerprint mismatch"
+		}
+		if reason != "" {
+			wire.WriteFrame(conn, marshalReject(reason))
+			conn.Close()
+			return
+		}
+		if reason := n.links[r.ID].handleResume(conn, r); reason != "" {
+			wire.WriteFrame(conn, marshalReject(reason))
+			conn.Close()
+		}
+	default:
+		conn.Close()
 	}
-	return nil
 }
 
-// readLoop parses frames from one peer for the life of the mesh.
-func (n *node) readLoop(from int, conn net.Conn) {
-	for {
-		frame, err := wire.ReadFrame(conn)
-		m := inMsg{from: from}
-		if err != nil {
-			m.err = err
-		} else if len(frame) == 0 {
-			m.err = errors.New("transport: empty frame")
-		} else {
-			m.kind = frame[0]
-			switch frame[0] {
-			case mtTick:
-				m.epoch, m.done, m.err = parseTick(frame[1:])
-			case mtData:
-				m.epoch, m.payload, m.err = parseData(frame[1:])
-			case mtKey:
-				// Ceremony frames reuse the epoch slot for the round tag.
-				m.epoch, m.payload, m.err = parseKey(frame[1:])
-			case mtBye:
-				// fall through with kind only
-			default:
-				m.err = fmt.Errorf("transport: unexpected frame kind 0x%02x", frame[0])
-			}
-		}
-		select {
-		case n.in <- m:
-		case <-n.stop:
-			return
-		}
-		if m.err != nil || m.kind == mtBye {
-			return
-		}
-	}
+func (l *link) hasConn() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn != nil
 }
 
 // epochEnv adapts one epoch of the mesh to core.Env: the inbox holds
@@ -353,10 +622,12 @@ func (e *epochEnv) RandomPeers(k int) []p2p.NodeID {
 }
 
 // Send marshals the payload immediately (the participant may reuse its
-// buffers after Send returns) and writes one data frame to the peer.
+// buffers after Send returns) and hands one data frame to the peer's
+// supervised link. Under grace a down link absorbs the frame into its
+// retransmit ring instead of failing the send.
 func (e *epochEnv) Send(to p2p.NodeID, payload any, bytes int) error {
-	conn := e.n.conns[int(to)]
-	if conn == nil {
+	l := e.n.links[int(to)]
+	if l == nil {
 		return fmt.Errorf("transport: send to unknown peer %d", to)
 	}
 	raw, err := e.n.core.EncodePayload(payload)
@@ -364,9 +635,9 @@ func (e *epochEnv) Send(to p2p.NodeID, payload any, bytes int) error {
 		e.sendErr = err
 		return err
 	}
-	if err := wire.WriteFrame(conn, marshalData(e.epoch, raw)); err != nil {
-		e.sendErr = fmt.Errorf("transport: send to peer %d: %w", to, err)
-		return e.sendErr
+	if err := l.send(e.epoch, marshalData(e.epoch, raw)); err != nil {
+		e.sendErr = err
+		return err
 	}
 	return nil
 }
@@ -375,51 +646,105 @@ func (e *epochEnv) Send(to p2p.NodeID, payload any, bytes int) error {
 // population has terminated. Epoch e of the mesh is cycle e of the
 // simulation contract: payloads sent at e are stepped at e+1.
 func (n *node) runEpochs() error {
-	// Buffers for messages from peers running ahead of our barrier.
-	pendingData := map[int]map[int][][]byte{} // epoch -> sender -> payloads
-	ticks := map[int]map[int]bool{}           // epoch -> sender -> done flag
-	left := map[int]bool{}                    // peers that sent bye
-
 	limit := n.core.MaxCycles()
-	for epoch := 0; epoch < limit; epoch++ {
-		inbox, err := n.buildInbox(pendingData[epoch-1])
-		if err != nil {
-			return err
-		}
-		delete(pendingData, epoch-1)
-
-		env := &epochEnv{n: n, epoch: epoch, inbox: inbox}
-		n.core.Step(env)
-		if env.sendErr != nil {
-			return env.sendErr
-		}
-
-		done := n.core.Done()
-		for _, c := range n.conns {
-			if c == nil {
-				continue
+	every := n.cfg.checkpointEvery()
+	skipStep := n.barrierPending
+	for epoch := n.startEpoch; epoch < limit; epoch++ {
+		if !skipStep {
+			if n.interrupted() {
+				return n.shutdown(epoch, false)
 			}
-			if err := wire.WriteFrame(c, marshalTick(epoch, done)); err != nil {
-				return fmt.Errorf("transport: tick broadcast: %w", err)
+			inbox, err := n.buildInbox(n.pendingData[epoch-1])
+			if err != nil {
+				return err
 			}
-		}
+			delete(n.pendingData, epoch-1)
 
-		allDone, err := n.awaitBarrier(epoch, done, pendingData, ticks, left)
-		if err != nil {
-			return err
-		}
-		delete(ticks, epoch)
-		if allDone {
-			n.cfg.logf("node %d terminated at epoch %d", n.cfg.ID, epoch)
-			for _, c := range n.conns {
-				if c != nil {
-					wire.WriteFrame(c, marshalBye())
+			env := &epochEnv{n: n, epoch: epoch, inbox: inbox}
+			n.core.Step(env)
+			if env.sendErr != nil {
+				return env.sendErr
+			}
+
+			done := n.core.Done()
+			for _, l := range n.links {
+				if l == nil {
+					continue
+				}
+				if err := l.send(epoch, marshalTick(epoch, done)); err != nil {
+					return fmt.Errorf("transport: tick broadcast: %w", err)
 				}
 			}
-			return nil
+		}
+		skipStep = false
+
+		allDone, err := n.awaitBarrier(epoch, n.core.Done())
+		if errors.Is(err, errBarrierInterrupted) {
+			return n.shutdown(epoch, true)
+		}
+		if err != nil {
+			return err
+		}
+		delete(n.ticks, epoch)
+		n.pruneRings(epoch)
+		if allDone {
+			return n.finishRun(epoch)
+		}
+		if every > 0 && (epoch+1)%every == 0 {
+			if err := n.writeCheckpoint(epoch+1, false); err != nil {
+				return err
+			}
 		}
 	}
 	return fmt.Errorf("transport: no termination within %d epochs", limit)
+}
+
+// shutdown performs a graceful interrupt exit: final checkpoint (when
+// configured), bye to every peer, ErrInterrupted to the caller.
+func (n *node) shutdown(epoch int, barrierPending bool) error {
+	var ckErr error
+	if n.cfg.CheckpointDir != "" {
+		ckErr = n.writeCheckpoint(epoch, barrierPending)
+	}
+	for _, l := range n.links {
+		if l != nil {
+			l.sendBye()
+		}
+	}
+	n.cfg.logf("node %d interrupted at epoch %d (barrier pending: %v)", n.cfg.ID, epoch, barrierPending)
+	if ckErr != nil {
+		return fmt.Errorf("%w (checkpoint failed: %v)", ErrInterrupted, ckErr)
+	}
+	return ErrInterrupted
+}
+
+// finishRun broadcasts the orderly leave after the whole population
+// disclosed its final iteration.
+func (n *node) finishRun(epoch int) error {
+	n.cfg.logf("node %d terminated at epoch %d", n.cfg.ID, epoch)
+	for _, l := range n.links {
+		if l != nil {
+			l.sendBye()
+		}
+	}
+	return nil
+}
+
+// pruneRings drops retransmit-ring frames old enough that every peer —
+// including one resuming from its oldest possible checkpoint — provably
+// received them. While a peer is down the barrier stalls, so epochs
+// stop advancing and pruning naturally pauses with them.
+func (n *node) pruneRings(epoch int) {
+	retention := 2*n.cfg.checkpointEvery() + 4
+	before := epoch - retention
+	if before <= 0 {
+		return
+	}
+	for _, l := range n.links {
+		if l != nil {
+			l.prune(before)
+		}
+	}
 }
 
 // awaitBarrier blocks until every peer's tick for the given epoch has
@@ -427,10 +752,16 @@ func (n *node) runEpochs() error {
 // the entire population (peers and self) has terminated. Epoch traffic
 // that arrived while this node was still in the key ceremony (backlog)
 // is replayed first, preserving per-sender FIFO order.
-func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[int][][]byte, ticks map[int]map[int]bool, left map[int]bool) (bool, error) {
+//
+// Under grace the barrier outlasts the epoch timeout as long as a down
+// link is still within its grace window (a recovering peer also gets a
+// fresh epoch timeout from the moment its link resumes); when the
+// barrier finally fails, the error names every peer whose tick is
+// missing and the state of its link.
+func (n *node) awaitBarrier(epoch int, selfDone bool) (bool, error) {
 	timeout := time.NewTimer(n.cfg.EpochTimeout)
 	defer timeout.Stop()
-	for len(ticks[epoch]) < n.cfg.Population-1 {
+	for len(n.ticks[epoch]) < n.cfg.Population-1 {
 		var m inMsg
 		if len(n.backlog) > 0 {
 			m = n.backlog[0]
@@ -438,8 +769,18 @@ func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[in
 		} else {
 			select {
 			case m = <-n.in:
+				if m.seq > 0 {
+					n.procSeq[m.from] = m.seq
+				}
+			case <-n.cfg.Interrupt:
+				return false, errBarrierInterrupted
 			case <-timeout.C:
-				return false, fmt.Errorf("transport: epoch %d barrier timed out after %v (%d/%d ticks)", epoch, n.cfg.EpochTimeout, len(ticks[epoch]), n.cfg.Population-1)
+				wait, state := n.barrierState(epoch)
+				if wait {
+					timeout.Reset(gracePollInterval)
+					continue
+				}
+				return false, fmt.Errorf("transport: epoch %d barrier timed out after %v (%d/%d ticks); %s", epoch, n.cfg.EpochTimeout, len(n.ticks[epoch]), n.cfg.Population-1, state)
 			}
 		}
 		if m.err != nil {
@@ -450,28 +791,33 @@ func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[in
 			if m.epoch < epoch {
 				return false, fmt.Errorf("transport: peer %d re-ticked past epoch %d", m.from, m.epoch)
 			}
-			et := ticks[m.epoch]
+			et := n.ticks[m.epoch]
 			if et == nil {
 				et = map[int]bool{}
-				ticks[m.epoch] = et
+				n.ticks[m.epoch] = et
 			}
 			et[m.from] = m.done
 		case mtData:
 			if m.epoch < epoch {
 				return false, fmt.Errorf("transport: peer %d sent stale data for epoch %d at barrier %d", m.from, m.epoch, epoch)
 			}
-			ed := pendingData[m.epoch]
+			ed := n.pendingData[m.epoch]
 			if ed == nil {
 				ed = map[int][][]byte{}
-				pendingData[m.epoch] = ed
+				n.pendingData[m.epoch] = ed
 			}
 			ed[m.from] = append(ed[m.from], m.payload)
 		case mtBye:
 			// A leave is orderly only after this barrier shows the
-			// whole population done; a peer that leaves while the
-			// run is live breaks the fault-free contract.
-			left[m.from] = true
-			if _, ticked := ticks[epoch][m.from]; !ticked {
+			// whole population done. Under grace, a mid-run bye is an
+			// interrupted peer that may come back (its link is torn
+			// down and the grace window takes over); without grace it
+			// breaks the fault-free contract.
+			n.left[m.from] = true
+			if _, ticked := n.ticks[epoch][m.from]; !ticked {
+				if n.cfg.Grace > 0 {
+					continue
+				}
 				return false, fmt.Errorf("transport: peer %d left the mesh at epoch %d", m.from, epoch)
 			}
 		case mtKey:
@@ -481,12 +827,51 @@ func (n *node) awaitBarrier(epoch int, selfDone bool, pendingData map[int]map[in
 	if !selfDone {
 		return false, nil
 	}
-	for _, done := range ticks[epoch] {
+	for _, done := range n.ticks[epoch] {
 		if !done {
 			return false, nil
 		}
 	}
 	return true, nil
+}
+
+// barrierState decides whether a timed-out barrier should keep waiting
+// (grace) and describes the missing peers' link states for the failure
+// diagnostic either way.
+func (n *node) barrierState(epoch int) (wait bool, state string) {
+	now := time.Now()
+	var missing []string
+	for id, l := range n.links {
+		if l == nil {
+			continue
+		}
+		down, since, lastResume := l.state()
+		_, ticked := n.ticks[epoch][id]
+		if down {
+			// A down link within its grace window explains any missing
+			// tick — including ticks from healthy peers that are
+			// themselves parked waiting for the same down peer.
+			if n.cfg.Grace > 0 && now.Sub(since) < n.cfg.Grace {
+				wait = true
+			}
+			if !ticked {
+				missing = append(missing, fmt.Sprintf("peer %d (link down %v)", id, now.Sub(since).Round(time.Millisecond)))
+			}
+			continue
+		}
+		if !ticked {
+			// A recently resumed link gets a fresh epoch timeout: its
+			// backlog replay and catch-up stepping take time.
+			if n.cfg.Grace > 0 && !lastResume.IsZero() && now.Sub(lastResume) < n.cfg.EpochTimeout {
+				wait = true
+			}
+			missing = append(missing, fmt.Sprintf("peer %d (link up)", id))
+		}
+	}
+	if len(missing) == 0 {
+		return wait, "no ticks missing"
+	}
+	return wait, "missing ticks from: " + strings.Join(missing, ", ")
 }
 
 // buildInbox decodes one epoch's buffered payloads into the simulator's

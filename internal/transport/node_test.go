@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"chiaroscuro/internal/core"
+)
+
+func gobHistory(t *testing.T, h []core.IterationResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRendezvousIgnoresStaleEntries: address files left behind by an
+// earlier run (malformed, or well-formed under a different
+// configuration fingerprint) must be ignored and overwritten, not
+// dialed — the mesh still forms.
+func TestRendezvousIgnoresStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+	// A malformed leftover and a well-formed entry from a different run
+	// pointing at a dead port.
+	if err := os.WriteFile(filepath.Join(dir, "0.addr"), []byte("not a rendezvous entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "1.addr"), []byte(fmt.Sprintf("%016x %s", uint64(0xDEAD), "127.0.0.1:1")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 2
+	data, err := SyntheticSeries("cer", n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{K: 2, Epsilon: 1.0, Iterations: 1, Seed: 3, Backend: core.BackendPlainAccounted}
+	_, want, err := core.RunSequentialHistories(data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	histories := make([][]core.IterationResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cfg := Config{
+				ID:           id,
+				Population:   n,
+				Listen:       "127.0.0.1:0",
+				AddrDir:      dir,
+				EpochTimeout: 30 * time.Second,
+			}
+			histories[id], errs[id] = Run(cfg, data, params)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	for id := range histories {
+		if !bytes.Equal(gobHistory(t, histories[id]), gobHistory(t, want[id])) {
+			t.Errorf("node %d history diverges from sequential reference", id)
+		}
+	}
+}
+
+// TestWriteHistoryAtomic is the torn-write regression test: WriteHistory
+// must replace a garbage target wholesale, leave no temp residue, and
+// produce a file ReadHistory round-trips exactly.
+func TestWriteHistoryAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.gob")
+	// A torn file from a previous crashed writer at the target path.
+	if err := os.WriteFile(path, []byte("\x13\xff\x81torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	history := []core.IterationResult{
+		{Iteration: 0, Epsilon: 0.5, PerturbedInertia: 1.25, Assignment: 1, CompletedAtCycle: 7},
+		{Iteration: 1, Epsilon: 0.25, Assignment: 0, CompletedAtCycle: 19},
+	}
+	if err := WriteHistory(path, history); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(gobHistory(t, got), gobHistory(t, history)) {
+		t.Fatal("history did not round-trip")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the history file", len(entries))
+	}
+}
+
+// TestInterruptResumeInProcess drives the graceful interrupt/resume
+// cycle without process machinery: a three-node mesh where one node is
+// interrupted the moment the mesh forms (its Interrupt channel is
+// already closed), checkpoints, says bye, and is then restarted with
+// Resume. The survivors ride out the outage on their grace windows, the
+// resume handshake replays what was lost, and every disclosed history —
+// including the victim's — must be bit-identical to the sequential
+// reference.
+func TestInterruptResumeInProcess(t *testing.T) {
+	const n = 3
+	const victim = 2
+	data, err := SyntheticSeries("cer", n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{K: 2, Epsilon: 1.0, Iterations: 2, Seed: 5, Backend: core.BackendPlainAccounted}
+	_, want, err := core.RunSequentialHistories(data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrDir, ckptDir := t.TempDir(), t.TempDir()
+	interrupted := make(chan struct{})
+	close(interrupted)
+
+	baseCfg := func(id int) Config {
+		return Config{
+			ID:           id,
+			Population:   n,
+			Listen:       "127.0.0.1:0",
+			AddrDir:      addrDir,
+			EpochTimeout: 30 * time.Second,
+			Grace:        30 * time.Second,
+		}
+	}
+
+	histories := make([][]core.IterationResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		if id == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			histories[id], errs[id] = Run(baseCfg(id), data, params)
+		}(id)
+	}
+
+	vcfg := baseCfg(victim)
+	vcfg.CheckpointDir = ckptDir
+	vcfg.CheckpointEvery = 1
+	vcfg.Interrupt = interrupted
+	if _, err := Run(vcfg, data, params); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if _, err := os.Stat(checkpointPath(vcfg)); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+
+	vcfg.Interrupt = nil
+	vcfg.Resume = true
+	histories[victim], errs[victim] = Run(vcfg, data, params)
+
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	for id := range histories {
+		if !bytes.Equal(gobHistory(t, histories[id]), gobHistory(t, want[id])) {
+			t.Errorf("node %d history diverges from sequential reference after interrupt/resume", id)
+		}
+	}
+}
