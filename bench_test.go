@@ -268,6 +268,53 @@ func BenchmarkDamgardJurikFastPath(b *testing.B) {
 				}
 			}
 		})
+
+		// The decrypt-phase shape: one responder set opening a whole
+		// pending-cipher vector. naive recomputes the Lagrange work per
+		// cipher; context resolves the responder set once (CombineContext)
+		// and replays the precomputed multiexp plan per cipher — the
+		// in-protocol path of participant.decodeAll via CombineColumns.
+		const vectorLen = 8
+		cols := make([][]damgardjurik.PartialDecryption, vectorLen)
+		for j := range cols {
+			cv, err := tk.Encrypt(rand.Reader, big.NewInt(int64(1000+j)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cols[j] = make([]damgardjurik.PartialDecryption, 5)
+			for i := 0; i < 5; i++ {
+				cols[j][i], err = tk.PartialDecrypt(shares[i], cv)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		indices := make([]int, 5)
+		for i := range indices {
+			indices[i] = cols[0][i].Index
+		}
+		b.Run(fmt.Sprintf("CombineVector/naive/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, col := range cols {
+					if _, err := tk.CombineNaive(col); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("CombineVector/context/%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx, err := tk.CombineContext(indices)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, col := range cols {
+					if _, err := tk.CombineWith(ctx, col); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

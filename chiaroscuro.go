@@ -226,6 +226,25 @@ type CryptoOps struct {
 	Halvings        int64
 	PartialDecrypts int64
 	Combines        int64
+	// CombineCtxHits counts combines whose responder-set plan (Lagrange
+	// coefficients, multiexp tables) was served from cache instead of
+	// rebuilt; PartialCacheHits counts decrypt requests answered from a
+	// responder's memoized partials instead of recomputed.
+	CombineCtxHits   int64
+	PartialCacheHits int64
+}
+
+// DecryptPhaseCost breaks the collaborative-decryption phase (paper
+// steps 2c/2d) out of the aggregate network and timing figures.
+type DecryptPhaseCost struct {
+	// Cycles and Wall are the decrypt-classified share of the cycle
+	// engines' schedule and wall clock (zero for the async engine).
+	Cycles int
+	Wall   time.Duration
+	// Requests and Bytes are the decrypt requests sent and the request
+	// plus response bytes across the population.
+	Requests int
+	Bytes    int64
 }
 
 // Result is the outcome of a Cluster run.
@@ -245,6 +264,8 @@ type Result struct {
 	Privacy PrivacyReport
 	Network NetworkCost
 	Crypto  CryptoOps
+	// Decrypt is the decrypt-phase slice of the run's cost.
+	Decrypt DecryptPhaseCost
 
 	// DecryptFailures counts iterations where some participant could
 	// not assemble a decryption quorum (only under churn or faults).
@@ -299,11 +320,19 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 			Delayed:         trace.NetStats.Delayed,
 		},
 		Crypto: CryptoOps{
-			Encrypts:        trace.Ops.Encrypts,
-			Adds:            trace.Ops.Adds,
-			Halvings:        trace.Ops.Halvings,
-			PartialDecrypts: trace.Ops.PartialDecrypts,
-			Combines:        trace.Ops.Combines,
+			Encrypts:         trace.Ops.Encrypts,
+			Adds:             trace.Ops.Adds,
+			Halvings:         trace.Ops.Halvings,
+			PartialDecrypts:  trace.Ops.PartialDecrypts,
+			Combines:         trace.Ops.Combines,
+			CombineCtxHits:   trace.Ops.CombineCtxHits,
+			PartialCacheHits: trace.Ops.PartialCacheHits,
+		},
+		Decrypt: DecryptPhaseCost{
+			Cycles:   trace.Phases.DecryptCycles,
+			Wall:     trace.Phases.DecryptTime,
+			Requests: trace.DecryptRequests,
+			Bytes:    trace.DecryptBytes,
 		},
 		DecryptFailures: trace.DecryptFailures,
 		Completed:       trace.Completed,

@@ -25,7 +25,23 @@ type scaleHotPath struct {
 	BytesPerCycle  float64
 }
 
-// scaleRunEntry is one timed large-population run in the artifact.
+// scaleDecryptPhase is the decrypt-phase allocation measurement: a
+// complete accounted run at a small fixed population, with MemStats
+// deltas accumulated over the decrypt-classified cycles only
+// (internal/core.MeasureDecryptAllocs). Unlike the gossip hot path the
+// figure is not zero — quorum assembly and Combine allocate — so the CI
+// gate compares it against the committed baseline with relative slack.
+type scaleDecryptPhase struct {
+	Population     int
+	DecryptCycles  int
+	AllocsPerCycle float64
+	BytesPerCycle  float64
+}
+
+// scaleRunEntry is one timed large-population run in the artifact. The
+// Decrypt* columns break the decrypt phase out of the totals: cycles
+// classified decrypt-dominant, their wall clock, and the phase's wire
+// traffic (requests sent; request + response bytes).
 type scaleRunEntry struct {
 	Name       string
 	Engine     string
@@ -33,6 +49,7 @@ type scaleRunEntry struct {
 	Dim        int
 	K          int
 	Iterations int
+	Packed     bool
 
 	Elapsed             time.Duration
 	AllocBytes          uint64 // total heap bytes allocated by the run
@@ -42,33 +59,46 @@ type scaleRunEntry struct {
 	BytesSent           int64
 	Cycles              int
 	Completed           int
+
+	DecryptCycles   int
+	DecryptWall     time.Duration
+	DecryptRequests int
+	DecryptBytes    int64
 }
 
 // scaleBenchResult is the BENCH_scale.json schema ("chiaroscuro-bench-
-// scale/v1"): the committed copy at the repository root is the baseline
-// the CI allocation-regression gate compares against; per-push copies
-// are uploaded as artifacts for the perf trajectory.
+// scale/v2"; v1 lacked the DecryptPhase section, the per-run decrypt
+// columns and the packed run): the committed copy at the repository
+// root is the baseline the CI regression gates compare against;
+// per-push copies are uploaded as artifacts for the perf trajectory.
 type scaleBenchResult struct {
-	Schema    string          `json:"Schema"`
-	Timestamp string          `json:"Timestamp"`
-	HotPath   scaleHotPath    `json:"HotPath"`
-	Runs      []scaleRunEntry `json:"Runs"`
+	Schema       string            `json:"Schema"`
+	Timestamp    string            `json:"Timestamp"`
+	HotPath      scaleHotPath      `json:"HotPath"`
+	DecryptPhase scaleDecryptPhase `json:"DecryptPhase,omitempty"`
+	Runs         []scaleRunEntry   `json:"Runs"`
 }
+
+const (
+	scaleSchemaV1 = "chiaroscuro-bench-scale/v1"
+	scaleSchemaV2 = "chiaroscuro-bench-scale/v2"
+)
 
 // scaleHotPathPopulation is small on purpose: MeasureGossipAllocs
 // preallocates O(n²) queue hints to make the zero provable, and the
-// allocs-per-cycle property does not depend on n.
+// allocs-per-cycle property does not depend on n. The decrypt-phase
+// measurement reuses the same population for comparability.
 const scaleHotPathPopulation = 512
 
 // runBenchScale measures the large-population memory profile: the
-// hot-path allocations-per-cycle figure and a full accounted sharded
-// run at population n. With a non-empty out path it writes the JSON
-// artifact; with a non-empty baseline path it compares the hot-path
-// allocation figure against the committed baseline and returns an error
-// (failing CI) on regression.
+// hot-path and decrypt-phase allocation figures plus full accounted
+// sharded runs (unpacked and packed) at population n. With a non-empty
+// out path it writes the JSON artifact; with a non-empty baseline path
+// it compares the allocation figures against the committed baseline and
+// returns an error (failing CI) on regression.
 func runBenchScale(n int, out, baseline string) error {
 	res := scaleBenchResult{
-		Schema:    "chiaroscuro-bench-scale/v1",
+		Schema:    scaleSchemaV2,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -98,10 +128,30 @@ func runBenchScale(n int, out, baseline string) error {
 	fmt.Printf("hot path: %.2f allocs/cycle, %.1f B/cycle (n=%d, %d measured cycles, accounted backend)\n",
 		rep.AllocsPerCycle, rep.BytesPerCycle, rep.Population, rep.Cycles)
 
-	// 2. Full accounted sharded run at scale — the same workload as
-	// BenchmarkClusterScale* by construction (internal/benchcfg pins the
-	// shape for both, so the committed baseline and the Go benchmark
-	// stay comparable).
+	// 1b. Decrypt-phase allocation measurement, on the same population
+	// with the scale workload's quorum shape.
+	drep, err := core.MeasureDecryptAllocs(hotSeries, core.Params{
+		K: benchcfg.ScaleK, Epsilon: benchcfg.ScaleEpsilon,
+		Iterations: benchcfg.ScaleIterations, Seed: 11,
+		GossipRounds:     benchcfg.ScaleGossipRounds,
+		DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	res.DecryptPhase = scaleDecryptPhase{
+		Population:     drep.Population,
+		DecryptCycles:  drep.DecryptCycles,
+		AllocsPerCycle: drep.AllocsPerCycle,
+		BytesPerCycle:  drep.BytesPerCycle,
+	}
+	fmt.Printf("decrypt phase: %.0f allocs/cycle, %.0f B/cycle (n=%d, %d decrypt cycles)\n",
+		drep.AllocsPerCycle, drep.BytesPerCycle, drep.Population, drep.DecryptCycles)
+
+	// 2. Full accounted sharded runs at scale, unpacked and packed — the
+	// same workload as BenchmarkClusterScale* by construction
+	// (internal/benchcfg pins the shape for both, so the committed
+	// baseline and the Go benchmark stay comparable).
 	series, _, _, err := chiaroscuro.SyntheticCERErr(n, benchcfg.ScaleDim, benchcfg.ScaleSeed)
 	if err != nil {
 		return err
@@ -109,43 +159,56 @@ func runBenchScale(n int, out, baseline string) error {
 	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
 		return err
 	}
-	cfg := chiaroscuro.Config{
-		K: benchcfg.ScaleK, Epsilon: benchcfg.ScaleEpsilon,
-		Iterations: benchcfg.ScaleIterations, Seed: benchcfg.ScaleSeed,
-		GossipRounds: benchcfg.ScaleGossipRounds, DecryptThreshold: benchcfg.ScaleDecryptThreshold,
-		Engine: benchcfg.ScaleEngine,
+	for _, packed := range []bool{false, true} {
+		cfg := chiaroscuro.Config{
+			K: benchcfg.ScaleK, Epsilon: benchcfg.ScaleEpsilon,
+			Iterations: benchcfg.ScaleIterations, Seed: benchcfg.ScaleSeed,
+			GossipRounds: benchcfg.ScaleGossipRounds, DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+			Engine: benchcfg.ScaleEngine, Packed: packed,
+		}
+		name := fmt.Sprintf("accounted-sharded-%d", n)
+		if packed {
+			name = fmt.Sprintf("accounted-sharded-packed-%d", n)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		r, err := chiaroscuro.Cluster(series, cfg)
+		if err != nil {
+			return fmt.Errorf("bench-scale run %s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		entry := scaleRunEntry{
+			Name:                name,
+			Engine:              benchcfg.ScaleEngine,
+			N:                   n,
+			Dim:                 len(series[0]),
+			K:                   cfg.K,
+			Iterations:          cfg.Iterations,
+			Packed:              packed,
+			Elapsed:             elapsed,
+			AllocBytes:          after.TotalAlloc - before.TotalAlloc,
+			AllocObjects:        after.Mallocs - before.Mallocs,
+			BytesPerParticipant: float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			MessagesSent:        r.Network.MessagesSent,
+			BytesSent:           r.Network.BytesSent,
+			Cycles:              r.Network.Cycles,
+			Completed:           r.Completed,
+			DecryptCycles:       r.Decrypt.Cycles,
+			DecryptWall:         r.Decrypt.Wall,
+			DecryptRequests:     r.Decrypt.Requests,
+			DecryptBytes:        r.Decrypt.Bytes,
+		}
+		res.Runs = append(res.Runs, entry)
+		fmt.Printf("%s: %s wall (%s decrypt over %d cycles), %.2f GB allocated (%.0f B/participant), %d objects, %d cycles, %d/%d completed, %d decrypt requests (%.2f GB)\n",
+			entry.Name, entry.Elapsed.Round(time.Millisecond),
+			entry.DecryptWall.Round(time.Millisecond), entry.DecryptCycles,
+			float64(entry.AllocBytes)/1e9, entry.BytesPerParticipant,
+			entry.AllocObjects, entry.Cycles, entry.Completed, n,
+			entry.DecryptRequests, float64(entry.DecryptBytes)/1e9)
 	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	r, err := chiaroscuro.Cluster(series, cfg)
-	if err != nil {
-		return fmt.Errorf("bench-scale run at n=%d: %w", n, err)
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	entry := scaleRunEntry{
-		Name:                fmt.Sprintf("accounted-sharded-%d", n),
-		Engine:              benchcfg.ScaleEngine,
-		N:                   n,
-		Dim:                 len(series[0]),
-		K:                   cfg.K,
-		Iterations:          cfg.Iterations,
-		Elapsed:             elapsed,
-		AllocBytes:          after.TotalAlloc - before.TotalAlloc,
-		AllocObjects:        after.Mallocs - before.Mallocs,
-		BytesPerParticipant: float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
-		MessagesSent:        r.Network.MessagesSent,
-		BytesSent:           r.Network.BytesSent,
-		Cycles:              r.Network.Cycles,
-		Completed:           r.Completed,
-	}
-	res.Runs = append(res.Runs, entry)
-	fmt.Printf("%s: %s wall, %.2f GB allocated (%.0f B/participant), %d objects, %d cycles, %d/%d completed\n",
-		entry.Name, entry.Elapsed.Round(time.Millisecond),
-		float64(entry.AllocBytes)/1e9, entry.BytesPerParticipant,
-		entry.AllocObjects, entry.Cycles, entry.Completed, n)
 
 	if out != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
@@ -165,15 +228,23 @@ func runBenchScale(n int, out, baseline string) error {
 	return nil
 }
 
-// scaleAllocSlack absorbs measurement jitter in the regression gate: the
-// committed baseline is 0 allocs/cycle, so anything persistent shows up
-// far above this threshold.
+// scaleAllocSlack absorbs measurement jitter in the hot-path regression
+// gate: the committed baseline is 0 allocs/cycle, so anything persistent
+// shows up far above this threshold.
 const scaleAllocSlack = 0.5
 
-// checkScaleBaseline fails when the measured hot-path allocations per
-// cycle exceed the committed baseline (BENCH_scale.json at the repo
-// root) beyond jitter — the CI gate that keeps the zero-allocation
-// gossip cycle from silently regressing.
+// scaleDecryptSlack is the relative headroom of the decrypt-phase gate:
+// the baseline figure is non-zero (big.Int quorum work allocates), so
+// the gate is multiplicative — fail only when allocs/cycle exceed the
+// committed baseline by more than 30%.
+const scaleDecryptSlack = 1.30
+
+// checkScaleBaseline fails when the measured hot-path or decrypt-phase
+// allocations per cycle exceed the committed baseline (BENCH_scale.json
+// at the repo root) beyond slack — the CI gates that keep the
+// zero-allocation gossip cycle and the decrypt-phase alloc profile from
+// silently regressing. A v1 baseline (no DecryptPhase section) gates
+// the hot path only.
 func checkScaleBaseline(res scaleBenchResult, path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -183,7 +254,7 @@ func checkScaleBaseline(res scaleBenchResult, path string) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("bench-scale baseline %s: %w", path, err)
 	}
-	if base.Schema != "chiaroscuro-bench-scale/v1" {
+	if base.Schema != scaleSchemaV1 && base.Schema != scaleSchemaV2 {
 		return fmt.Errorf("bench-scale baseline %s: unexpected schema %q", path, base.Schema)
 	}
 	if res.HotPath.AllocsPerCycle > base.HotPath.AllocsPerCycle+scaleAllocSlack {
@@ -192,5 +263,16 @@ func checkScaleBaseline(res scaleBenchResult, path string) error {
 	}
 	fmt.Printf("baseline check: %.2f allocs/cycle vs committed %.2f — ok\n",
 		res.HotPath.AllocsPerCycle, base.HotPath.AllocsPerCycle)
+	if base.DecryptPhase.DecryptCycles > 0 {
+		limit := base.DecryptPhase.AllocsPerCycle * scaleDecryptSlack
+		if res.DecryptPhase.AllocsPerCycle > limit {
+			return fmt.Errorf("allocation regression: decrypt phase now allocates %.0f objects/cycle, committed baseline is %.0f (gate: baseline×%.2f)",
+				res.DecryptPhase.AllocsPerCycle, base.DecryptPhase.AllocsPerCycle, scaleDecryptSlack)
+		}
+		fmt.Printf("decrypt baseline check: %.0f allocs/cycle vs committed %.0f — ok\n",
+			res.DecryptPhase.AllocsPerCycle, base.DecryptPhase.AllocsPerCycle)
+	} else {
+		fmt.Println("decrypt baseline check: skipped (v1 baseline has no DecryptPhase section)")
+	}
 	return nil
 }

@@ -49,7 +49,7 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 	}
 
 	net := &asyncNet{
-		inboxes: make([]chan p2p.Message, n),
+		inboxes: make([]*asyncInbox, n),
 	}
 	// Bind the fault plan. The async engine has no global clock, so the
 	// Conditioner and scheduler run against each participant's private
@@ -62,10 +62,11 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 		return nil, err
 	}
 	net.cond = cond
+	// Generous buffering: a full iteration's worth of traffic per node.
+	// Overflow is dropped and counted, like a saturated link.
+	inboxCap := 4*(p.GossipRounds+2*p.DecryptThreshold) + 64
 	for i := range net.inboxes {
-		// Generous buffering: a full iteration's worth of traffic per
-		// node. Overflow is dropped and counted, like a saturated link.
-		net.inboxes[i] = make(chan p2p.Message, 4*(p.GossipRounds+2*p.DecryptThreshold)+64)
+		net.inboxes[i] = newAsyncInbox(inboxCap)
 	}
 
 	participants := make([]*participant, n)
@@ -85,6 +86,9 @@ func RunAsync(data [][]float64, params Params) (*Trace, error) {
 				net: net,
 				id:  pt.id,
 				rng: compactrng.NewRand(p.Seed ^ (int64(pt.id)+7)*0x2545F4914F6CDD1D),
+				// Sized to the ring: a full drain can never grow it, so
+				// steady-state activations reuse this one buffer.
+				drain: make([]p2p.Message, 0, inboxCap),
 			}
 			notified := false
 			wasDown := false
@@ -180,9 +184,61 @@ waitLoop:
 	return buildTrace(data, p, participants, cycles, stats, rs.suite, rs.accountant)
 }
 
-// asyncNet is the channel-based message fabric.
+// asyncInbox is one participant's fixed-capacity mailbox: a mutex-guarded
+// ring of messages. It replaces the earlier per-node buffered channel —
+// the channel's per-receive element churn (and the fresh slice every
+// drain grew) was the async fabric's last allocation source. Capacity is
+// fixed at construction; a full ring drops the incoming message, which
+// the sender counts exactly like the saturated channel did.
+type asyncInbox struct {
+	mu   sync.Mutex
+	buf  []p2p.Message
+	head int // index of the oldest queued message
+	n    int // queued message count
+}
+
+func newAsyncInbox(capacity int) *asyncInbox {
+	return &asyncInbox{buf: make([]p2p.Message, capacity)}
+}
+
+// push enqueues m, reporting false when the ring is full.
+func (ib *asyncInbox) push(m p2p.Message) bool {
+	ib.mu.Lock()
+	if ib.n == len(ib.buf) {
+		ib.mu.Unlock()
+		return false
+	}
+	i := ib.head + ib.n
+	if i >= len(ib.buf) {
+		i -= len(ib.buf)
+	}
+	ib.buf[i] = m
+	ib.n++
+	ib.mu.Unlock()
+	return true
+}
+
+// drainInto appends every queued message to dst in arrival order and
+// clears the vacated slots, so recycled ring capacity never pins dead
+// payloads. With dst's capacity at least the ring's, it allocates
+// nothing.
+func (ib *asyncInbox) drainInto(dst []p2p.Message) []p2p.Message {
+	ib.mu.Lock()
+	for ; ib.n > 0; ib.n-- {
+		dst = append(dst, ib.buf[ib.head])
+		ib.buf[ib.head] = p2p.Message{}
+		ib.head++
+		if ib.head == len(ib.buf) {
+			ib.head = 0
+		}
+	}
+	ib.mu.Unlock()
+	return dst
+}
+
+// asyncNet is the ring-buffer message fabric.
 type asyncNet struct {
-	inboxes []chan p2p.Message
+	inboxes []*asyncInbox
 	cond    p2p.Conditioner // nil unless the fault plan conditions links
 	sent    atomic.Int64
 	dropped atomic.Int64
@@ -197,6 +253,8 @@ type asyncEnv struct {
 	id   p2p.NodeID
 	rng  *rand.Rand
 	step int
+	// drain is the reusable Inbox buffer, pre-sized to the ring capacity.
+	drain []p2p.Message
 }
 
 // ID implements Env.
@@ -212,17 +270,12 @@ func (e *asyncEnv) PopulationSize() int { return len(e.net.inboxes) }
 // AliveCount implements Env: everyone is alive in this engine.
 func (e *asyncEnv) AliveCount() int { return len(e.net.inboxes) }
 
-// Inbox implements Env: drains whatever has arrived so far.
+// Inbox implements Env: drains whatever has arrived so far into the
+// env's reusable buffer (valid until the next Inbox call — exactly the
+// lifetime participant.step needs).
 func (e *asyncEnv) Inbox() []p2p.Message {
-	var out []p2p.Message
-	for {
-		select {
-		case m := <-e.net.inboxes[e.id]:
-			out = append(out, m)
-		default:
-			return out
-		}
-	}
+	e.drain = e.net.inboxes[e.id].drainInto(e.drain[:0])
+	return e.drain
 }
 
 // Send implements Env: non-blocking delivery; a full inbox drops the
@@ -249,9 +302,7 @@ func (e *asyncEnv) Send(to p2p.NodeID, payload any, bytes int) error {
 		}
 	}
 	for c := 0; c < copies; c++ {
-		select {
-		case e.net.inboxes[to] <- p2p.Message{From: e.id, Payload: payload, Bytes: bytes}:
-		default:
+		if !e.net.inboxes[to].push(p2p.Message{From: e.id, Payload: payload, Bytes: bytes}) {
 			e.net.dropped.Add(1)
 		}
 	}

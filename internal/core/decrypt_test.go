@@ -1,0 +1,361 @@
+package core
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+
+	"chiaroscuro/internal/p2p"
+)
+
+// scriptedEnv is a minimal Env for driving participant decrypt methods
+// directly: RandomPeer replays a scripted draw sequence and Send records
+// deliveries.
+type scriptedEnv struct {
+	id    p2p.NodeID
+	n     int
+	peers []p2p.NodeID // scripted RandomPeer draws, in order
+	next  int
+	sent  []scriptedSend
+}
+
+type scriptedSend struct {
+	to      p2p.NodeID
+	payload any
+	bytes   int
+}
+
+func (e *scriptedEnv) ID() p2p.NodeID      { return e.id }
+func (e *scriptedEnv) Cycle() int          { return 0 }
+func (e *scriptedEnv) PopulationSize() int { return e.n }
+func (e *scriptedEnv) AliveCount() int     { return e.n }
+func (e *scriptedEnv) Inbox() []p2p.Message {
+	return nil
+}
+func (e *scriptedEnv) Send(to p2p.NodeID, payload any, bytes int) error {
+	e.sent = append(e.sent, scriptedSend{to: to, payload: payload, bytes: bytes})
+	return nil
+}
+func (e *scriptedEnv) RandomPeer() (p2p.NodeID, bool) {
+	if e.next >= len(e.peers) {
+		return -1, false
+	}
+	p := e.peers[e.next]
+	e.next++
+	return p, true
+}
+func (e *scriptedEnv) RandomPeers(k int) []p2p.NodeID {
+	out := make([]p2p.NodeID, 0, k)
+	seen := map[p2p.NodeID]bool{e.id: true}
+	for len(out) < k {
+		p, ok := e.RandomPeer()
+		if !ok {
+			break
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var _ Env = (*scriptedEnv)(nil)
+
+func decryptTestParticipant(t *testing.T, n int) (*runSetup, *participant) {
+	t.Helper()
+	data := blobs(n, 2, 2)
+	rs, err := prepareRun(data, Params{
+		K: 2, Epsilon: 50, Iterations: 1, Seed: 1,
+		GossipRounds: 4, DecryptThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.close)
+	return rs, rs.newParticipant(0)
+}
+
+// TestTopUpAsksRedrawsPastAskedPeers is the satellite-1 regression: a
+// draw landing on an already-asked peer must be redrawn, not silently
+// dropped from the wave. The scripted sequence interleaves stale draws
+// with fresh peers; the window must still reach `missing` asks.
+func TestTopUpAsksRedrawsPastAskedPeers(t *testing.T) {
+	_, pt := decryptTestParticipant(t, 12)
+	pt.asked = map[p2p.NodeID]bool{1: true, 2: true}
+	pt.outstanding = nil // also exercises the lazy re-init (restored snapshots)
+	env := &scriptedEnv{id: 0, n: 12, peers: []p2p.NodeID{1, 2, 1, 3, 2, 2, 4, 5}}
+	req := &decryptRequest{Iter: 0}
+	pt.topUpAsks(env, 2, req, 10)
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d asks, want 2 (stale draws must be redrawn)", len(env.sent))
+	}
+	if env.sent[0].to != 3 || env.sent[1].to != 4 {
+		t.Fatalf("asked %v and %v, want the first two un-asked draws 3 and 4", env.sent[0].to, env.sent[1].to)
+	}
+	if len(pt.outstanding) != 2 || pt.outstanding[3] != askTTL || pt.outstanding[4] != askTTL {
+		t.Fatalf("outstanding = %v, want {3:%d 4:%d}", pt.outstanding, askTTL, askTTL)
+	}
+	if !pt.asked[3] || !pt.asked[4] {
+		t.Fatal("fresh asks must be recorded in asked")
+	}
+	if pt.decryptReqs != 2 || pt.decryptReqBytes != 20 {
+		t.Fatalf("request accounting = (%d, %d), want (2, 20)", pt.decryptReqs, pt.decryptReqBytes)
+	}
+}
+
+// TestTopUpAsksWindowDiscipline pins the window semantics: a full window
+// sends nothing, TTLs age per activation, expired asks are re-provisioned
+// to new peers, and a slow quorum escalates the target by one.
+func TestTopUpAsksWindowDiscipline(t *testing.T) {
+	_, pt := decryptTestParticipant(t, 12)
+	pt.asked = make(map[p2p.NodeID]bool)
+	req := &decryptRequest{Iter: 0}
+
+	// First activation fills the window.
+	env := &scriptedEnv{id: 0, n: 12, peers: []p2p.NodeID{3, 4, 5, 6, 7, 8, 9, 10, 11}}
+	pt.topUpAsks(env, 2, req, 10)
+	if len(env.sent) != 2 {
+		t.Fatalf("initial fill sent %d, want 2", len(env.sent))
+	}
+	// Second and third activations: window full, only TTL aging.
+	pt.topUpAsks(env, 2, req, 10)
+	if len(env.sent) != 2 {
+		t.Fatalf("full window must not send; sent %d", len(env.sent))
+	}
+	if pt.outstanding[3] != askTTL-1 || pt.outstanding[4] != askTTL-1 {
+		t.Fatalf("TTLs not aged: %v", pt.outstanding)
+	}
+	pt.topUpAsks(env, 2, req, 10)
+	// Fourth activation: both initial asks expire and are re-provisioned.
+	pt.topUpAsks(env, 2, req, 10)
+	if len(env.sent) != 4 {
+		t.Fatalf("expired asks must be re-provisioned; sent %d, want 4", len(env.sent))
+	}
+	if _, stale := pt.outstanding[3]; stale {
+		t.Fatal("expired ask still outstanding")
+	}
+
+	// Escalation: with waitCycles at the TTL, the target is missing+1.
+	pt2 := pt
+	pt2.outstanding = make(map[p2p.NodeID]int)
+	pt2.asked = make(map[p2p.NodeID]bool)
+	pt2.waitCycles = askTTL
+	env2 := &scriptedEnv{id: 0, n: 12, peers: []p2p.NodeID{1, 2, 3, 4, 5}}
+	pt2.topUpAsks(env2, 2, req, 10)
+	if len(env2.sent) != 3 {
+		t.Fatalf("slow quorum must over-provision by one; sent %d, want 3", len(env2.sent))
+	}
+
+	// Pool exhaustion terminates cleanly: every scripted draw is already
+	// asked, so nothing is sent and the loop ends with the pool.
+	env3 := &scriptedEnv{id: 0, n: 12, peers: []p2p.NodeID{1, 1, 1}}
+	pt2.topUpAsks(env3, 5, req, 10)
+	if got := len(env3.sent); got != 0 {
+		t.Fatalf("exhausted pool still sent %d asks", got)
+	}
+}
+
+// TestServeDecryptMemoizesPartials is the satellite-3 property: replays
+// of the same (iteration, cipher-set) request are served from the memo
+// without recomputing the per-cipher partial decryptions, and anything
+// else misses.
+func TestServeDecryptMemoizesPartials(t *testing.T) {
+	rs, pt := decryptTestParticipant(t, 12)
+	c1, err := rs.suite.Encrypt(big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := rs.suite.Encrypt(big.NewInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &scriptedEnv{id: 0, n: 12}
+	req := &decryptRequest{Iter: 0, Ciphers: []Cipher{c1, c2}}
+
+	pt.serveDecrypt(env, 7, req)
+	if pt.servedHits != 0 {
+		t.Fatalf("first request hit the memo (%d hits)", pt.servedHits)
+	}
+	pt.serveDecrypt(env, 8, req) // replay: same iteration, same cipher slice
+	if pt.servedHits != 1 {
+		t.Fatalf("replay missed the memo (%d hits)", pt.servedHits)
+	}
+	r1 := env.sent[0].payload.(*decryptResponse)
+	r2 := env.sent[1].payload.(*decryptResponse)
+	if &r1.Partials[0] != &r2.Partials[0] {
+		t.Fatal("memo hit must reuse the cached partials")
+	}
+	if !reflect.DeepEqual(r1.Partials, r2.Partials) {
+		t.Fatal("cached partials differ from the originals")
+	}
+
+	// A different cipher slice (even with equal contents) misses: the memo
+	// key is the slice identity, the only cheap guarantee the partials
+	// belong to exactly these ciphertexts.
+	other := &decryptRequest{Iter: 0, Ciphers: []Cipher{c1, c2}}
+	pt.serveDecrypt(env, 9, other)
+	if pt.servedHits != 1 {
+		t.Fatalf("different slice must miss (%d hits)", pt.servedHits)
+	}
+	// A different iteration over the same slice misses too.
+	stale := &decryptRequest{Iter: 1, Ciphers: other.Ciphers}
+	pt.serveDecrypt(env, 9, stale)
+	if pt.servedHits != 1 {
+		t.Fatalf("different iteration must miss (%d hits)", pt.servedHits)
+	}
+	if pt.decryptRespBytes == 0 {
+		t.Fatal("response bytes not accounted")
+	}
+}
+
+// TestDecryptChurnSmallPopulation is the satellite-1 end-to-end
+// regression. The scenario is chosen where the old discipline's silent
+// wave shrinkage bites hardest: the quorum needs nearly the whole small
+// pool (9 of 11 peers) under crash/rejoin churn, so the legacy path
+// exhausts `asked` in its first waves and — unable to ever re-ask a
+// crashed-then-rejoined peer — burns the rest of the window drawing
+// already-asked peers. The window's redraws and expiry-release re-asks
+// must assemble quorums strictly more reliably here.
+func TestDecryptChurnSmallPopulation(t *testing.T) {
+	data := blobs(12, 2, 2)
+	failures := func(legacy bool) int {
+		total := 0
+		for seed := int64(0); seed < 10; seed++ {
+			p := Params{
+				K: 2, Epsilon: 50, Iterations: 3, Seed: seed,
+				GossipRounds: 5, DecryptThreshold: 9, DecryptWindow: 14,
+				ChurnCrashProb: 0.08, ChurnRejoinProb: 0.5,
+				legacyDecryptAsk: legacy,
+			}
+			tr, err := Run(data, p)
+			if err != nil {
+				total += 3 // an aborted run failed every iteration
+				continue
+			}
+			total += tr.DecryptFailures
+		}
+		return total
+	}
+	legacy, windowed := failures(true), failures(false)
+	t.Logf("decrypt failures across 10 churn seeds: legacy=%d windowed=%d", legacy, windowed)
+	if windowed >= legacy {
+		t.Fatalf("windowed asks must out-assemble legacy in the near-full-quorum churn scenario: windowed=%d, legacy=%d", windowed, legacy)
+	}
+}
+
+// TestDecryptDeterministicResponderOrder is the satellite-2 regression:
+// two identical runs on the real backend must produce bit-identical
+// traces AND identical operation counts — the map-ordered combine input
+// this pins down used to leak nondeterminism into the responder-set
+// cache profile even when the decrypted values agreed.
+func TestDecryptDeterministicResponderOrder(t *testing.T) {
+	data := blobs(16, 2, 2)
+	// DecryptThreshold n-1 makes every participant's responder set
+	// all-shares-but-its-own, so iteration 2 must hit the responder-set
+	// cache (same subset, same run-level key).
+	p := Params{
+		K: 2, Epsilon: 50, Iterations: 2, Seed: 7,
+		GossipRounds: 5, DecryptThreshold: len(data) - 1,
+		Backend: BackendDamgardJurik, ModulusBits: 256,
+	}
+	run := func() *Trace {
+		tr, err := Run(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.FinalCentroids, b.FinalCentroids) {
+		t.Fatal("final centroids differ between identical runs")
+	}
+	if a.Ops != b.Ops {
+		t.Fatalf("operation counts differ between identical runs:\n  %+v\n  %+v", a.Ops, b.Ops)
+	}
+	if a.DecryptRequests != b.DecryptRequests || a.DecryptBytes != b.DecryptBytes {
+		t.Fatal("decrypt accounting differs between identical runs")
+	}
+	if a.Ops.CombineCtxHits == 0 {
+		t.Fatal("no combine-context cache hits in a multi-cipher decrypt run")
+	}
+}
+
+// TestDecryptWindowStressTable is the satellite-4 A/B: quorum assembly
+// across the DecryptThreshold edges (tiny quorum, and quorum == n-1 where
+// every peer must answer), legacy vs windowed asks, fault-free. The
+// windowed path must never complete later and never send more decrypt
+// bytes.
+func TestDecryptWindowStressTable(t *testing.T) {
+	data := blobs(24, 2, 2)
+	type row struct {
+		threshold int
+		legacy    bool
+		cycles    int
+		requests  int
+		bytes     int64
+		fails     int
+	}
+	var rows []row
+	for _, threshold := range []int{3, len(data) - 1} {
+		for _, legacy := range []bool{true, false} {
+			p := Params{
+				K: 2, Epsilon: 50, Iterations: 2, Seed: 3,
+				GossipRounds: 5, DecryptThreshold: threshold, DecryptWindow: 12,
+				legacyDecryptAsk: legacy,
+			}
+			tr, err := Run(data, p)
+			if err != nil {
+				t.Fatalf("threshold=%d legacy=%v: %v", threshold, legacy, err)
+			}
+			rows = append(rows, row{threshold, legacy, tr.CyclesRun, tr.DecryptRequests, tr.DecryptBytes, tr.DecryptFailures})
+		}
+	}
+	t.Log("threshold  discipline  cycles  requests  decryptBytes  fails")
+	for _, r := range rows {
+		name := "windowed"
+		if r.legacy {
+			name = "legacy"
+		}
+		t.Logf("%9d  %-10s  %6d  %8d  %12d  %5d", r.threshold, name, r.cycles, r.requests, r.bytes, r.fails)
+	}
+	for i := 0; i < len(rows); i += 2 {
+		legacy, windowed := rows[i], rows[i+1]
+		if legacy.fails != 0 || windowed.fails != 0 {
+			t.Fatalf("fault-free run reported decrypt failures: %+v / %+v", legacy, windowed)
+		}
+		if windowed.cycles > legacy.cycles {
+			t.Errorf("threshold=%d: windowed completes later (%d > %d cycles)", windowed.threshold, windowed.cycles, legacy.cycles)
+		}
+		if windowed.bytes > legacy.bytes {
+			t.Errorf("threshold=%d: windowed sends more decrypt bytes (%d > %d)", windowed.threshold, windowed.bytes, legacy.bytes)
+		}
+		if windowed.requests > legacy.requests {
+			t.Errorf("threshold=%d: windowed sends more requests (%d > %d)", windowed.threshold, windowed.requests, legacy.requests)
+		}
+	}
+}
+
+// TestDecryptPhaseAccounting pins the new trace fields: a fault-free run
+// classifies cycles into every phase, and the decrypt wire accounting is
+// non-zero and consistent with the network totals.
+func TestDecryptPhaseAccounting(t *testing.T) {
+	data := blobs(24, 2, 2)
+	tr, err := Run(data, Params{K: 2, Epsilon: 50, Iterations: 2, Seed: 5, GossipRounds: 5, DecryptThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := tr.Phases
+	if ph.AssignCycles == 0 || ph.GossipCycles == 0 || ph.DecryptCycles == 0 {
+		t.Fatalf("phase profile missing cycles: %+v", ph)
+	}
+	if got := ph.AssignCycles + ph.GossipCycles + ph.DecryptCycles; got != tr.CyclesRun {
+		t.Fatalf("phase cycles sum to %d, run had %d", got, tr.CyclesRun)
+	}
+	if tr.DecryptRequests == 0 || tr.DecryptBytes == 0 {
+		t.Fatalf("decrypt accounting empty: %d requests, %d bytes", tr.DecryptRequests, tr.DecryptBytes)
+	}
+	if tr.DecryptBytes >= tr.NetStats.BytesSent {
+		t.Fatalf("decrypt bytes (%d) exceed total wire bytes (%d)", tr.DecryptBytes, tr.NetStats.BytesSent)
+	}
+}

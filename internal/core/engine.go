@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"chiaroscuro/internal/p2p"
 	"chiaroscuro/internal/simnet"
 )
@@ -101,17 +103,75 @@ func (d *cycleDriver) maxCycles() int {
 	return 2*p.Iterations*(3+p.GossipRounds+p.DecryptWindow) + 100
 }
 
+// PhaseProfile is the per-phase breakdown of a cycle-driven run's wall
+// clock: each cycle is classified by the dominant phase of the alive,
+// unterminated participants before it runs, then its elapsed time lands
+// in that bucket. The timings are wall-clock observations (not part of
+// the deterministic trajectory); the cycle counts are deterministic.
+type PhaseProfile struct {
+	AssignCycles  int
+	GossipCycles  int
+	DecryptCycles int
+	AssignTime    time.Duration
+	GossipTime    time.Duration
+	DecryptTime   time.Duration
+}
+
 // run steps the network cycle by cycle until every alive participant has
 // terminated (or the cycle bound is hit), then builds the trace.
 func (d *cycleDriver) run() (*Trace, error) {
 	limit := d.maxCycles()
+	var prof PhaseProfile
 	for cycle := 0; cycle < limit; cycle++ {
+		ph := d.dominantPhase()
+		start := time.Now()
 		d.nw.RunCycle()
+		elapsed := time.Since(start)
+		switch ph {
+		case phaseAssign:
+			prof.AssignCycles++
+			prof.AssignTime += elapsed
+		case phaseGossip:
+			prof.GossipCycles++
+			prof.GossipTime += elapsed
+		case phaseDecrypt:
+			prof.DecryptCycles++
+			prof.DecryptTime += elapsed
+		}
 		if d.allAliveDone() {
 			break
 		}
 	}
-	return buildTrace(d.data, d.rs.p, d.participants, d.nw.Cycle(), d.nw.Stats(), d.rs.suite, d.rs.accountant)
+	tr, err := buildTrace(d.data, d.rs.p, d.participants, d.nw.Cycle(), d.nw.Stats(), d.rs.suite, d.rs.accountant)
+	if err != nil {
+		return nil, err
+	}
+	tr.Phases = prof
+	return tr, nil
+}
+
+// dominantPhase classifies the upcoming cycle by the most common phase
+// among alive, unterminated participants. Ties prefer decrypt, then
+// gossip — the expensive phases — so a mixed cycle's cost is charged to
+// the bucket doing the heavy work.
+func (d *cycleDriver) dominantPhase() phase {
+	var counts [3]int
+	for i := range d.participants {
+		if !d.nw.Alive(p2p.NodeID(i)) {
+			continue
+		}
+		if ph := d.participants[i].phase; ph != phaseDone {
+			counts[ph]++
+		}
+	}
+	best := phaseDecrypt
+	if counts[phaseGossip] > counts[best] {
+		best = phaseGossip
+	}
+	if counts[phaseAssign] > counts[best] {
+		best = phaseAssign
+	}
+	return best
 }
 
 // allAliveDone reports whether every alive participant has terminated.

@@ -187,6 +187,13 @@ type Params struct {
 	// (peers drift), so it gets a much larger pre-scaling allowance plus
 	// decode-time overflow detection.
 	asyncEngine bool
+
+	// legacyDecryptAsk restores the pre-window decrypt request
+	// discipline (threshold+1 fresh peers every waiting cycle, drawn
+	// without replacement). Only the package's A/B stress tests set it —
+	// it exists to keep the old discipline measurable next to the
+	// outstanding-request window.
+	legacyDecryptAsk bool
 }
 
 // withDefaults returns a copy with defaults applied for a population of n

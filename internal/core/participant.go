@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"sort"
 
 	"chiaroscuro/internal/compactrng"
 	"chiaroscuro/internal/dp"
@@ -115,18 +116,39 @@ type participant struct {
 	rngSrc *compactrng.Source
 
 	// Mutable protocol state.
-	phase       phase
-	iter        int // current iteration, 0-based
-	roundsDone  int // gossip rounds completed this iteration
-	diptych     Diptych
-	assignment  int
-	waitCycles  int
-	partials    map[int][]Partial // responder share index -> per-cipher partials
-	pendingCT   []Cipher          // perturbed ciphertexts awaiting decryption
-	asked       map[p2p.NodeID]bool
+	phase      phase
+	iter       int // current iteration, 0-based
+	roundsDone int // gossip rounds completed this iteration
+	diptych    Diptych
+	assignment int
+	waitCycles int
+	partials   map[int][]Partial // responder share index -> per-cipher partials
+	pendingCT  []Cipher          // perturbed ciphertexts awaiting decryption
+	asked      map[p2p.NodeID]bool
+	// outstanding tracks the in-flight decrypt asks of the request
+	// window: peer -> remaining patience in decrypt activations. An ask
+	// leaves the window when its response arrives or its TTL runs out
+	// (the peer stays in asked either way — it is never re-asked).
+	outstanding map[p2p.NodeID]int
 	history     []IterationResult
 	staleDrops  int
 	decryptFail int
+
+	// Decrypt-phase traffic accounting (summed into the trace).
+	decryptReqs      int
+	decryptReqBytes  int64
+	decryptRespBytes int64
+
+	// The decrypt-service memo: the last (iteration, cipher-set) this
+	// participant computed partials for, keyed by the identity of the
+	// request's cipher slice. servedCiphers holds a strong reference to
+	// the cached request's slice so its address cannot be recycled while
+	// the entry lives — without it, a freed requester slice could alias a
+	// new same-iteration request and serve it stale partials.
+	servedIter    int
+	servedCiphers []Cipher
+	servedParts   []Partial
+	servedHits    int64
 
 	// byz, when non-nil, makes this participant a byzantine sender of
 	// the planned kind (internal/simnet); replayPayload caches the first
@@ -262,7 +284,10 @@ func (pt *participant) Reset() {
 	pt.partials = nil
 	pt.pendingCT = nil
 	pt.asked = nil
+	pt.outstanding = nil
 	pt.waitCycles = 0
+	pt.servedCiphers = nil
+	pt.servedParts = nil
 }
 
 // --- Step 1: assignment (local) -------------------------------------------
@@ -548,6 +573,7 @@ func (pt *participant) stepGossip(ctx Env) {
 		pt.waitCycles = 0
 		pt.partials = make(map[int][]Partial)
 		pt.asked = make(map[p2p.NodeID]bool)
+		pt.outstanding = make(map[p2p.NodeID]int)
 		pt.pendingCT = nil
 	}
 }
@@ -772,6 +798,9 @@ func (pt *participant) stepDecrypt(ctx Env, responses []*decryptResponse) {
 			continue
 		}
 		idx := resp.Partials[0].Index
+		// The responder's node id is its share index - 1: its ask (if
+		// still in flight) is now settled.
+		delete(pt.outstanding, p2p.NodeID(idx-1))
 		if _, dup := pt.partials[idx]; !dup {
 			pt.partials[idx] = resp.Partials
 		}
@@ -780,16 +809,24 @@ func (pt *participant) stepDecrypt(ctx Env, responses []*decryptResponse) {
 		pt.finishIteration(ctx, false)
 		return
 	}
-	// Step 2d: ask fresh peers for partial decryptions.
+	// Step 2d: ask peers for partial decryptions, keeping only `missing`
+	// asks in flight instead of blasting threshold+1 fresh peers every
+	// cycle (the legacy discipline, kept for A/B stress tests).
 	missing := r.suite.Threshold() - len(pt.partials)
 	req := &decryptRequest{Iter: pt.iter, Ciphers: pt.pendingCT}
 	bytes := len(pt.pendingCT)*r.suite.CipherBytes() + 8
-	for _, peer := range ctx.RandomPeers(missing + 1) {
-		if pt.asked[peer] {
-			continue
+	if r.params.legacyDecryptAsk {
+		for _, peer := range ctx.RandomPeers(missing + 1) {
+			if pt.asked[peer] {
+				continue
+			}
+			pt.asked[peer] = true
+			pt.decryptReqs++
+			pt.decryptReqBytes += int64(bytes)
+			_ = ctx.Send(peer, req, bytes)
 		}
-		pt.asked[peer] = true
-		_ = ctx.Send(peer, req, bytes)
+	} else {
+		pt.topUpAsks(ctx, missing, req, bytes)
 	}
 	pt.waitCycles++
 	if pt.waitCycles > r.params.DecryptWindow {
@@ -800,24 +837,107 @@ func (pt *participant) stepDecrypt(ctx Env, responses []*decryptResponse) {
 	}
 }
 
+// askTTL is the patience of one in-flight decrypt ask, in decrypt
+// activations. Fault-free, a request sent at cycle c is answered by the
+// response processed at c+2; one spare activation absorbs drop/laggard
+// jitter before the window re-provisions the ask elsewhere.
+const askTTL = 3
+
+// topUpAsks is the outstanding-request window: it ages out expired
+// in-flight asks, then draws fresh un-asked peers — with replacement
+// redraws, so already-asked draws don't silently shrink the wave — until
+// the window again holds `missing` asks (progressively more as the
+// quorum drags) or the candidate pool is exhausted.
+func (pt *participant) topUpAsks(ctx Env, missing int, req *decryptRequest, bytes int) {
+	if pt.outstanding == nil {
+		// Restored snapshots may re-enter the decrypt phase without a
+		// window (pre-v2 snapshots carry none).
+		pt.outstanding = make(map[p2p.NodeID]int)
+	}
+	for peer, ttl := range pt.outstanding {
+		if ttl <= 1 {
+			// Expired unanswered: the peer may have crashed, rejoined, or
+			// the messages may have dropped. Release it for re-asking —
+			// duplicate responses are idempotent (the partials map keeps
+			// the first) — so a small pool under churn keeps its liveness
+			// instead of exhausting permanently.
+			delete(pt.outstanding, peer)
+			delete(pt.asked, peer)
+		} else {
+			pt.outstanding[peer] = ttl - 1
+		}
+	}
+	// Progressive escalation: each elapsed TTL without a settled quorum
+	// widens the window by one, so dead or slow responders cannot
+	// serialize the remaining waves — and a window burning toward its
+	// deadline converges on the legacy discipline's redundancy instead
+	// of failing lean.
+	target := missing + pt.waitCycles/askTTL
+	need := target - len(pt.outstanding)
+	if need <= 0 {
+		return
+	}
+	// Redraw budget: generous enough to find `need` fresh peers even when
+	// most draws land on already-asked ones (small populations, long
+	// waits), finite so an exhausted pool cannot loop forever.
+	budget := 16*(need+1) + 8*len(pt.asked)
+	for need > 0 && budget > 0 {
+		budget--
+		peer, ok := ctx.RandomPeer()
+		if !ok {
+			return
+		}
+		if pt.asked[peer] {
+			continue
+		}
+		pt.asked[peer] = true
+		pt.outstanding[peer] = askTTL
+		pt.decryptReqs++
+		pt.decryptReqBytes += int64(bytes)
+		_ = ctx.Send(peer, req, bytes)
+		need--
+	}
+}
+
 // serveDecrypt is the always-on decryption service: any alive participant
-// contributes its partial decryptions on request.
+// contributes its partial decryptions on request. The partials of the
+// last served (iteration, cipher-set) are memoized, so duplicate
+// requests for the same ciphertexts (replays, retransmissions) are
+// answered without redoing the per-cipher exponentiations. The memo key
+// is the identity of the request's cipher slice — servedCiphers keeps
+// that slice alive, so a match guarantees the cached partials belong to
+// exactly these ciphertexts.
 func (pt *participant) serveDecrypt(ctx Env, from p2p.NodeID, req *decryptRequest) {
 	r := pt.run
 	share := int(pt.id) + 1
 	if share > r.suite.Parties() {
 		return
 	}
-	parts := make([]Partial, len(req.Ciphers))
-	for i, c := range req.Ciphers {
-		p, err := r.suite.PartialDecrypt(share, c)
-		if err != nil {
-			return
+	var parts []Partial
+	if len(req.Ciphers) > 0 && pt.servedCiphers != nil &&
+		pt.servedIter == req.Iter &&
+		len(pt.servedCiphers) == len(req.Ciphers) &&
+		&pt.servedCiphers[0] == &req.Ciphers[0] {
+		pt.servedHits++
+		parts = pt.servedParts
+	} else {
+		parts = make([]Partial, len(req.Ciphers))
+		for i, c := range req.Ciphers {
+			p, err := r.suite.PartialDecrypt(share, c)
+			if err != nil {
+				return
+			}
+			parts[i] = p
 		}
-		parts[i] = p
+		pt.servedIter = req.Iter
+		pt.servedCiphers = req.Ciphers
+		pt.servedParts = parts
 	}
+	respBytes := len(parts)*r.suite.CipherBytes() + 8
 	resp := &decryptResponse{Iter: req.Iter, Partials: parts}
-	_ = ctx.Send(from, resp, len(parts)*r.suite.CipherBytes()+8)
+	if ctx.Send(from, resp, respBytes) == nil {
+		pt.decryptRespBytes += int64(respBytes)
+	}
 }
 
 // finishIteration completes Step 3 (convergence, local): decode the
@@ -899,6 +1019,7 @@ func (pt *participant) finishIteration(ctx Env, failed bool) {
 	pt.pendingCT = nil
 	pt.partials = nil
 	pt.asked = nil
+	pt.outstanding = nil
 
 	converged := r.params.ConvergeThreshold > 0 && disp <= r.params.ConvergeThreshold && !failed
 	// Footnote-2 criterion: stop when the tracked quality plateaus.
@@ -924,24 +1045,35 @@ func (pt *participant) decodeAll() ([]float64, error) {
 	r := pt.run
 	w := pt.diptych.Means.Weight()
 	denom := w * math.Ldexp(1, int(r.preScale))
-	// Assemble the per-cipher partial sets and open every pending cipher.
-	// The column is one reused scratch across all pending ciphers —
-	// Combine never retains it.
-	responders := make([][]Partial, 0, len(pt.partials))
-	for _, parts := range pt.partials {
-		responders = append(responders, parts)
-	}
-	plains := make([]*big.Int, len(pt.pendingCT))
-	parts := make([]Partial, len(responders))
-	for i := range pt.pendingCT {
-		for j, rp := range responders {
-			parts[j] = rp[i]
-		}
-		m, err := r.suite.Combine(parts)
+	// Assemble the per-responder partial sets in ascending share-index
+	// order — the map's iteration order must never reach Combine, or the
+	// responder-set cache keys (and OpCounts profiles) go nondeterministic.
+	responders := pt.sortedResponders()
+	var plains []*big.Int
+	if cc, ok := r.suite.(columnCombiner); ok {
+		// Column fast path: the responder set is resolved once for the
+		// whole pending vector instead of per ciphertext.
+		var err error
+		plains, err = cc.CombineColumns(responders, len(pt.pendingCT))
 		if err != nil {
 			return nil, err
 		}
-		plains[i] = m
+	} else {
+		// Per-cipher fallback for suites without the extension. The column
+		// is one reused scratch across all pending ciphers — Combine never
+		// retains it.
+		plains = make([]*big.Int, len(pt.pendingCT))
+		parts := make([]Partial, len(responders))
+		for i := range pt.pendingCT {
+			for j, rp := range responders {
+				parts[j] = rp[i]
+			}
+			m, err := r.suite.Combine(parts)
+			if err != nil {
+				return nil, err
+			}
+			plains[i] = m
+		}
 	}
 	if r.layout != nil {
 		return pt.decodePacked(plains, w, denom)
@@ -960,6 +1092,20 @@ func (pt *participant) decodeAll() ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// sortedResponders lists the collected per-responder partial sets in
+// ascending share-index order, the deterministic layout decodeAll feeds
+// to the combine path.
+func (pt *participant) sortedResponders() [][]Partial {
+	responders := make([][]Partial, 0, len(pt.partials))
+	for _, parts := range pt.partials {
+		responders = append(responders, parts)
+	}
+	sort.Slice(responders, func(a, b int) bool {
+		return responders[a][0].Index < responders[b][0].Index
+	})
+	return responders
 }
 
 // decodePacked unpacks the opened group plaintexts into sideLen

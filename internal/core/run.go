@@ -101,6 +101,15 @@ type Trace struct {
 	CyclesRun       int
 	DecryptFailures int
 	StaleDrops      int
+	// DecryptRequests and DecryptBytes account the decrypt phase's wire
+	// traffic across the population: requests sent, and request plus
+	// response bytes — the figure the outstanding-request window shrinks.
+	DecryptRequests int
+	DecryptBytes    int64
+	// Phases breaks the cycle-driven engines' wall clock down by
+	// protocol phase (zero for RunAsync, which has no global cycles to
+	// classify).
+	Phases PhaseProfile
 	// Completed counts participants that finished their full iteration
 	// schedule — the quorum-liveness measure of the fault experiments
 	// (E11): faults can only lower it from the population size.
@@ -510,6 +519,9 @@ func buildTrace(data [][]float64, p Params, participants []*participant, cycles 
 	for _, pt := range participants {
 		tr.DecryptFailures += pt.decryptFail
 		tr.StaleDrops += pt.staleDrops
+		tr.Ops.PartialCacheHits += pt.servedHits
+		tr.DecryptRequests += pt.decryptReqs
+		tr.DecryptBytes += pt.decryptReqBytes + pt.decryptRespBytes
 		if pt.phase == phaseDone {
 			tr.Completed++
 		}

@@ -22,6 +22,73 @@ type GossipAllocReport struct {
 	Population int
 }
 
+// DecryptAllocReport is the outcome of MeasureDecryptAllocs: the
+// observed allocation profile of decrypt-classified cycles across a
+// complete run.
+type DecryptAllocReport struct {
+	// AllocsPerCycle is the average number of heap objects allocated per
+	// decrypt-classified network cycle.
+	AllocsPerCycle float64
+	// BytesPerCycle is the average number of heap bytes allocated per
+	// decrypt-classified network cycle.
+	BytesPerCycle float64
+	// DecryptCycles is the number of measured (decrypt-classified)
+	// cycles.
+	DecryptCycles int
+	// Population is the run's participant count.
+	Population int
+}
+
+// MeasureDecryptAllocs builds a sequential cycle-driven run over data
+// and executes it to completion, classifying every cycle by its
+// dominant phase (the same classification Trace.Phases uses) and
+// accumulating runtime.MemStats deltas for the decrypt-classified
+// cycles only. Unlike the gossip measurement it cannot prove zero —
+// the decrypt phase's big.Int arithmetic allocates by nature — so it
+// reports the per-cycle average for the CI regression gate instead.
+func MeasureDecryptAllocs(data [][]float64, params Params) (*DecryptAllocReport, error) {
+	rs, err := prepareRun(data, params)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.close()
+	rs.shared.batchHint = len(data)
+	d, err := newCycleDriver(data, rs, 1, len(data))
+	if err != nil {
+		return nil, err
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	var allocs, bytes uint64
+	cycles := 0
+	limit := d.maxCycles()
+	for cycle := 0; cycle < limit; cycle++ {
+		decrypt := d.dominantPhase() == phaseDecrypt
+		if decrypt {
+			runtime.ReadMemStats(&before)
+		}
+		d.nw.RunCycle()
+		if decrypt {
+			runtime.ReadMemStats(&after)
+			allocs += after.Mallocs - before.Mallocs
+			bytes += after.TotalAlloc - before.TotalAlloc
+			cycles++
+		}
+		if d.allAliveDone() {
+			break
+		}
+	}
+	if cycles == 0 {
+		return nil, fmt.Errorf("core: run finished without any decrypt-classified cycles")
+	}
+	return &DecryptAllocReport{
+		AllocsPerCycle: float64(allocs) / float64(cycles),
+		BytesPerCycle:  float64(bytes) / float64(cycles),
+		DecryptCycles:  cycles,
+		Population:     len(data),
+	}, nil
+}
+
 // MeasureGossipAllocs builds a sequential cycle-driven run over data,
 // warms it into gossip steady state, and measures the heap allocations
 // of whole network cycles — every participant's emit and absorb — via

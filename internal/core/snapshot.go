@@ -33,8 +33,12 @@ import (
 // rebuilt lazily on the next activation and hold no trajectory state.
 
 const (
-	snapMagic   uint32 = 0xC1A85A9B
-	snapVersion uint32 = 1
+	snapMagic uint32 = 0xC1A85A9B
+	// snapVersion 2 added the decrypt-phase outstanding-request window
+	// (sorted (peer, ttl) pairs after the asked block). v1 snapshots are
+	// rejected — a pre-window checkpoint cannot resume the windowed
+	// trajectory bit-identically anyway.
+	snapVersion uint32 = 2
 )
 
 // errSnapshot wraps every malformed-snapshot condition so callers can
@@ -158,6 +162,16 @@ func (nd *Node) Snapshot() ([]byte, error) {
 	st = wire.AppendUint32(st, uint32(len(asked)))
 	for _, id := range asked {
 		st = wire.AppendUint32(st, uint32(id))
+	}
+	outIDs := make([]int, 0, len(p.outstanding))
+	for id := range p.outstanding {
+		outIDs = append(outIDs, int(id))
+	}
+	sort.Ints(outIDs)
+	st = wire.AppendUint32(st, uint32(len(outIDs)))
+	for _, id := range outIDs {
+		st = wire.AppendUint32(st, uint32(id))
+		st = wire.AppendUint32(st, uint32(p.outstanding[p2p.NodeID(id)]))
 	}
 
 	st = wire.AppendUint32(st, uint32(len(p.history)))
@@ -487,6 +501,43 @@ func (nd *Node) restoreState(h *snapshotHeader, st []byte) error {
 		asked[p2p.NodeID(id)] = true
 	}
 
+	nOut, err := u32("outstanding count")
+	if err != nil {
+		return err
+	}
+	if nOut > nAsked {
+		return snapErr("%d outstanding asks for %d asked peers", nOut, nAsked)
+	}
+	var outstanding map[p2p.NodeID]int
+	if phase(phaseV) == phaseDecrypt {
+		outstanding = make(map[p2p.NodeID]int, nOut)
+	} else if nOut > 0 {
+		return snapErr("outstanding asks outside decrypt phase")
+	}
+	for i := 0; i < nOut; i++ {
+		id, err := u32("outstanding id")
+		if err != nil {
+			return err
+		}
+		if id >= r.population {
+			return snapErr("outstanding id %d outside population %d", id, r.population)
+		}
+		ttl, err := u32("outstanding ttl")
+		if err != nil {
+			return err
+		}
+		if ttl < 1 || ttl > askTTL {
+			return snapErr("outstanding ttl %d outside [1, %d]", ttl, askTTL)
+		}
+		if !asked[p2p.NodeID(id)] {
+			return snapErr("outstanding ask for un-asked peer %d", id)
+		}
+		if _, dup := outstanding[p2p.NodeID(id)]; dup {
+			return snapErr("duplicate outstanding id %d", id)
+		}
+		outstanding[p2p.NodeID(id)] = ttl
+	}
+
 	nHistory, err := u32("history count")
 	if err != nil {
 		return err
@@ -561,6 +612,7 @@ func (nd *Node) restoreState(h *snapshotHeader, st []byte) error {
 	p.pendingCT = pendingCT
 	p.partials = partials
 	p.asked = asked
+	p.outstanding = outstanding
 	p.history = history
 	return nil
 }

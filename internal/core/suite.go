@@ -42,6 +42,26 @@ type OpCounts struct {
 	Halvings        int64
 	PartialDecrypts int64
 	Combines        int64
+	// CombineCtxHits counts responder-set combine plans served from the
+	// suite's cache instead of being rebuilt (Damgård–Jurik backend; the
+	// accounted backend has no plan to cache).
+	CombineCtxHits int64
+	// PartialCacheHits counts decrypt requests a responder served from
+	// its memoized per-(iteration, cipher-set) partials instead of
+	// recomputing them (summed across participants by buildTrace).
+	PartialCacheHits int64
+}
+
+// columnCombiner is the optional CipherSuite extension behind the
+// decrypt-phase fast path: open a whole pending-cipher vector against
+// one responder set, resolving the set (validation, Lagrange/multiexp
+// plan on the real backend) once instead of per ciphertext. sets[j] is
+// responder j's per-cipher partials — all carrying sets[j][0].Index —
+// ordered ascending by share index across j; count is the common cipher
+// count. Results and operation counts are identical to count separate
+// Combine calls over the per-cipher columns.
+type columnCombiner interface {
+	CombineColumns(sets [][]Partial, count int) ([]*big.Int, error)
 }
 
 // cipherValidator is the optional CipherSuite extension behind the wire

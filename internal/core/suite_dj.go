@@ -213,6 +213,52 @@ func (s *djSuite) Combine(parts []Partial) (*big.Int, error) {
 	return s.tk.Combine(djParts)
 }
 
+// CombineColumns implements columnCombiner: it opens count ciphertexts
+// against one responder set, resolving the set's combine plan (Lagrange
+// coefficients, sign split, multiexp digit schedule) once via
+// CombineContext and replaying it per ciphertext. sets beyond the
+// threshold are ignored — ascending order means the lowest indices win,
+// exactly the subset Combine's selectPartials would pick.
+func (s *djSuite) CombineColumns(sets [][]Partial, count int) ([]*big.Int, error) {
+	if count < 1 {
+		return nil, errors.New("core: empty cipher column")
+	}
+	if len(sets) < s.tk.Threshold {
+		return nil, fmt.Errorf("core: have %d responder sets, need %d", len(sets), s.tk.Threshold)
+	}
+	use := sets[:s.tk.Threshold]
+	indices := make([]int, len(use))
+	for j, set := range use {
+		if len(set) != count {
+			return nil, fmt.Errorf("core: responder set %d has %d partials, want %d", j, len(set), count)
+		}
+		indices[j] = set[0].Index
+	}
+	// CombineContext validates ascending/distinct/in-range indices.
+	ctx, err := s.tk.CombineContext(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, count)
+	col := make([]damgardjurik.PartialDecryption, len(use))
+	for i := 0; i < count; i++ {
+		for j, set := range use {
+			p := set[i]
+			if p.Value == nil {
+				return nil, errors.New("core: partial with nil value")
+			}
+			col[j] = damgardjurik.PartialDecryption{Index: p.Index, Value: p.Value}
+		}
+		v, err := s.tk.CombineWith(ctx, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	s.combines.Add(int64(count))
+	return out, nil
+}
+
 // MarshalCipherVector implements suiteWireCodec: Damgård–Jurik ciphers
 // are units mod n^{s+1}, encoded fixed-width via the wire
 // ciphertext-vector artifact.
@@ -277,5 +323,6 @@ func (s *djSuite) Counts() OpCounts {
 		Halvings:        s.halvings.Load(),
 		PartialDecrypts: s.partialDecrypts.Load(),
 		Combines:        s.combines.Load(),
+		CombineCtxHits:  s.tk.CombineContextHits(),
 	}
 }

@@ -1,0 +1,178 @@
+package damgardjurik
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// TestCombineContextReuseBitIdentical is the cached-responder Combine
+// property: one context, built once for a responder subset, opens many
+// ciphertexts bit-identically to the naive per-call oracle.
+func TestCombineContextReuseBitIdentical(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 6, 3)
+	ns := tk.PlaintextModulus()
+	rng := mrand.New(mrand.NewSource(17))
+	indices := []int{2, 4, 5}
+	ctx, err := tk.CombineContext(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		m := new(big.Int).Rand(rng, ns)
+		c, err := tk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]PartialDecryption, len(indices))
+		for i, id := range indices {
+			parts[i], err = tk.PartialDecrypt(shares[id-1], c)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := tk.CombineWith(ctx, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tk.CombineNaive(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: CombineWith = %v, CombineNaive = %v", trial, got, want)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("trial %d: decrypt = %v, want %v", trial, got, m)
+		}
+	}
+}
+
+// TestCombineContextMemoized pins the cache discipline: the first lookup
+// of a subset builds the context (no hit), repeats return the same
+// pointer and count as hits, and a different subset misses again.
+func TestCombineContextMemoized(t *testing.T) {
+	tk, _ := testThresholdKey(t, 128, 1, 6, 3)
+	if tk.CombineContextHits() != 0 {
+		t.Fatalf("fresh key reports %d hits", tk.CombineContextHits())
+	}
+	a1, err := tk.CombineContext([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.CombineContextHits() != 0 {
+		t.Fatal("first lookup must be a miss")
+	}
+	a2, err := tk.CombineContext([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("repeat lookup returned a different context")
+	}
+	if tk.CombineContextHits() != 1 {
+		t.Fatalf("hits = %d after repeat lookup, want 1", tk.CombineContextHits())
+	}
+	if _, err := tk.CombineContext([]int{2, 3, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if tk.CombineContextHits() != 1 {
+		t.Fatalf("different subset must miss; hits = %d", tk.CombineContextHits())
+	}
+}
+
+// TestCombineUsesContextCache proves the public Combine path shares the
+// cache: decrypting several ciphertexts against the same quorum misses
+// once and hits thereafter.
+func TestCombineUsesContextCache(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	for trial := 0; trial < 3; trial++ {
+		m := big.NewInt(int64(1000 + trial))
+		c, _ := tk.Encrypt(rand.Reader, m)
+		if got := decryptWith(t, tk, shares, c, []int{1, 3, 4}); got.Cmp(m) != 0 {
+			t.Fatalf("trial %d: decrypt = %v", trial, got)
+		}
+	}
+	if hits := tk.CombineContextHits(); hits != 2 {
+		t.Fatalf("3 Combines against one quorum: hits = %d, want 2", hits)
+	}
+}
+
+// TestCombineContextValidation rejects malformed responder subsets.
+func TestCombineContextValidation(t *testing.T) {
+	tk, _ := testThresholdKey(t, 128, 1, 5, 3)
+	if _, err := tk.CombineContext([]int{1, 2}); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("short subset: err = %v", err)
+	}
+	if _, err := tk.CombineContext([]int{1, 2, 3, 4}); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("long subset: err = %v", err)
+	}
+	if _, err := tk.CombineContext([]int{0, 1, 2}); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("index 0: err = %v", err)
+	}
+	if _, err := tk.CombineContext([]int{1, 2, 6}); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("index > parties: err = %v", err)
+	}
+	if _, err := tk.CombineContext([]int{1, 2, 2}); !errors.Is(err, ErrDuplicateShare) {
+		t.Fatalf("duplicate: err = %v", err)
+	}
+	if _, err := tk.CombineContext([]int{3, 2, 1}); !errors.Is(err, ErrDuplicateShare) {
+		t.Fatalf("descending: err = %v", err)
+	}
+}
+
+// TestCombineWithMisalignedPartials rejects partials that do not line up
+// with the context's responder subset, position by position.
+func TestCombineWithMisalignedPartials(t *testing.T) {
+	tk, shares := testThresholdKey(t, 128, 1, 5, 3)
+	c, _ := tk.Encrypt(rand.Reader, big.NewInt(9))
+	ctx, err := tk.CombineContext([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]PartialDecryption, 3)
+	for i := 0; i < 3; i++ {
+		parts[i], _ = tk.PartialDecrypt(shares[i], c)
+	}
+	if _, err := tk.CombineWith(ctx, parts[:2]); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("short partials: err = %v", err)
+	}
+	swapped := []PartialDecryption{parts[1], parts[0], parts[2]}
+	if _, err := tk.CombineWith(ctx, swapped); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("swapped partials: err = %v", err)
+	}
+	other, _ := tk.PartialDecrypt(shares[4], c)
+	wrong := []PartialDecryption{parts[0], parts[1], other}
+	if _, err := tk.CombineWith(ctx, wrong); !errors.Is(err, ErrShareOutOfRange) {
+		t.Fatalf("wrong responder: err = %v", err)
+	}
+}
+
+// TestMultiExpPlanMatchesMultiExp pins the precomputed window-digit
+// schedule against the ad-hoc multiExp over random bases and exponents,
+// including the small-input special cases.
+func TestMultiExpPlanMatchesMultiExp(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(41))
+	mod := new(big.Int).SetInt64(0)
+	mod.SetString("68719476767", 10) // prime
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(5)
+		bases := make([]*big.Int, k)
+		exps := make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			bases[i] = new(big.Int).Rand(rng, mod)
+			exps[i] = new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(8+rng.Intn(120))))
+		}
+		want := multiExp(bases, exps, mod)
+		got := newMultiExpPlan(exps).exec(bases, mod)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d (k=%d): plan exec = %v, multiExp = %v", trial, k, got, want)
+		}
+	}
+	// Degenerate: no terms.
+	if got := newMultiExpPlan(nil).exec(nil, mod); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty plan = %v, want 1", got)
+	}
+}

@@ -63,3 +63,95 @@ func multiExp(bases, exps []*big.Int, m *big.Int) *big.Int {
 	}
 	return acc
 }
+
+// multiExpPlan is the exponent-only half of a multiExp call, precomputed
+// once and replayed against many base vectors: the per-base window
+// digits, the window count, and the largest digit each base ever
+// contributes (so the replay builds only the table entries it will
+// read). The protocol opens whole centroid vectors against one quorum,
+// whose Lagrange-derived exponents are fixed per responder set — the
+// digit extraction and bit-length scans multiExp redoes per ciphertext
+// are pure waste there.
+//
+// A plan's exec is bit-identical to multiExp(bases, exps, m) for the
+// exponents the plan was built from: same table values, same squaring
+// chain, same skip-leading-zero-windows start.
+type multiExpPlan struct {
+	exps       []*big.Int // the (non-negative) exponents, for the 0/1-base fallback
+	digits     [][]uint8  // digits[i][wi]: base i's digit at window wi
+	numWindows int
+	maxDigit   []uint8 // highest digit base i contributes (table size needed)
+}
+
+// newMultiExpPlan extracts the window-digit schedule of the given
+// non-negative exponents.
+func newMultiExpPlan(exps []*big.Int) *multiExpPlan {
+	pl := &multiExpPlan{exps: exps}
+	maxBits := 0
+	for _, e := range exps {
+		if bl := e.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	pl.numWindows = (maxBits + multiExpWindow - 1) / multiExpWindow
+	mask := uint(1<<multiExpWindow - 1)
+	pl.digits = make([][]uint8, len(exps))
+	pl.maxDigit = make([]uint8, len(exps))
+	for i, e := range exps {
+		row := make([]uint8, pl.numWindows)
+		words := e.Bits()
+		for wi := 0; wi < pl.numWindows; wi++ {
+			d := uint8(extractWindow(words, uint(wi*multiExpWindow), multiExpWindow, mask))
+			row[wi] = d
+			if d > pl.maxDigit[i] {
+				pl.maxDigit[i] = d
+			}
+		}
+		pl.digits[i] = row
+	}
+	return pl
+}
+
+// exec computes Π bases[i]^exps[i] mod m using the precomputed digit
+// schedule. len(bases) must equal the plan's exponent count.
+func (pl *multiExpPlan) exec(bases []*big.Int, m *big.Int) *big.Int {
+	if len(bases) == 0 {
+		return big.NewInt(1)
+	}
+	if len(bases) == 1 {
+		return new(big.Int).Exp(bases[0], pl.exps[0], m)
+	}
+	// Per-base tables, truncated at the largest digit the schedule reads.
+	tables := make([][]*big.Int, len(bases))
+	for i, b := range bases {
+		row := make([]*big.Int, int(pl.maxDigit[i])+1)
+		if pl.maxDigit[i] >= 1 {
+			row[1] = new(big.Int).Mod(b, m)
+			for d := 2; d < len(row); d++ {
+				row[d] = new(big.Int).Mul(row[d-1], row[1])
+				row[d].Mod(row[d], m)
+			}
+		}
+		tables[i] = row
+	}
+	acc := big.NewInt(1)
+	started := false
+	for wi := pl.numWindows - 1; wi >= 0; wi-- {
+		if started {
+			for s := 0; s < multiExpWindow; s++ {
+				acc.Mul(acc, acc)
+				acc.Mod(acc, m)
+			}
+		}
+		for i := range bases {
+			d := pl.digits[i][wi]
+			if d == 0 {
+				continue
+			}
+			acc.Mul(acc, tables[i][d])
+			acc.Mod(acc, m)
+			started = true
+		}
+	}
+	return acc
+}

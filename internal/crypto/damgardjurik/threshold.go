@@ -54,6 +54,10 @@ type ThresholdKey struct {
 
 	lagMu    sync.Mutex
 	lagCache map[string][]*big.Int // combine-subset -> Lagrange coefficients
+
+	ctxMu    sync.Mutex
+	ctxCache map[string]*CombineCtx // combine-subset -> cached combine plan
+	ctxHits  int64
 }
 
 // KeyShare is the secret share of one party. Index is 1-based.
@@ -291,26 +295,116 @@ func (tk *ThresholdKey) Combine(parts []PartialDecryption) (*big.Int, error) {
 	for i, p := range use {
 		indices[i] = p.Index
 	}
+	ctx, err := tk.CombineContext(indices)
+	if err != nil {
+		return nil, err
+	}
+	return tk.CombineWith(ctx, use)
+}
+
+// CombineCtx is the cached, responder-set-keyed half of a Combine: the
+// integer Lagrange coefficients, their sign-split multiexp exponents,
+// and the precomputed window-digit schedule of the batched
+// multi-exponentiation. All of it depends only on the index subset, not
+// the ciphertext, so one context serves every ciphertext a quorum opens
+// — and, through the key's cache, every participant decrypting against
+// the same quorum. A CombineCtx is immutable after construction and
+// safe for concurrent use.
+type CombineCtx struct {
+	indices []int  // ascending distinct share indices, len == Threshold
+	invert  []bool // partial i must be inverted mod n^{s+1} (negative λ)
+	plan    *multiExpPlan
+}
+
+// CombineContext returns the combine plan for the given responder
+// subset — exactly Threshold ascending distinct share indices — memoized
+// on the key like the Lagrange cache it builds on.
+func (tk *ThresholdKey) CombineContext(indices []int) (*CombineCtx, error) {
+	if len(indices) != tk.Threshold {
+		return nil, fmt.Errorf("%w: have %d indices, need exactly %d", ErrNotEnoughShares, len(indices), tk.Threshold)
+	}
+	prev := 0
+	for _, id := range indices {
+		if id < 1 || id > tk.Parties {
+			return nil, fmt.Errorf("%w: index %d", ErrShareOutOfRange, id)
+		}
+		if id <= prev {
+			return nil, fmt.Errorf("%w: index %d (indices must be ascending and distinct)", ErrDuplicateShare, id)
+		}
+		prev = id
+	}
+	key := make([]byte, 0, 4*len(indices))
+	for _, id := range indices {
+		key = strconv.AppendInt(key, int64(id), 10)
+		key = append(key, ',')
+	}
+	tk.ctxMu.Lock()
+	cached, ok := tk.ctxCache[string(key)]
+	if ok {
+		tk.ctxHits++
+	}
+	tk.ctxMu.Unlock()
+	if ok {
+		return cached, nil
+	}
 	lams, err := tk.lagrangeFor(indices)
 	if err != nil {
 		return nil, err
 	}
-	bases := make([]*big.Int, len(use))
-	exps := make([]*big.Int, len(use))
-	for i, p := range use {
-		e := new(big.Int).Mul(two, lams[i])
-		base := p.Value
+	ctx := &CombineCtx{
+		indices: append([]int(nil), indices...),
+		invert:  make([]bool, len(indices)),
+	}
+	exps := make([]*big.Int, len(indices))
+	for i, lam := range lams {
+		e := new(big.Int).Mul(two, lam)
 		if e.Sign() < 0 {
-			base = new(big.Int).ModInverse(p.Value, tk.ns1)
-			if base == nil {
-				return nil, fmt.Errorf("%w: partial %d not a unit", ErrCombineMismatch, p.Index)
-			}
+			ctx.invert[i] = true
 			e.Neg(e)
 		}
-		bases[i] = base
 		exps[i] = e
 	}
-	acc := multiExp(bases, exps, tk.ns1)
+	ctx.plan = newMultiExpPlan(exps)
+	tk.ctxMu.Lock()
+	if tk.ctxCache == nil {
+		tk.ctxCache = make(map[string]*CombineCtx)
+	}
+	tk.ctxCache[string(key)] = ctx
+	tk.ctxMu.Unlock()
+	return ctx, nil
+}
+
+// CombineContextHits reports how many CombineContext lookups were served
+// from the cache — the figure behind OpCounts.CombineCtxHits.
+func (tk *ThresholdKey) CombineContextHits() int64 {
+	tk.ctxMu.Lock()
+	defer tk.ctxMu.Unlock()
+	return tk.ctxHits
+}
+
+// CombineWith opens one ciphertext from partial decryptions aligned with
+// ctx: parts[i].Index must equal the context's i-th index. Bit-identical
+// to Combine (and CombineNaive) over the same responder subset.
+func (tk *ThresholdKey) CombineWith(ctx *CombineCtx, parts []PartialDecryption) (*big.Int, error) {
+	if len(parts) != len(ctx.indices) {
+		return nil, fmt.Errorf("%w: have %d partials, context wants %d", ErrNotEnoughShares, len(parts), len(ctx.indices))
+	}
+	bases := make([]*big.Int, len(parts))
+	for i, p := range parts {
+		if p.Index != ctx.indices[i] {
+			return nil, fmt.Errorf("%w: partial %d at position %d, context wants %d", ErrShareOutOfRange, p.Index, i, ctx.indices[i])
+		}
+		if ctx.invert[i] {
+			inv := new(big.Int).ModInverse(p.Value, tk.ns1)
+			if inv == nil {
+				return nil, fmt.Errorf("%w: partial %d not a unit", ErrCombineMismatch, p.Index)
+			}
+			bases[i] = inv
+		} else {
+			bases[i] = p.Value
+		}
+	}
+	acc := ctx.plan.exec(bases, tk.ns1)
 	return tk.finishCombine(acc)
 }
 
