@@ -166,6 +166,32 @@ type Config struct {
 	// the cycles and sharded engines at any worker count, so a failing
 	// scenario is a replayable regression test. Empty injects nothing.
 	Faults string
+
+	// --- Streaming fields (OpenStream only; Cluster rejects them) ---
+
+	// LifetimeEpsilon is the longitudinal privacy budget of a streaming
+	// session: every window's disclosure draws from it, and when it is
+	// spent the session hard-refuses further windows. Required for
+	// OpenStream; must be zero for Cluster (whose budget is Epsilon).
+	LifetimeEpsilon float64
+	// Windows is the streaming planning horizon the budget strategy
+	// provisions for (default 8). Sessions may run fewer windows — or
+	// more, budget permitting.
+	Windows int
+	// WarmStart seeds each window's starting centroids with the
+	// previous window's disclosed result. Only already-public data
+	// crosses the window boundary.
+	WarmStart bool
+	// BudgetStrategy names the per-window epsilon spend policy:
+	// "uniform" (default — remaining budget split evenly over the
+	// remaining horizon), "decaying" (half of what remains each
+	// window), or "threshold" (re-cluster only when the disclosed
+	// centroid drift exceeds DriftThreshold, skipping quiet windows to
+	// save budget).
+	BudgetStrategy string
+	// DriftThreshold is the "threshold" strategy's drift bound
+	// (default 0.05). Only meaningful with BudgetStrategy "threshold".
+	DriftThreshold float64
 }
 
 // Iteration is one entry of the per-iteration trace.
@@ -275,6 +301,10 @@ type Result struct {
 	Completed int
 	// Elapsed is the wall-clock simulation time.
 	Elapsed time.Duration
+
+	// Stream is the per-window streaming context when this Result came
+	// from Session.Advance (nil for one-shot Cluster results).
+	Stream *StreamInfo
 }
 
 // Cluster runs the full Chiaroscuro protocol over the participants'
@@ -299,6 +329,15 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res := resultFromTrace(trace)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// resultFromTrace maps a core trace onto the public Result shape — the
+// single translation point shared by Cluster and the streaming
+// Session.Advance. Elapsed is the caller's to fill.
+func resultFromTrace(trace *core.Trace) *Result {
 	res := &Result{
 		Centroids:            trace.FinalCentroids,
 		Assignments:          trace.Assignments,
@@ -336,7 +375,6 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 		},
 		DecryptFailures: trace.DecryptFailures,
 		Completed:       trace.Completed,
-		Elapsed:         time.Since(start),
 	}
 	for _, it := range trace.Iterations {
 		res.Trace = append(res.Trace, Iteration{
@@ -349,19 +387,27 @@ func Cluster(series [][]float64, cfg Config) (*Result, error) {
 			InertiaEstimate: it.PerturbedInertia,
 		})
 	}
-	return res, nil
+	return res
 }
 
+// toParams is the one-shot (Cluster) configuration path: Epsilon is the
+// whole budget and the streaming fields must be unset.
 func (cfg Config) toParams() (core.Params, error) {
 	var p core.Params
-	if cfg.K < 1 {
-		return p, errors.New("chiaroscuro: Config.K is required")
+	switch {
+	case cfg.LifetimeEpsilon != 0:
+		return p, errors.New("chiaroscuro: Config.LifetimeEpsilon is a streaming option — use OpenStream")
+	case cfg.Windows != 0:
+		return p, errors.New("chiaroscuro: Config.Windows is a streaming option — use OpenStream")
+	case cfg.WarmStart:
+		return p, errors.New("chiaroscuro: Config.WarmStart is a streaming option — use OpenStream")
+	case cfg.BudgetStrategy != "":
+		return p, errors.New("chiaroscuro: Config.BudgetStrategy is a streaming option — use OpenStream")
+	case cfg.DriftThreshold != 0:
+		return p, errors.New("chiaroscuro: Config.DriftThreshold is a streaming option — use OpenStream")
 	}
 	if cfg.Epsilon <= 0 {
 		return p, errors.New("chiaroscuro: Config.Epsilon must be positive")
-	}
-	if cfg.Workers < 0 {
-		return p, fmt.Errorf("chiaroscuro: Config.Workers must be non-negative, got %d", cfg.Workers)
 	}
 	if cfg.Engine == "async" && (cfg.ChurnCrashProb != 0 || cfg.ChurnRejoinProb != 0) {
 		// Validated here, not deep inside core.RunAsync, so a bad
@@ -369,6 +415,25 @@ func (cfg Config) toParams() (core.Params, error) {
 		// names the fields: churn is cycles/sharded-only (see the Config
 		// field docs).
 		return p, errors.New("chiaroscuro: churn (Config.ChurnCrashProb/ChurnRejoinProb) is not supported by the async engine — use the cycles or sharded engine, or model failures with Config.Faults")
+	}
+	p, err := cfg.baseParams()
+	if err != nil {
+		return p, err
+	}
+	p.Epsilon = cfg.Epsilon
+	return p, nil
+}
+
+// baseParams maps the protocol-shape part of Config — everything shared
+// by the one-shot and streaming paths — onto core.Params, leaving the
+// budget (Epsilon) to the caller.
+func (cfg Config) baseParams() (core.Params, error) {
+	var p core.Params
+	if cfg.K < 1 {
+		return p, errors.New("chiaroscuro: Config.K is required")
+	}
+	if cfg.Workers < 0 {
+		return p, fmt.Errorf("chiaroscuro: Config.Workers must be non-negative, got %d", cfg.Workers)
 	}
 	strategy, err := dp.StrategyByName(cfg.Strategy)
 	if err != nil {
@@ -405,7 +470,6 @@ func (cfg Config) toParams() (core.Params, error) {
 	}
 	return core.Params{
 		K:                    cfg.K,
-		Epsilon:              cfg.Epsilon,
 		Iterations:           cfg.Iterations,
 		ConvergeThreshold:    cfg.ConvergeThreshold,
 		GossipRounds:         cfg.GossipRounds,

@@ -1,0 +1,352 @@
+package chiaroscuro_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"chiaroscuro"
+)
+
+// streamData generates a CER-like population long enough for the whole
+// stream and splits it into the initial window plus per-window slides.
+func streamData(t *testing.T, n, dim, windows, slide int) (initial [][]float64, steps [][][]float64) {
+	t.Helper()
+	total := dim + windows*slide
+	series, _, _, err := chiaroscuro.SyntheticCERErr(n, total, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+	initial = make([][]float64, n)
+	for i := range initial {
+		initial[i] = append([]float64(nil), series[i][:dim]...)
+	}
+	steps = make([][][]float64, windows)
+	for w := range steps {
+		steps[w] = make([][]float64, n)
+		for i := range steps[w] {
+			steps[w][i] = append([]float64(nil), series[i][dim+w*slide:dim+(w+1)*slide]...)
+		}
+	}
+	return initial, steps
+}
+
+// TestOpenStreamEndToEnd drives a warm-started stream through four
+// windows and checks the public surface: per-window stream info, the
+// longitudinal budget position, and determinism (a twin session
+// discloses bit-identical centroids).
+func TestOpenStreamEndToEnd(t *testing.T) {
+	const windows, slide = 4, 2
+	initial, steps := streamData(t, 40, 8, windows, slide)
+	cfg := chiaroscuro.Config{
+		K:               3,
+		LifetimeEpsilon: 80,
+		Windows:         windows,
+		WarmStart:       true,
+		Seed:            3,
+	}
+
+	run := func() []*chiaroscuro.Result {
+		t.Helper()
+		sess, err := chiaroscuro.OpenStream(initial, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		var out []*chiaroscuro.Result
+		for w := 0; w < windows; w++ {
+			var pts [][]float64
+			if w > 0 {
+				pts = steps[w-1]
+			}
+			res, err := sess.Advance(pts)
+			if err != nil {
+				t.Fatalf("window %d: %v", w, err)
+			}
+			out = append(out, res)
+		}
+		if got := sess.Window(); got != windows {
+			t.Fatalf("Window() = %d, want %d", got, windows)
+		}
+		if b := sess.Budget(); b.Windows != windows || b.Remaining > 80*1e-9 {
+			t.Fatalf("final budget = %+v", b)
+		}
+		return out
+	}
+
+	results := run()
+	for w, res := range results {
+		if res.Stream == nil {
+			t.Fatalf("window %d: Result.Stream is nil", w)
+		}
+		st := res.Stream
+		if st.Window != w || st.Skipped {
+			t.Fatalf("window %d: stream info %+v", w, st)
+		}
+		if got, want := st.WarmStarted, w > 0; got != want {
+			t.Fatalf("window %d: WarmStarted = %v, want %v", w, got, want)
+		}
+		if math.Abs(st.EpsilonDrawn-20) > 1e-9 {
+			t.Fatalf("window %d drew %v, want 20 (uniform over 4)", w, st.EpsilonDrawn)
+		}
+		if w == 0 && !math.IsNaN(st.Drift) {
+			t.Fatalf("window 0 drift = %v, want NaN", st.Drift)
+		}
+		if w > 0 && (math.IsNaN(st.Drift) || st.Drift < 0) {
+			t.Fatalf("window %d drift = %v", w, st.Drift)
+		}
+		if len(res.Centroids) != cfg.K || len(res.Trace) == 0 {
+			t.Fatalf("window %d: truncated result", w)
+		}
+		if res.Privacy.EpsilonBudget != st.EpsilonDrawn {
+			t.Fatalf("window %d: per-window budget %v vs drawn %v", w, res.Privacy.EpsilonBudget, st.EpsilonDrawn)
+		}
+	}
+	// One-shot results carry no stream info.
+	oneShot, err := chiaroscuro.Cluster(initial, chiaroscuro.Config{K: 3, Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Stream != nil {
+		t.Fatal("one-shot Result.Stream must be nil")
+	}
+
+	twin := run()
+	for w := range results {
+		for j := range results[w].Centroids {
+			for tt := range results[w].Centroids[j] {
+				a := math.Float64bits(results[w].Centroids[j][tt])
+				b := math.Float64bits(twin[w].Centroids[j][tt])
+				if a != b {
+					t.Fatalf("window %d: twin session diverged at centroid %d[%d]", w, j, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSkippedWindowShape pins what a skipped window's Result
+// looks like: previous centroids carried forward, stream info marked,
+// protocol fields empty.
+func TestStreamSkippedWindowShape(t *testing.T) {
+	const windows, slide = 3, 1
+	initial, steps := streamData(t, 24, 6, windows, slide)
+	sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+		K:               2,
+		LifetimeEpsilon: 120,
+		Windows:         windows,
+		WarmStart:       true,
+		BudgetStrategy:  "threshold",
+		DriftThreshold:  10, // generous: skip as soon as a drift signal exists
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Windows 0 and 1 run (the drift signal needs two disclosures);
+	// window 2 skips under the generous bound.
+	var prev *chiaroscuro.Result
+	for w := 0; w < 2; w++ {
+		var pts [][]float64
+		if w > 0 {
+			pts = steps[w-1]
+		}
+		prev, err = sess.Advance(pts)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if prev.Stream.Skipped {
+			t.Fatalf("window %d skipped unexpectedly", w)
+		}
+	}
+	res, err := sess.Advance(steps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stream
+	// A skipped window runs nothing — so nothing was warm-started.
+	if !st.Skipped || st.EpsilonDrawn != 0 || st.WarmStarted {
+		t.Fatalf("skipped stream info = %+v", st)
+	}
+	if len(res.Trace) != 0 || res.Network.MessagesSent != 0 || !math.IsNaN(res.Inertia) {
+		t.Fatalf("skipped window leaked protocol fields: %+v", res)
+	}
+	for j := range res.Centroids {
+		for tt := range res.Centroids[j] {
+			if res.Centroids[j][tt] != prev.Centroids[j][tt] {
+				t.Fatal("skipped window must carry the previous centroids")
+			}
+		}
+	}
+	if b := sess.Budget(); b.Skips != 1 || b.Windows != 2 {
+		t.Fatalf("budget after skip = %+v", b)
+	}
+}
+
+// TestStreamBudgetExhaustion checks the public hard-refusal path.
+func TestStreamBudgetExhaustion(t *testing.T) {
+	initial, steps := streamData(t, 24, 6, 2, 1)
+	sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+		K:               2,
+		LifetimeEpsilon: 10,
+		Windows:         2,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for w := 0; w < 2; w++ {
+		var pts [][]float64
+		if w > 0 {
+			pts = steps[w-1]
+		}
+		if _, err := sess.Advance(pts); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+	if _, err := sess.Advance(steps[1]); !errors.Is(err, chiaroscuro.ErrBudgetExhausted) {
+		t.Fatalf("past-horizon advance: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// blobStream generates a well-separated three-blob population with a
+// slow sinusoidal drift — the regime where early stopping is crisp
+// enough to compare warm and cold iteration counts deterministically.
+func blobStream(n, dim, windows, slide int) (initial [][]float64, steps [][][]float64) {
+	total := dim + windows*slide
+	full := make([][]float64, n)
+	for i := range full {
+		base := 0.12 + 0.72*float64(i%3)/3
+		s := make([]float64, total)
+		for t := range s {
+			v := base + 0.05*math.Sin(2*math.Pi*(float64(t)/float64(total)+float64(i%5)/5)) +
+				0.015*float64((i*7+t*3)%5-2)/5
+			s[t] = math.Min(1, math.Max(0, v))
+		}
+		full[i] = s
+	}
+	initial = make([][]float64, n)
+	for i := range initial {
+		initial[i] = append([]float64(nil), full[i][:dim]...)
+	}
+	steps = make([][][]float64, windows)
+	for w := range steps {
+		steps[w] = make([][]float64, n)
+		for i := range steps[w] {
+			steps[w][i] = append([]float64(nil), full[i][dim+w*slide:dim+(w+1)*slide]...)
+		}
+	}
+	return initial, steps
+}
+
+// TestStreamWarmStartConvergesFaster is the acceptance gate in miniature
+// (BenchmarkStreamRecluster measures it at scale): over a drifting
+// stream with early stopping, warm-starting every window from the
+// previous disclosure spends strictly fewer total k-means iterations
+// than cold restarts, at comparable quality. Everything is seeded, so
+// the iteration counts are exact, not statistical.
+func TestStreamWarmStartConvergesFaster(t *testing.T) {
+	const windows, slide = 6, 2
+	initial, steps := blobStream(60, 8, windows, slide)
+
+	drive := func(warm bool) (totalIters int, meanInertia float64) {
+		t.Helper()
+		sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+			K:                 3,
+			Iterations:        10,
+			ConvergeThreshold: 0.08,
+			LifetimeEpsilon:   2400, // ample: noise far below the stop threshold
+			Windows:           windows,
+			WarmStart:         warm,
+			Seed:              9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		for w := 0; w < windows; w++ {
+			var pts [][]float64
+			if w > 0 {
+				pts = steps[w-1]
+			}
+			res, err := sess.Advance(pts)
+			if err != nil {
+				t.Fatalf("window %d: %v", w, err)
+			}
+			totalIters += len(res.Trace)
+			meanInertia += res.Inertia / windows
+		}
+		return totalIters, meanInertia
+	}
+
+	warmIters, warmInertia := drive(true)
+	coldIters, coldInertia := drive(false)
+	t.Logf("warm: %d iterations (mean inertia %.4f); cold: %d iterations (mean inertia %.4f)",
+		warmIters, warmInertia, coldIters, coldInertia)
+	if warmIters >= coldIters {
+		t.Fatalf("warm start used %d total iterations, cold %d — want strictly fewer", warmIters, coldIters)
+	}
+	if warmInertia > coldInertia*1.25 {
+		t.Fatalf("warm-start quality regressed: mean inertia %.4f vs cold %.4f", warmInertia, coldInertia)
+	}
+}
+
+// BenchmarkStreamRecluster measures the streaming tentpole's payoff at
+// bench scale: N=10k participants over 8 windows, warm-start vs cold
+// restarts under early stopping. The iters/stream metric is the total
+// k-means iterations actually run (fewer = less budget spread, less
+// gossip, less wall-clock); run with -benchtime=1x for a single pass:
+//
+//	go test -bench StreamRecluster -benchtime=1x .
+func BenchmarkStreamRecluster(b *testing.B) {
+	const n, dim, windows, slide = 10000, 8, 8, 2
+	initial, steps := blobStream(n, dim, windows, slide)
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"warm", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			totalIters := 0
+			inertia := 0.0
+			for i := 0; i < b.N; i++ {
+				sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+					K:                 3,
+					Iterations:        10,
+					ConvergeThreshold: 0.08,
+					LifetimeEpsilon:   4000,
+					Windows:           windows,
+					WarmStart:         mode.warm,
+					Engine:            "sharded",
+					GossipRounds:      10,
+					DecryptThreshold:  8,
+					Seed:              9,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for w := 0; w < windows; w++ {
+					var pts [][]float64
+					if w > 0 {
+						pts = steps[w-1]
+					}
+					res, err := sess.Advance(pts)
+					if err != nil {
+						sess.Close()
+						b.Fatalf("window %d: %v", w, err)
+					}
+					totalIters += len(res.Trace)
+					inertia += res.Inertia / windows
+				}
+				sess.Close()
+			}
+			b.ReportMetric(float64(totalIters)/float64(b.N), "iters/stream")
+			b.ReportMetric(inertia/float64(b.N), "inertia")
+		})
+	}
+}

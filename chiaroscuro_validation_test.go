@@ -95,11 +95,129 @@ func TestConfigValidationErrors(t *testing.T) {
 			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Backend: "rot13"},
 			want: `chiaroscuro: unknown backend "rot13"`,
 		},
+		{
+			name: "lifetime epsilon on one-shot",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, LifetimeEpsilon: 8},
+			want: "chiaroscuro: Config.LifetimeEpsilon is a streaming option — use OpenStream",
+		},
+		{
+			name: "windows on one-shot",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, Windows: 4},
+			want: "chiaroscuro: Config.Windows is a streaming option — use OpenStream",
+		},
+		{
+			name: "warm start on one-shot",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, WarmStart: true},
+			want: "chiaroscuro: Config.WarmStart is a streaming option — use OpenStream",
+		},
+		{
+			name: "budget strategy on one-shot",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, BudgetStrategy: "uniform"},
+			want: "chiaroscuro: Config.BudgetStrategy is a streaming option — use OpenStream",
+		},
+		{
+			name: "drift threshold on one-shot",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, DriftThreshold: 0.1},
+			want: "chiaroscuro: Config.DriftThreshold is a streaming option — use OpenStream",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := chiaroscuro.Cluster(series, tc.cfg)
 			if err == nil {
+				t.Fatalf("want error %q, got success", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error text:\n  got:  %s\n  want: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStreamConfigValidationErrors pins the exact error text of every
+// OpenStream validation path, in the same spirit as the one-shot table
+// above: the streaming fields are new public API, and their refusals
+// are part of the contract.
+func TestStreamConfigValidationErrors(t *testing.T) {
+	series, _, _, err := chiaroscuro.SyntheticCERErr(20, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  chiaroscuro.Config
+		want string
+	}{
+		{
+			name: "epsilon set on stream",
+			cfg:  chiaroscuro.Config{K: 3, Epsilon: 1, LifetimeEpsilon: 8},
+			want: "chiaroscuro: streaming draws each window's epsilon from Config.LifetimeEpsilon — leave Config.Epsilon zero",
+		},
+		{
+			name: "missing lifetime epsilon",
+			cfg:  chiaroscuro.Config{K: 3},
+			want: "chiaroscuro: Config.LifetimeEpsilon must be positive for streaming",
+		},
+		{
+			name: "negative lifetime epsilon",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: -2},
+			want: "chiaroscuro: Config.LifetimeEpsilon must be positive for streaming",
+		},
+		{
+			name: "negative windows",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, Windows: -1},
+			want: "chiaroscuro: Config.Windows must be non-negative, got -1",
+		},
+		{
+			name: "negative drift threshold",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, BudgetStrategy: "threshold", DriftThreshold: -0.1},
+			want: "chiaroscuro: Config.DriftThreshold must be non-negative, got -0.1",
+		},
+		{
+			name: "drift threshold without threshold strategy",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, DriftThreshold: 0.1},
+			want: `chiaroscuro: Config.DriftThreshold applies to the "threshold" budget strategy only`,
+		},
+		{
+			name: "unknown budget strategy",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, BudgetStrategy: "lavish"},
+			want: `dp: unknown spend strategy "lavish" (want uniform, decaying or threshold)`,
+		},
+		{
+			name: "async engine",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, Engine: "async"},
+			want: `chiaroscuro: streaming requires a deterministic engine — use "cycles" or "sharded"`,
+		},
+		{
+			name: "unknown engine",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, Engine: "warp"},
+			want: `chiaroscuro: unknown engine "warp" (want cycles, sharded or async)`,
+		},
+		{
+			name: "faults on stream",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, Faults: "drop=0.05"},
+			want: "chiaroscuro: Config.Faults is not supported in streaming sessions yet",
+		},
+		{
+			name: "churn on stream",
+			cfg:  chiaroscuro.Config{K: 3, LifetimeEpsilon: 8, ChurnCrashProb: 0.1},
+			want: "chiaroscuro: churn is not supported in streaming sessions yet",
+		},
+		{
+			name: "missing K",
+			cfg:  chiaroscuro.Config{LifetimeEpsilon: 8},
+			want: "chiaroscuro: Config.K is required",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := chiaroscuro.OpenStream(series, tc.cfg)
+			if err == nil {
+				sess.Close()
 				t.Fatalf("want error %q, got success", tc.want)
 			}
 			if err.Error() != tc.want {

@@ -97,6 +97,19 @@ func main() {
 		benchScaleN        = flag.Int("bench-scale-n", 100000, "with -bench-scale: population of the timed sharded run")
 		benchScaleOut      = flag.String("bench-scale-out", "", "with -bench-scale: also write the results as JSON to this file")
 		benchScaleBaseline = flag.String("bench-scale-baseline", "", "with -bench-scale: fail if hot-path allocs/cycle regress past this committed BENCH_scale.json")
+
+		stream          = flag.Bool("stream", false, "streaming mode: cluster a sliding window of the workload repeatedly, drawing each window's ε from -lifetime-epsilon")
+		windows         = flag.Int("windows", 8, "with -stream: number of windows to run (also the budget strategy's planning horizon)")
+		windowSlide     = flag.Int("window-slide", 4, "with -stream: samples appended (and evicted) per window advance")
+		warmStart       = flag.Bool("warm-start", false, "with -stream: seed each window's centroids from the previous window's disclosure")
+		lifetimeEpsilon = flag.Float64("lifetime-epsilon", 8, "with -stream: longitudinal privacy budget across all windows")
+		budgetStrategy  = flag.String("budget-strategy", "uniform", "with -stream: per-window ε spend policy: uniform | decaying | threshold")
+		driftThreshold  = flag.Float64("drift-threshold", 0, "with -stream and -budget-strategy threshold: re-cluster only when centroid drift exceeds this (0 = default 0.05)")
+		converge        = flag.Float64("converge", 0, "early-stop threshold on centroid displacement (0 = disabled)")
+
+		benchStream    = flag.Bool("bench-stream", false, "measure warm-start vs cold re-clustering over a drifting stream and exit")
+		benchStreamN   = flag.Int("bench-stream-n", 10000, "with -bench-stream: population size")
+		benchStreamOut = flag.String("bench-stream-out", "", "with -bench-stream: also write the results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -120,6 +133,37 @@ func main() {
 	}
 	if *benchScale {
 		if err := runBenchScale(*benchScaleN, *benchScaleOut, *benchScaleBaseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchStream {
+		if err := runBenchStream(*benchStreamN, *benchStreamOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *stream {
+		err := runStream(streamOptions{
+			dataset:          *dataset,
+			n:                *n,
+			k:                *k,
+			lifetimeEpsilon:  *lifetimeEpsilon,
+			windows:          *windows,
+			slide:            *windowSlide,
+			warmStart:        *warmStart,
+			budgetStrategy:   *budgetStrategy,
+			driftThreshold:   *driftThreshold,
+			iterations:       *iters,
+			converge:         *converge,
+			gossipRounds:     *rounds,
+			decryptThreshold: *threshold,
+			engine:           *engine,
+			workers:          *workers,
+			seed:             *seed,
+			quiet:            *quiet,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 		return

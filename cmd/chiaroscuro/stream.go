@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"chiaroscuro"
+)
+
+// writeJSON writes v as indented JSON with a trailing newline — the
+// shape of every BENCH_*.json artifact.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// streamOptions collects the -stream mode's flag values.
+type streamOptions struct {
+	dataset          string
+	n, k             int
+	lifetimeEpsilon  float64
+	windows, slide   int
+	warmStart        bool
+	budgetStrategy   string
+	driftThreshold   float64
+	iterations       int
+	converge         float64
+	gossipRounds     int
+	decryptThreshold int
+	engine           string
+	workers          int
+	seed             int64
+	quiet            bool
+}
+
+// loadStream generates a workload long enough for the whole stream —
+// window width dim plus (windows−1)·slide extra samples per series —
+// and splits it into the initial window and the per-window slides.
+func loadStream(o streamOptions, dim int) (initial [][]float64, steps [][][]float64, err error) {
+	total := dim + (o.windows-1)*o.slide
+	var series [][]float64
+	switch o.dataset {
+	case "cer":
+		series, _, _, err = chiaroscuro.SyntheticCERErr(o.n, total, o.seed)
+	case "tumor":
+		series, _, _, err = chiaroscuro.SyntheticTumorGrowthErr(o.n, total, o.seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q (want cer or tumor)", o.dataset)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		return nil, nil, err
+	}
+	initial = make([][]float64, o.n)
+	for i := range initial {
+		initial[i] = append([]float64(nil), series[i][:dim]...)
+	}
+	steps = make([][][]float64, o.windows-1)
+	for w := range steps {
+		steps[w] = make([][]float64, o.n)
+		for i := range steps[w] {
+			steps[w][i] = append([]float64(nil), series[i][dim+w*o.slide:dim+(w+1)*o.slide]...)
+		}
+	}
+	return initial, steps, nil
+}
+
+// runStream is the -stream mode: a streaming session over a sliding
+// window of the chosen workload, one protocol run (or budget-strategy
+// skip) per window, with the longitudinal ledger printed as it drains.
+func runStream(o streamOptions) error {
+	if o.windows < 1 {
+		return fmt.Errorf("-windows must be at least 1, got %d", o.windows)
+	}
+	if o.slide < 1 {
+		return fmt.Errorf("-window-slide must be at least 1, got %d", o.slide)
+	}
+	dim := 24
+	if o.dataset == "tumor" {
+		dim = 20
+	}
+	initial, steps, err := loadStream(o, dim)
+	if err != nil {
+		return err
+	}
+	sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+		K:                 o.k,
+		LifetimeEpsilon:   o.lifetimeEpsilon,
+		Windows:           o.windows,
+		WarmStart:         o.warmStart,
+		BudgetStrategy:    o.budgetStrategy,
+		DriftThreshold:    o.driftThreshold,
+		Iterations:        o.iterations,
+		ConvergeThreshold: o.converge,
+		GossipRounds:      o.gossipRounds,
+		DecryptThreshold:  o.decryptThreshold,
+		Engine:            o.engine,
+		Workers:           o.workers,
+		Seed:              o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	fmt.Printf("chiaroscuro stream: %s workload, %d participants, k=%d, %d windows (slide %d), lifetime ε=%.4g, strategy=%s",
+		o.dataset, o.n, o.k, o.windows, o.slide, o.lifetimeEpsilon, orDefault(o.budgetStrategy, "uniform"))
+	if o.warmStart {
+		fmt.Printf(", warm-start")
+	}
+	fmt.Println()
+	if !o.quiet {
+		fmt.Println("\nwindow  ε drawn   iters  drift     inertia     ε remaining")
+	}
+	for w := 0; w < o.windows; w++ {
+		var pts [][]float64
+		if w > 0 {
+			pts = steps[w-1]
+		}
+		res, err := sess.Advance(pts)
+		if err != nil {
+			return fmt.Errorf("window %d: %w", w, err)
+		}
+		if o.quiet {
+			continue
+		}
+		st := res.Stream
+		if st.Skipped {
+			fmt.Printf("%6d  %-9s %-6s %-9.4f %-11s %.4g\n",
+				w, "skip", "-", st.Drift, "-", st.Budget.Remaining)
+			continue
+		}
+		drift := "-"
+		if !math.IsNaN(st.Drift) {
+			drift = fmt.Sprintf("%.4f", st.Drift)
+		}
+		fmt.Printf("%6d  %-9.4g %-6d %-9s %-11.4f %.4g\n",
+			w, st.EpsilonDrawn, len(res.Trace), drift, res.Inertia, st.Budget.Remaining)
+	}
+	b := sess.Budget()
+	fmt.Printf("\nledger:   ε %.4g of %.4g spent over %d windows (%d skipped), %.4g remaining\n",
+		b.SpentEpsilon, b.LifetimeEpsilon, b.Windows, b.Skips, b.Remaining)
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// streamBenchEntry is one mode (warm or cold) of the BENCH_stream.json
+// artifact: total k-means iterations actually run across the stream —
+// the quantity warm-starting exists to shrink — plus wall-clock and
+// quality, so a regression in any of the three shows up as a row diff.
+type streamBenchEntry struct {
+	Mode                string // "warm" | "cold"
+	N, Dim, K           int
+	Windows, Slide      int
+	LifetimeEpsilon     float64
+	TotalIterations     int
+	IterationsPerWindow []int
+	MeanInertia         float64
+	Elapsed             time.Duration
+}
+
+// streamBenchResult is the BENCH_stream.json schema.
+type streamBenchResult struct {
+	Schema    string             `json:"Schema"` // "chiaroscuro-bench-stream/v1"
+	Timestamp string             `json:"Timestamp"`
+	Entries   []streamBenchEntry `json:"Entries"`
+}
+
+// runBenchStream measures warm-start against cold restarts on a
+// drifting stream at bench scale (default N=10k over 8 windows): total
+// iterations to converge, wall-clock, and mean inertia. With a
+// non-empty out path it also writes the JSON artifact CI uploads.
+func runBenchStream(n int, out string) error {
+	const dim, windows, slide, k = 8, 8, 2, 3
+	total := dim + (windows-1)*slide
+	// A drifting well-separated blob population: the regime where early
+	// stopping makes iteration counts comparable (CER's overlapping
+	// archetypes keep the disclosed centroids wobbling above any usable
+	// convergence threshold).
+	full := make([][]float64, n)
+	for i := range full {
+		base := 0.12 + 0.72*float64(i%k)/k
+		s := make([]float64, total)
+		for t := range s {
+			v := base + 0.05*math.Sin(2*math.Pi*(float64(t)/float64(total)+float64(i%5)/5)) +
+				0.015*float64((i*7+t*3)%5-2)/5
+			s[t] = math.Min(1, math.Max(0, v))
+		}
+		full[i] = s
+	}
+	initial := make([][]float64, n)
+	for i := range initial {
+		initial[i] = append([]float64(nil), full[i][:dim]...)
+	}
+	steps := make([][][]float64, windows-1)
+	for w := range steps {
+		steps[w] = make([][]float64, n)
+		for i := range steps[w] {
+			steps[w][i] = append([]float64(nil), full[i][dim+w*slide:dim+(w+1)*slide]...)
+		}
+	}
+
+	res := streamBenchResult{
+		Schema:    "chiaroscuro-bench-stream/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, warm := range []bool{true, false} {
+		mode := "cold"
+		if warm {
+			mode = "warm"
+		}
+		start := time.Now()
+		sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+			K:                 k,
+			Iterations:        10,
+			ConvergeThreshold: 0.08,
+			LifetimeEpsilon:   4000,
+			Windows:           windows,
+			WarmStart:         warm,
+			Engine:            "sharded",
+			GossipRounds:      10,
+			DecryptThreshold:  8,
+			Seed:              9,
+		})
+		if err != nil {
+			return err
+		}
+		entry := streamBenchEntry{
+			Mode: mode, N: n, Dim: dim, K: k,
+			Windows: windows, Slide: slide, LifetimeEpsilon: 4000,
+		}
+		for w := 0; w < windows; w++ {
+			var pts [][]float64
+			if w > 0 {
+				pts = steps[w-1]
+			}
+			r, err := sess.Advance(pts)
+			if err != nil {
+				sess.Close()
+				return fmt.Errorf("%s window %d: %w", mode, w, err)
+			}
+			entry.TotalIterations += len(r.Trace)
+			entry.IterationsPerWindow = append(entry.IterationsPerWindow, len(r.Trace))
+			entry.MeanInertia += r.Inertia / windows
+		}
+		sess.Close()
+		entry.Elapsed = time.Since(start)
+		res.Entries = append(res.Entries, entry)
+	}
+
+	fmt.Printf("stream re-cluster, N=%d, %d windows (slide %d), early stop at 0.08\n\n", n, windows, slide)
+	fmt.Println("mode   total iters  per window               mean inertia  elapsed")
+	for _, e := range res.Entries {
+		fmt.Printf("%-6s %-12d %-24s %-13.4f %s\n",
+			e.Mode, e.TotalIterations, fmt.Sprint(e.IterationsPerWindow), e.MeanInertia,
+			e.Elapsed.Round(time.Millisecond))
+	}
+	warmE, coldE := res.Entries[0], res.Entries[1]
+	if warmE.TotalIterations >= coldE.TotalIterations {
+		return fmt.Errorf("warm start ran %d total iterations, cold %d — warm must be strictly fewer",
+			warmE.TotalIterations, coldE.TotalIterations)
+	}
+	fmt.Printf("\nwarm start saved %d of %d iterations (%.0f%%)\n",
+		coldE.TotalIterations-warmE.TotalIterations, coldE.TotalIterations,
+		100*float64(coldE.TotalIterations-warmE.TotalIterations)/float64(coldE.TotalIterations))
+	if out == "" {
+		return nil
+	}
+	if err := writeJSON(out, res); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

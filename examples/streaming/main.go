@@ -1,0 +1,76 @@
+// Streaming: re-cluster an evolving population over sliding windows,
+// warm-starting each window from the previous disclosure and drawing
+// every window's privacy budget from one lifetime ledger.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chiaroscuro"
+)
+
+func main() {
+	// 300 households streaming hourly readings. Each session window
+	// clusters the most recent day; every 6 hours the window slides.
+	const (
+		n, window  = 300, 24
+		windows    = 4
+		slide      = 6
+		totalHours = window + (windows-1)*slide
+	)
+	series, _, _ := chiaroscuro.SyntheticCER(n, totalHours, 42)
+	if _, _, err := chiaroscuro.Normalize01(series); err != nil {
+		log.Fatal(err)
+	}
+	initial := make([][]float64, n)
+	for i := range initial {
+		initial[i] = series[i][:window]
+	}
+
+	// One lifetime budget for the whole stream: each window draws from
+	// it (uniform strategy: lifetime/windows per window) and the session
+	// refuses to run once it is exhausted.
+	sess, err := chiaroscuro.OpenStream(initial, chiaroscuro.Config{
+		K:               5,
+		LifetimeEpsilon: 4 * 2000, // four windows at the one-shot quickstart's ε
+		Windows:         windows,
+		WarmStart:       true, // resume from the previous window's public centroids
+		Iterations:      6,
+		Seed:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	for w := 0; w < windows; w++ {
+		// Windows after the first append the next slide hours per series
+		// (and evict the oldest) before clustering.
+		var pts [][]float64
+		if w > 0 {
+			pts = make([][]float64, n)
+			for i := range pts {
+				pts[i] = series[i][window+(w-1)*slide : window+w*slide]
+			}
+		}
+		res, err := sess.Advance(pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stream
+		drift := "-"
+		if !math.IsNaN(st.Drift) {
+			drift = fmt.Sprintf("%.4f", st.Drift)
+		}
+		fmt.Printf("window %d: ε %.0f drawn, %d iterations, inertia %.3f, drift vs previous %s (warm-started: %v)\n",
+			st.Window, st.EpsilonDrawn, len(res.Trace), res.Inertia, drift, st.WarmStarted)
+	}
+
+	b := sess.Budget()
+	fmt.Printf("\nledger: ε %.0f of %.0f spent over %d windows, %.0f remaining\n",
+		b.SpentEpsilon, b.LifetimeEpsilon, b.Windows, b.Remaining)
+}

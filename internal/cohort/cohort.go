@@ -1,0 +1,216 @@
+// Package cohort multiplexes many independent streaming clustering
+// sessions — different k, different budgets, different tenants — over
+// ONE shared population. The operational shape this serves is a curator
+// running several longitudinal studies on the same panel of
+// participants: each study (a "cohort") has its own clustering
+// configuration and, critically, its own longitudinal privacy ledger,
+// but the underlying time-series arena is a single flat
+// vecpool.Matrix that a window advance slides exactly once.
+//
+// Isolation is the design invariant: a cohort's disclosed trajectory is
+// a pure function of the shared population and its own SessionParams.
+// Cohorts never share cipher suites, ledgers, RNG state, or warm-start
+// centroids — only the read-only series arena — so adding, removing, or
+// reordering other cohorts cannot perturb a cohort's results bit for
+// bit. The package's tests pin exactly that.
+package cohort
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/vecpool"
+)
+
+// Spec names one cohort and its per-window clustering configuration.
+type Spec struct {
+	// ID is the cohort's unique, non-empty name (a tenant or study id).
+	ID string
+	// Session is the cohort's full streaming configuration: per-window
+	// protocol parameters, lifetime budget, spend strategy, warm-start.
+	// All specs of one scheduler must agree on Base.MaxValue — the
+	// shared population is range-checked once against it.
+	Session core.SessionParams
+}
+
+// Outcome is one cohort's result for one shared window advance.
+type Outcome struct {
+	// Cohort is the Spec.ID this outcome belongs to.
+	Cohort string
+	// Result is the cohort's window result (nil when Err is set).
+	Result *core.WindowResult
+	// Err is the cohort's per-window failure — most commonly
+	// dp.ErrBudgetExhausted once that cohort's lifetime budget is
+	// spent. One cohort's error never stops the others.
+	Err error
+}
+
+// Options tunes scheduler execution.
+type Options struct {
+	// Parallel runs the cohorts of each window concurrently (one
+	// goroutine per cohort). Outcomes are still delivered in spec
+	// order, and each cohort's trajectory is bit-identical to a serial
+	// schedule — sessions share only the read-only series arena.
+	Parallel bool
+}
+
+// Scheduler drives a set of cohort sessions over one shared population.
+type Scheduler struct {
+	series   *vecpool.Matrix
+	specs    []Spec
+	sessions []*core.RunSession
+	parallel bool
+	maxValue float64
+	window   int
+	closed   bool
+}
+
+// NewScheduler range-checks and flattens the population once, then
+// builds one shared-arena RunSession per spec. Close the scheduler to
+// release all of them.
+func NewScheduler(data [][]float64, specs []Spec, opts Options) (*Scheduler, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("cohort: need at least one cohort spec")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if sp.ID == "" {
+			return nil, errors.New("cohort: cohort id must be non-empty")
+		}
+		if seen[sp.ID] {
+			return nil, fmt.Errorf("cohort: duplicate cohort id %q", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+	// One population, one value range: the arena is range-checked
+	// against a single MaxValue, so all cohorts must agree on it.
+	maxValue := specs[0].Session.Base.MaxValue
+	if maxValue == 0 {
+		maxValue = 1
+	}
+	for _, sp := range specs[1:] {
+		mv := sp.Session.Base.MaxValue
+		if mv == 0 {
+			mv = 1
+		}
+		if mv != maxValue {
+			return nil, fmt.Errorf("cohort: cohort %q MaxValue %v differs from cohort %q's %v — all cohorts share one population",
+				sp.ID, mv, specs[0].ID, maxValue)
+		}
+	}
+	mat, err := vecpool.FromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		series:   mat,
+		specs:    append([]Spec(nil), specs...),
+		parallel: opts.Parallel,
+		maxValue: maxValue,
+	}
+	for _, sp := range s.specs {
+		sess, err := core.NewSharedRunSession(mat, sp.Session)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("cohort %q: %w", sp.ID, err)
+		}
+		s.sessions = append(s.sessions, sess)
+	}
+	return s, nil
+}
+
+// Window returns the index of the next shared window Advance would run.
+func (s *Scheduler) Window() int { return s.window }
+
+// Session returns the live session of the named cohort (nil if
+// unknown) — the handle for per-cohort ledger inspection or a
+// mid-stream strategy switch.
+func (s *Scheduler) Session(id string) *core.RunSession {
+	for i, sp := range s.specs {
+		if sp.ID == id {
+			return s.sessions[i]
+		}
+	}
+	return nil
+}
+
+// Advance slides the shared population once (newPoints may be nil for
+// the first window) and then runs every cohort's window. Outcomes come
+// back in spec order; per-cohort failures are recorded in their Outcome
+// and never abort the other cohorts. The slide itself failing aborts
+// the whole advance — no cohort ran, the arena is unchanged.
+func (s *Scheduler) Advance(newPoints [][]float64) ([]Outcome, error) {
+	if s.closed {
+		return nil, errors.New("cohort: scheduler is closed")
+	}
+	if newPoints != nil {
+		if err := s.slide(newPoints); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Outcome, len(s.specs))
+	if s.parallel {
+		var wg sync.WaitGroup
+		for i := range s.sessions {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := s.sessions[i].Advance(nil)
+				out[i] = Outcome{Cohort: s.specs[i].ID, Result: res, Err: err}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range s.sessions {
+			res, err := s.sessions[i].Advance(nil)
+			out[i] = Outcome{Cohort: s.specs[i].ID, Result: res, Err: err}
+		}
+	}
+	s.window++
+	return out, nil
+}
+
+// slide validates and applies a window advance to the shared arena.
+// Sessions opened on a shared arena never re-validate (the scheduler is
+// the arena's owner), so the full shape and range check lives here.
+func (s *Scheduler) slide(newPoints [][]float64) error {
+	n, cols := s.series.NumRows(), s.series.Cols()
+	if len(newPoints) != n {
+		return fmt.Errorf("cohort: window advance has %d series, population is %d", len(newPoints), n)
+	}
+	w := len(newPoints[0])
+	if w < 1 || w > cols {
+		return fmt.Errorf("cohort: window advance width %d outside [1, %d]", w, cols)
+	}
+	for i, row := range newPoints {
+		if len(row) != w {
+			return fmt.Errorf("cohort: ragged window advance — series %d has %d samples, want %d", i, len(row), w)
+		}
+		for t, v := range row {
+			if v < -1e-9 || v > s.maxValue+1e-9 {
+				return fmt.Errorf("cohort: participant %d value %v at %d outside [0, %v] — normalize first", i, v, t, s.maxValue)
+			}
+		}
+	}
+	for i, row := range newPoints {
+		if err := s.series.SlideRow(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every cohort session. Idempotent.
+func (s *Scheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sess := range s.sessions {
+		if sess != nil {
+			sess.Close()
+		}
+	}
+}

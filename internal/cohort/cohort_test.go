@@ -1,0 +1,322 @@
+package cohort
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"chiaroscuro/internal/core"
+	"chiaroscuro/internal/dp"
+)
+
+// feed builds a deterministic drifting population plus per-window slide
+// batches (the cohort-package twin of core's streaming test feed).
+func feed(n, dim, windows, slide int) (initial [][]float64, steps [][][]float64) {
+	total := dim + windows*slide
+	full := make([][]float64, n)
+	for i := range full {
+		base := 0.15 + 0.7*float64(i%3)/3
+		s := make([]float64, total)
+		for t := range s {
+			v := base + 0.06*math.Sin(2*math.Pi*(float64(t)/float64(total)+float64(i%7)/7)) +
+				0.02*float64((i*7+t*3)%5-2)/5
+			s[t] = math.Min(1, math.Max(0, v))
+		}
+		full[i] = s
+	}
+	initial = make([][]float64, n)
+	for i := range initial {
+		initial[i] = append([]float64(nil), full[i][:dim]...)
+	}
+	steps = make([][][]float64, windows)
+	for w := range steps {
+		steps[w] = make([][]float64, n)
+		for i := range steps[w] {
+			steps[w][i] = append([]float64(nil), full[i][dim+w*slide:dim+(w+1)*slide]...)
+		}
+	}
+	return initial, steps
+}
+
+func bits(v float64) uint64 { return math.Float64bits(v) }
+
+// assertOutcomeIdentical compares two outcomes of the same cohort bit
+// for bit — headers, drawn budget, ledger position, every disclosed
+// per-iteration centroid/count, finals, ops, privacy.
+func assertOutcomeIdentical(t *testing.T, a, b Outcome, label string) {
+	t.Helper()
+	if a.Cohort != b.Cohort {
+		t.Fatalf("%s: cohort %q vs %q", label, a.Cohort, b.Cohort)
+	}
+	if (a.Err == nil) != (b.Err == nil) {
+		t.Fatalf("%s: err %v vs %v", label, a.Err, b.Err)
+	}
+	if a.Err != nil {
+		if a.Err.Error() != b.Err.Error() {
+			t.Fatalf("%s: err %q vs %q", label, a.Err, b.Err)
+		}
+		return
+	}
+	ra, rb := a.Result, b.Result
+	if ra.Window != rb.Window || ra.Skipped != rb.Skipped || ra.WarmStarted != rb.WarmStarted {
+		t.Fatalf("%s: header mismatch: %+v vs %+v", label, ra, rb)
+	}
+	if bits(ra.EpsilonDrawn) != bits(rb.EpsilonDrawn) {
+		t.Fatalf("%s: drawn %v vs %v", label, ra.EpsilonDrawn, rb.EpsilonDrawn)
+	}
+	if ra.Ledger != rb.Ledger {
+		t.Fatalf("%s: ledger %+v vs %+v", label, ra.Ledger, rb.Ledger)
+	}
+	for j := range ra.Centroids {
+		for tt := range ra.Centroids[j] {
+			if bits(ra.Centroids[j][tt]) != bits(rb.Centroids[j][tt]) {
+				t.Fatalf("%s: centroid %d[%d]: %v vs %v", label, j, tt, ra.Centroids[j][tt], rb.Centroids[j][tt])
+			}
+		}
+	}
+	if (ra.Trace == nil) != (rb.Trace == nil) {
+		t.Fatalf("%s: trace presence mismatch", label)
+	}
+	if ra.Trace == nil {
+		return
+	}
+	ta, tb := ra.Trace, rb.Trace
+	if len(ta.Iterations) != len(tb.Iterations) {
+		t.Fatalf("%s: %d vs %d iterations", label, len(ta.Iterations), len(tb.Iterations))
+	}
+	for i := range ta.Iterations {
+		ia, ib := ta.Iterations[i], tb.Iterations[i]
+		for j := range ia.PerturbedCentroids {
+			for tt := range ia.PerturbedCentroids[j] {
+				if bits(ia.PerturbedCentroids[j][tt]) != bits(ib.PerturbedCentroids[j][tt]) {
+					t.Fatalf("%s: iter %d centroid %d[%d] differs", label, i, j, tt)
+				}
+			}
+		}
+		for j := range ia.PerturbedCounts {
+			if bits(ia.PerturbedCounts[j]) != bits(ib.PerturbedCounts[j]) {
+				t.Fatalf("%s: iter %d count %d differs", label, i, j)
+			}
+		}
+	}
+	for j := range ta.FinalCentroids {
+		for tt := range ta.FinalCentroids[j] {
+			if bits(ta.FinalCentroids[j][tt]) != bits(tb.FinalCentroids[j][tt]) {
+				t.Fatalf("%s: final centroid %d[%d] differs", label, j, tt)
+			}
+		}
+	}
+	if bits(ta.Inertia) != bits(tb.Inertia) || ta.ConvergedAtIteration != tb.ConvergedAtIteration {
+		t.Fatalf("%s: inertia/convergence differ", label)
+	}
+	if ta.Ops != tb.Ops {
+		t.Fatalf("%s: ops %+v vs %+v", label, ta.Ops, tb.Ops)
+	}
+	if ta.Privacy != tb.Privacy {
+		t.Fatalf("%s: privacy %+v vs %+v", label, ta.Privacy, tb.Privacy)
+	}
+	if ta.NetStats != tb.NetStats {
+		t.Fatalf("%s: netstats %+v vs %+v", label, ta.NetStats, tb.NetStats)
+	}
+}
+
+func specA() Spec {
+	return Spec{ID: "study-a", Session: core.SessionParams{
+		Base:            core.Params{K: 2, Iterations: 2, Seed: 11, GossipRounds: 8, DecryptThreshold: 3},
+		LifetimeEpsilon: 80,
+		Windows:         4,
+		WarmStart:       true,
+	}}
+}
+
+func specB() Spec {
+	return Spec{ID: "study-b", Session: core.SessionParams{
+		Base:            core.Params{K: 3, Iterations: 2, Seed: 23, GossipRounds: 10, DecryptThreshold: 4},
+		LifetimeEpsilon: 120,
+		Windows:         4,
+		Spend:           dp.SpendDecaying{Factor: 0.5},
+		Engine:          core.SessionSharded,
+	}}
+}
+
+func drive(t *testing.T, specs []Spec, opts Options, windows int, initial [][]float64, steps [][][]float64) map[string][]Outcome {
+	t.Helper()
+	sched, err := NewScheduler(initial, specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	byCohort := make(map[string][]Outcome)
+	for w := 0; w < windows; w++ {
+		var pts [][]float64
+		if w > 0 {
+			pts = steps[w-1]
+		}
+		outs, err := sched.Advance(pts)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for _, o := range outs {
+			byCohort[o.Cohort] = append(byCohort[o.Cohort], o)
+		}
+	}
+	return byCohort
+}
+
+// TestCohortIsolation is the package's reason to exist: cohort A's
+// full trajectory is bit-identical whether it runs alone, beside
+// cohort B, or after B in the spec order. Nothing but the shared
+// (read-only) population crosses cohort boundaries.
+func TestCohortIsolation(t *testing.T) {
+	const windows = 3
+	initial, steps := feed(30, 5, windows, 1)
+
+	alone := drive(t, []Spec{specA()}, Options{}, windows, initial, steps)
+	beside := drive(t, []Spec{specA(), specB()}, Options{}, windows, initial, steps)
+	reordered := drive(t, []Spec{specB(), specA()}, Options{}, windows, initial, steps)
+
+	for w := 0; w < windows; w++ {
+		assertOutcomeIdentical(t, alone["study-a"][w], beside["study-a"][w], "alone vs beside")
+		assertOutcomeIdentical(t, alone["study-a"][w], reordered["study-a"][w], "alone vs reordered")
+		assertOutcomeIdentical(t, beside["study-b"][w], reordered["study-b"][w], "b beside vs reordered")
+	}
+}
+
+// TestCohortParallelMatchesSerial pins that the concurrent schedule
+// discloses exactly what the serial one does, cohort by cohort and
+// window by window. CI runs this under -race: any hidden write sharing
+// between cohort sessions would trip the detector here.
+func TestCohortParallelMatchesSerial(t *testing.T) {
+	const windows = 3
+	initial, steps := feed(30, 5, windows, 1)
+	specs := []Spec{specA(), specB()}
+
+	serial := drive(t, specs, Options{}, windows, initial, steps)
+	parallel := drive(t, specs, Options{Parallel: true}, windows, initial, steps)
+	for id, outs := range serial {
+		for w := range outs {
+			assertOutcomeIdentical(t, outs[w], parallel[id][w], "serial vs parallel "+id)
+		}
+	}
+}
+
+// TestCohortBudgetIsolation exhausts one cohort's lifetime budget and
+// checks the other keeps running: per-cohort failures stay per-cohort.
+func TestCohortBudgetIsolation(t *testing.T) {
+	const windows = 3
+	initial, steps := feed(24, 4, windows, 1)
+	tiny := Spec{ID: "tiny", Session: core.SessionParams{
+		Base:            core.Params{K: 2, Iterations: 2, Seed: 5, GossipRounds: 8, DecryptThreshold: 3},
+		LifetimeEpsilon: 20,
+		Windows:         1, // uniform spends everything on window 0
+	}}
+	ample := specA()
+
+	sched, err := NewScheduler(initial, []Spec{tiny, ample}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	for w := 0; w < windows; w++ {
+		var pts [][]float64
+		if w > 0 {
+			pts = steps[w-1]
+		}
+		outs, err := sched.Advance(pts)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if w == 0 {
+			if outs[0].Err != nil || outs[1].Err != nil {
+				t.Fatalf("window 0 outcomes: %+v", outs)
+			}
+			continue
+		}
+		if !errors.Is(outs[0].Err, dp.ErrBudgetExhausted) {
+			t.Fatalf("window %d: tiny cohort err = %v, want ErrBudgetExhausted", w, outs[0].Err)
+		}
+		if outs[1].Err != nil {
+			t.Fatalf("window %d: ample cohort failed alongside: %v", w, outs[1].Err)
+		}
+	}
+	if rep := sched.Session("tiny").Ledger().Report(); rep.Windows != 1 {
+		t.Fatalf("tiny ledger = %+v, want exactly 1 window", rep)
+	}
+	if rep := sched.Session("study-a").Ledger().Report(); rep.Windows != windows {
+		t.Fatalf("ample ledger = %+v, want %d windows", rep, windows)
+	}
+}
+
+// TestCohortValidationErrors pins the scheduler's configuration and
+// advance-time refusals.
+func TestCohortValidationErrors(t *testing.T) {
+	initial, steps := feed(10, 4, 2, 1)
+
+	if _, err := NewScheduler(initial, nil, Options{}); err == nil ||
+		err.Error() != "cohort: need at least one cohort spec" {
+		t.Fatalf("no specs: err = %v", err)
+	}
+	anon := specA()
+	anon.ID = ""
+	if _, err := NewScheduler(initial, []Spec{anon}, Options{}); err == nil ||
+		err.Error() != "cohort: cohort id must be non-empty" {
+		t.Fatalf("empty id: err = %v", err)
+	}
+	if _, err := NewScheduler(initial, []Spec{specA(), specA()}, Options{}); err == nil ||
+		err.Error() != `cohort: duplicate cohort id "study-a"` {
+		t.Fatalf("dup id: err = %v", err)
+	}
+	scaled := specB()
+	scaled.Session.Base.MaxValue = 2
+	if _, err := NewScheduler(initial, []Spec{specA(), scaled}, Options{}); err == nil ||
+		err.Error() != `cohort: cohort "study-b" MaxValue 2 differs from cohort "study-a"'s 1 — all cohorts share one population` {
+		t.Fatalf("max-value mismatch: err = %v", err)
+	}
+	bad := specA()
+	bad.Session.LifetimeEpsilon = 0
+	if _, err := NewScheduler(initial, []Spec{bad}, Options{}); err == nil ||
+		!strings.HasPrefix(err.Error(), `cohort "study-a": `) {
+		t.Fatalf("session error must carry the cohort id: err = %v", err)
+	}
+
+	sched, err := NewScheduler(initial, []Spec{specA()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Advance(steps[0][:3]); err == nil ||
+		err.Error() != "cohort: window advance has 3 series, population is 10" {
+		t.Fatalf("wrong series count: err = %v", err)
+	}
+	wide := make([][]float64, 10)
+	for i := range wide {
+		wide[i] = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if _, err := sched.Advance(wide); err == nil ||
+		err.Error() != "cohort: window advance width 5 outside [1, 4]" {
+		t.Fatalf("over-wide: err = %v", err)
+	}
+	ragged := make([][]float64, 10)
+	for i := range ragged {
+		ragged[i] = []float64{0.5}
+	}
+	ragged[4] = []float64{0.5, 0.5}
+	if _, err := sched.Advance(ragged); err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Fatalf("ragged: err = %v", err)
+	}
+	ragged[4] = []float64{7}
+	if _, err := sched.Advance(ragged); err == nil || !strings.Contains(err.Error(), "normalize first") {
+		t.Fatalf("out of range: err = %v", err)
+	}
+	// A cohort session is arena-shared: sliding through it is refused —
+	// the scheduler owns the window advance.
+	if err := sched.Session("study-a").AdvanceWindow(steps[0]); err == nil ||
+		err.Error() != "core: shared-population session — the cohort scheduler advances the window" {
+		t.Fatalf("shared advance: err = %v", err)
+	}
+	sched.Close()
+	if _, err := sched.Advance(nil); err == nil || err.Error() != "cohort: scheduler is closed" {
+		t.Fatalf("closed: err = %v", err)
+	}
+	sched.Close() // idempotent
+}

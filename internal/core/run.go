@@ -131,12 +131,20 @@ type runSetup struct {
 	// N separate slice objects with two slabs, which both the garbage
 	// collector and the assignment step's linear scans prefer.
 	series *vecpool.Matrix
+	// ownsSuite is false when the suite was handed in by a RunSession
+	// (which keeps it — and its randomizer pool — alive across windows);
+	// close then leaves it alone.
+	ownsSuite bool
 }
 
 // close releases suite-held resources — today the Damgård–Jurik
 // backend's randomizer-pool background refill. Each engine defers it
-// once its prepareRun succeeds.
+// once its prepareRun succeeds. Session-owned suites outlive the setup:
+// the session closes them once, at session close.
 func (rs *runSetup) close() {
+	if !rs.ownsSuite {
+		return
+	}
 	if c, ok := rs.suite.(interface{ Close() }); ok {
 		c.Close()
 	}
@@ -213,7 +221,9 @@ func initialCentroids(p Params, dim int) [][]float64 {
 	return initial
 }
 
-// prepareRun validates the inputs and constructs the run-wide state.
+// prepareRun validates the inputs and constructs the run-wide state for
+// a one-shot run: data checks, then a fresh flat series arena, then the
+// suite-and-shared-state construction of prepareRunOn.
 func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	n := len(data)
 	if n < 2 {
@@ -234,6 +244,28 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 			}
 		}
 	}
+	// Flatten the population's series into one contiguous arena; every
+	// participant gets a row view (values unchanged, so trajectories
+	// are too).
+	seriesMat, err := vecpool.FromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	return prepareRunOn(seriesMat, p, nil)
+}
+
+// prepareRunOn constructs the run-wide state over an existing series
+// arena — the reusable half of prepareRun. p must already be defaulted
+// and validated, and the series values already range-checked (prepareRun
+// does both for one-shot runs; a RunSession does them at open and on
+// every window advance). reuseSuite, when non-nil, is re-bound instead
+// of building a fresh suite — the session path, which keeps one suite
+// (key material, randomizer pool, operation counters) alive across
+// windows; the returned setup then does not own it and close leaves it
+// running.
+func prepareRunOn(seriesMat *vecpool.Matrix, p Params, reuseSuite CipherSuite) (*runSetup, error) {
+	n := seriesMat.NumRows()
+	dim := seriesMat.Cols()
 
 	// Privacy schedule and accounting. The full schedule is validated
 	// against the budget up front (a misbehaving strategy must fail fast)
@@ -263,27 +295,31 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 	// precedence order) pre-computed ceremony material (networked
 	// daemons), an in-process key ceremony (Params.DKG), or the trusted
 	// dealer — kept as the oracle the ceremony paths are tested against.
-	var suite CipherSuite
-	switch {
-	case p.Backend == BackendDamgardJurik && p.DJMaterial != nil:
-		suite, err = NewDamgardJurikSuiteFromMaterial(p.DJMaterial)
-	case p.Backend == BackendDamgardJurik && p.DKG:
-		suite, err = NewDamgardJurikDKGSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold, p.Seed, p.Faults)
-	case p.Backend == BackendDamgardJurik:
-		suite, err = NewDamgardJurikSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
-	default:
-		suite, err = NewPlainSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
+	suite := reuseSuite
+	ownsSuite := suite == nil
+	if suite == nil {
+		switch {
+		case p.Backend == BackendDamgardJurik && p.DJMaterial != nil:
+			suite, err = NewDamgardJurikSuiteFromMaterial(p.DJMaterial)
+		case p.Backend == BackendDamgardJurik && p.DKG:
+			suite, err = NewDamgardJurikDKGSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold, p.Seed, p.Faults)
+		case p.Backend == BackendDamgardJurik:
+			suite, err = NewDamgardJurikSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
+		default:
+			suite, err = NewPlainSuite(p.ModulusBits, p.Degree, n, p.DecryptThreshold)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	// From here on the suite owns background resources (the DJ
-	// randomizer pool); release them on every failed setup path —
+	// From here on a freshly built suite owns background resources (the
+	// DJ randomizer pool); release them on every failed setup path —
 	// notably the recoverable ErrPackingInfeasible return, after which
-	// callers are expected to retry unpacked.
+	// callers are expected to retry unpacked. A reused (session-owned)
+	// suite stays alive regardless: the session closes it once.
 	setupOK := false
 	defer func() {
-		if !setupOK {
+		if !setupOK && ownsSuite {
 			if c, ok := suite.(interface{ Close() }); ok {
 				c.Close()
 			}
@@ -381,14 +417,6 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		mut:           mut,
 	}
 
-	// Flatten the population's series into one contiguous arena; every
-	// participant gets a row view (values unchanged, so trajectories
-	// are too).
-	seriesMat, err := vecpool.FromRows(data)
-	if err != nil {
-		return nil, err
-	}
-
 	setupOK = true
 	return &runSetup{
 		p:          p,
@@ -398,6 +426,7 @@ func prepareRun(data [][]float64, params Params) (*runSetup, error) {
 		shared:     shared,
 		initial:    initial,
 		series:     seriesMat,
+		ownsSuite:  ownsSuite,
 	}, nil
 }
 

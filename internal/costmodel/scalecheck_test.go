@@ -1,0 +1,126 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"chiaroscuro/internal/benchcfg"
+	"chiaroscuro/internal/core"
+)
+
+// scaleArtifact mirrors the BENCH_scale.json v2 fields the cross-check
+// needs (the full schema lives in cmd/chiaroscuro/benchscale.go).
+type scaleArtifact struct {
+	Schema string
+	Runs   []struct {
+		Name            string
+		Engine          string
+		N               int
+		Dim             int
+		K               int
+		Iterations      int
+		Packed          bool
+		MessagesSent    int
+		BytesSent       int64
+		DecryptRequests int
+		DecryptBytes    int64
+	}
+}
+
+// TestProjectionMatchesMeasuredScaleRun is experiment E5b's cross-check:
+// the cost projection, fed the exact benchcfg workload shape, must land
+// within a tolerance band of the real simulator's measured N=100k run
+// (the committed BENCH_scale.json v2) — messages and decrypt requests
+// exactly, bytes within 10% (see the package doc's drift note for where
+// the residual envelope-overhead difference comes from).
+func TestProjectionMatchesMeasuredScaleRun(t *testing.T) {
+	buf, err := os.ReadFile("../../BENCH_scale.json")
+	if err != nil {
+		t.Skipf("no committed BENCH_scale.json: %v", err)
+	}
+	var art scaleArtifact
+	if err := json.Unmarshal(buf, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != "chiaroscuro-bench-scale/v2" {
+		t.Skipf("artifact schema %q, cross-check pins v2", art.Schema)
+	}
+
+	// The accounted backend simulates 1024-bit Damgård–Jurik at s=1:
+	// ciphertexts live mod n², i.e. 2048 bits on the wire.
+	const modulusBits = 1024
+	prof := &CryptoProfile{KeyBits: modulusBits, CiphertextBytes: 2 * modulusBits / 8}
+	// The accounted backend's actual plaintext ring is NewPlainSuite's
+	// fixed 320-bit modulus (the key size only drives the wire-size
+	// accounting), so the measured run packed against 319 usable bits.
+	const plainBits = 320 - 1
+
+	within := func(t *testing.T, name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			t.Fatalf("%s: measured value is zero", name)
+		}
+		rel := math.Abs(got-want) / want
+		t.Logf("%s: projected %.4g vs measured %.4g (drift %.2f%%)", name, got, want, 100*rel)
+		if rel > tol {
+			t.Errorf("%s: projection %.4g drifted %.1f%% from measured %.4g (band %.0f%%)",
+				name, got, 100*rel, want, 100*tol)
+		}
+	}
+
+	checked := 0
+	for _, run := range art.Runs {
+		if run.Engine != benchcfg.ScaleEngine || run.N < 100000 {
+			continue
+		}
+		w := Workload{
+			Participants:     run.N,
+			K:                run.K,
+			Dim:              run.Dim,
+			Iterations:       run.Iterations,
+			GossipRounds:     benchcfg.ScaleGossipRounds,
+			DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+		}
+		if run.Packed {
+			// Derive the packing factor from the identical rule the run
+			// itself used.
+			slots, err := core.PackedSlots(plainBits, run.N, run.Dim, core.Params{
+				K:                run.K,
+				Epsilon:          benchcfg.ScaleEpsilon,
+				Iterations:       run.Iterations,
+				Seed:             benchcfg.ScaleSeed,
+				GossipRounds:     benchcfg.ScaleGossipRounds,
+				DecryptThreshold: benchcfg.ScaleDecryptThreshold,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Slots = slots
+		}
+		rep, err := Project(prof, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(run.Name, func(t *testing.T) {
+			n := float64(run.N)
+			// Structural counts are exact: any deviation means the
+			// projection and the simulator disagree about the protocol.
+			if got, want := rep.MessagesSent*run.N, run.MessagesSent; got != want {
+				t.Errorf("messages: projected %d, measured %d", got, want)
+			}
+			if got, want := rep.DecryptRequests*run.N, run.DecryptRequests; got != want {
+				t.Errorf("decrypt requests: projected %d, measured %d", got, want)
+			}
+			// Byte totals absorb per-message envelope overhead the
+			// projection only approximates — held to a 10% band.
+			within(t, "bytes sent", float64(rep.BytesSent)*n, float64(run.BytesSent), 0.10)
+			within(t, "decrypt bytes", float64(rep.DecryptBytes)*n, float64(run.DecryptBytes), 0.10)
+		})
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no ≥100k sharded runs in the artifact")
+	}
+}

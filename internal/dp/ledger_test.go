@@ -1,0 +1,217 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLedgerDrawSettleRefund(t *testing.T) {
+	l, err := NewLedger(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Draw(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Spent(); got != 4 {
+		t.Fatalf("spent = %v, want 4", got)
+	}
+	// Early convergence: the window only disclosed 2.5 of its 4.
+	l.Settle(0, 2.5)
+	if got := l.Spent(); got != 2.5 {
+		t.Fatalf("after settle, spent = %v, want 2.5", got)
+	}
+	if got := l.Remaining(); got != 7.5 {
+		t.Fatalf("remaining = %v, want 7.5", got)
+	}
+	// Settling above the reservation clamps: budget is returned, never
+	// retroactively granted.
+	if err := l.Draw(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	l.Settle(1, 99)
+	if got := l.Spent(); got != 4.5 {
+		t.Fatalf("after clamped settle, spent = %v, want 4.5", got)
+	}
+	draws := l.Draws()
+	if len(draws) != 2 || draws[0].Spent != 2.5 || draws[1].Spent != 2 {
+		t.Fatalf("draws = %+v", draws)
+	}
+}
+
+func TestLedgerRefusesOverrun(t *testing.T) {
+	l, err := NewLedger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Draw(0, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Draw(1, 0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overrun draw: err = %v, want ErrBudgetExhausted", err)
+	}
+	// The refused draw recorded nothing.
+	if got := l.Spent(); got != 0.75 {
+		t.Fatalf("spent = %v, want 0.75", got)
+	}
+	if len(l.Draws()) != 1 {
+		t.Fatalf("draws = %+v, want 1 entry", l.Draws())
+	}
+	// Exact exhaustion is allowed (the uniform strategy lands here).
+	if err := l.Draw(1, 0.25); err != nil {
+		t.Fatalf("exact-exhaustion draw: %v", err)
+	}
+	if got := l.Remaining(); got != 0 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+}
+
+func TestLedgerZeroRemainingRefusesAnyDraw(t *testing.T) {
+	l, err := NewLedger(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Draw(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Zero remaining budget: every further positive draw must be a hard
+	// refusal, however small.
+	for _, eps := range []float64{2, 0.1, 1e-6} {
+		if err := l.Draw(1, eps); !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("draw %v on exhausted ledger: err = %v, want ErrBudgetExhausted", eps, err)
+		}
+	}
+	if err := l.Draw(1, -1); err == nil || errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("non-positive draw: err = %v, want a plain validation error", err)
+	}
+}
+
+func TestLedgerSkipsAndReport(t *testing.T) {
+	l, err := NewLedger(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Draw(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	l.RecordSkip(1)
+	l.RecordSkip(2)
+	if err := l.Draw(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep := l.Report()
+	if rep.Windows != 2 || rep.Skips != 2 {
+		t.Fatalf("report = %+v, want 2 windows / 2 skips", rep)
+	}
+	if rep.SpentEpsilon != 4 || rep.Remaining != 4 || rep.LifetimeEpsilon != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestNewLedgerRejectsBadBudgets(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewLedger(bad); err == nil {
+			t.Fatalf("NewLedger(%v) must fail", bad)
+		}
+	}
+}
+
+func TestSpendUniformExhaustsAtHorizon(t *testing.T) {
+	l, _ := NewLedger(8)
+	var s SpendStrategy = SpendUniform{}
+	for w := 0; w < 4; w++ {
+		dec, err := s.Decide(SpendState{Remaining: l.Remaining(), Window: w, PlannedWindows: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Skip {
+			t.Fatalf("window %d: uniform never skips", w)
+		}
+		if math.Abs(dec.Epsilon-2) > 1e-12 {
+			t.Fatalf("window %d: eps = %v, want 2", w, dec.Epsilon)
+		}
+		if err := l.Draw(w, dec.Epsilon); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+	// Past the horizon the remaining budget is ~0: the proposed epsilon
+	// collapses to (floating-point) zero, which the session layer maps
+	// to a hard refusal.
+	dec, err := s.Decide(SpendState{Remaining: l.Remaining(), Window: 4, PlannedWindows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epsilon > 8*1e-9 {
+		t.Fatalf("past-horizon eps = %v, want ~0", dec.Epsilon)
+	}
+}
+
+func TestSpendDecayingHalvesRemaining(t *testing.T) {
+	s := SpendDecaying{}
+	dec, err := s.Decide(SpendState{Remaining: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epsilon != 4 {
+		t.Fatalf("eps = %v, want 4", dec.Epsilon)
+	}
+	s2 := SpendDecaying{Factor: 0.25}
+	dec, _ = s2.Decide(SpendState{Remaining: 8})
+	if dec.Epsilon != 2 {
+		t.Fatalf("eps = %v, want 2", dec.Epsilon)
+	}
+}
+
+func TestSpendThresholdSkipsAndBounds(t *testing.T) {
+	s := SpendThreshold{Drift: 0.1, MaxSkips: 2}
+	// No drift signal yet (first window): run.
+	dec, err := s.Decide(SpendState{Remaining: 8, PlannedWindows: 4, Drift: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Skip {
+		t.Fatal("first window must run (no drift signal yet)")
+	}
+	// Small drift: skip.
+	dec, _ = s.Decide(SpendState{Remaining: 8, Window: 1, PlannedWindows: 4, Drift: 0.05})
+	if !dec.Skip {
+		t.Fatal("drift below bound must skip")
+	}
+	// Skip streak at the bound: forced re-cluster.
+	dec, _ = s.Decide(SpendState{Remaining: 8, Window: 3, PlannedWindows: 4, Drift: 0.05, ConsecutiveSkips: 2})
+	if dec.Skip {
+		t.Fatal("MaxSkips consecutive skips must force a re-cluster")
+	}
+	// Large drift: run.
+	dec, _ = s.Decide(SpendState{Remaining: 8, Window: 1, PlannedWindows: 4, Drift: 0.5})
+	if dec.Skip {
+		t.Fatal("drift above bound must run")
+	}
+	// Unparameterized threshold strategy is a configuration error.
+	if _, err := (SpendThreshold{}).Decide(SpendState{Remaining: 8}); err == nil {
+		t.Fatal("zero drift bound must error")
+	}
+}
+
+func TestSpendStrategyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":          "uniform",
+		"uniform":   "uniform",
+		"decaying":  "decaying(0.50)",
+		"threshold": "threshold(0.05,max3,uniform)",
+	} {
+		s, err := SpendStrategyByName(name, 0.05)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if s.Name() != want {
+			t.Fatalf("%q: Name() = %q, want %q", name, s.Name(), want)
+		}
+	}
+	if _, err := SpendStrategyByName("unifrom", 0); err == nil {
+		t.Fatal("typo must error")
+	} else if got, want := err.Error(), `dp: unknown spend strategy "unifrom" (want uniform, decaying or threshold)`; got != want {
+		t.Fatalf("error text:\n  got:  %s\n  want: %s", got, want)
+	}
+}

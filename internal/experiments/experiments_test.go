@@ -211,7 +211,7 @@ func TestE10(t *testing.T) {
 
 func TestRegistryAndByID(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 12 {
+	if len(reg) != 13 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	seen := map[string]bool{}
@@ -312,6 +312,47 @@ func TestE11(t *testing.T) {
 	// Replaying E11 must reproduce the identical table (deterministic
 	// fault trajectories).
 	again, err := E11FaultInjection(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if tab.Rows[i][j] != again.Rows[i][j] {
+				t.Fatalf("row %d col %d not reproducible: %q vs %q", i, j, tab.Rows[i][j], again.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestE13(t *testing.T) {
+	tab, err := E13StreamingRecluster(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "E13")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per budget strategy", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		warm, _ := strconv.Atoi(row[4])
+		cold, _ := strconv.Atoi(row[5])
+		if warm <= 0 || cold <= 0 {
+			t.Fatalf("strategy %s: iteration counts %q / %q not positive", row[0], row[4], row[5])
+		}
+		// Warm-starting must not cost iterations on the drifting-blob
+		// stream (the savings claim E13 exists to table).
+		if warm > cold {
+			t.Fatalf("strategy %s: warm %d iterations exceeds cold %d", row[0], warm, cold)
+		}
+	}
+	// The threshold strategy must actually skip on this stream (its row
+	// is what demonstrates budget savings), and spend less than uniform.
+	thr := tab.Rows[2]
+	if !strings.Contains(thr[1], "+") || strings.HasSuffix(thr[1], "+0") {
+		t.Fatalf("threshold strategy skipped no windows: run+skip %q", thr[1])
+	}
+	// Deterministic: replaying reproduces the identical table.
+	again, err := E13StreamingRecluster(tiny)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ func Registry() []struct {
 		{"E9", E9NoisePopulationScaling},
 		{"E10", E10GossipMessageBudget},
 		{"E11", E11FaultInjection},
+		{"E13", E13StreamingRecluster},
 	}
 }
 

@@ -90,6 +90,26 @@ func (m *Matrix) Row(i int) []float64 { return m.rows[i] }
 // the row headers.
 func (m *Matrix) Rows() [][]float64 { return m.rows }
 
+// SlideRow advances row i by one streaming window step: the oldest
+// len(vals) samples are evicted (the remainder shifts toward index 0)
+// and vals land at the tail. The row width never changes — this is the
+// append/evict primitive of a sliding-window population, run in place on
+// the slab so a window advance allocates nothing. vals must have between
+// 1 and Cols samples.
+func (m *Matrix) SlideRow(i int, vals []float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("vecpool: row %d outside [0, %d)", i, len(m.rows))
+	}
+	if len(vals) < 1 || len(vals) > m.cols {
+		return fmt.Errorf("vecpool: slide of %d samples outside [1, %d]", len(vals), m.cols)
+	}
+	row := m.rows[i]
+	keep := m.cols - len(vals)
+	copy(row, row[len(vals):])
+	copy(row[keep:], vals)
+	return nil
+}
+
 // NumRows and Cols report the matrix shape.
 func (m *Matrix) NumRows() int { return len(m.rows) }
 func (m *Matrix) Cols() int    { return m.cols }

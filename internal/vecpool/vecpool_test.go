@@ -143,3 +143,70 @@ func TestResidueArenaNoAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state arena arithmetic allocates %.1f objects per op, want 0", allocs)
 	}
 }
+
+// TestMatrixSlideRow covers the streaming window-advance primitive:
+// in-place eviction of the oldest samples, appends at the tail, width
+// invariance, and the rejection of out-of-range requests.
+func TestMatrixSlideRow(t *testing.T) {
+	m, err := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SlideRow(0, []float64{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 10, 11}
+	for i, v := range m.Row(0) {
+		if v != want[i] {
+			t.Fatalf("row 0 = %v, want %v", m.Row(0), want)
+		}
+	}
+	// Untouched rows stay untouched.
+	if m.Row(1)[0] != 5 || m.Row(1)[3] != 8 {
+		t.Fatalf("row 1 = %v, want unchanged", m.Row(1))
+	}
+	// Full-width slide replaces the whole row.
+	if err := m.SlideRow(1, []float64{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Row(1) {
+		if v != 9 {
+			t.Fatalf("row 1 = %v, want all 9", m.Row(1))
+		}
+	}
+	// Shape violations are rejected before any mutation.
+	if err := m.SlideRow(0, nil); err == nil {
+		t.Fatal("empty slide must fail")
+	}
+	if err := m.SlideRow(0, make([]float64, 5)); err == nil {
+		t.Fatal("over-wide slide must fail")
+	}
+	if err := m.SlideRow(2, []float64{1}); err == nil {
+		t.Fatal("out-of-range row must fail")
+	}
+	if err := m.SlideRow(-1, []float64{1}); err == nil {
+		t.Fatal("negative row must fail")
+	}
+}
+
+// TestMatrixSlideRowNoAlloc pins the zero-allocation property of the
+// window advance: sliding is two copies inside the slab.
+func TestMatrixSlideRowNoAlloc(t *testing.T) {
+	m, err := NewMatrix(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := []float64{1, 2, 3}
+	if allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 4; i++ {
+			if err := m.SlideRow(i, fresh); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("SlideRow allocates %.1f objects per advance, want 0", allocs)
+	}
+}
